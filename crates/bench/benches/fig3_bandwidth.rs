@@ -1,0 +1,48 @@
+//! Criterion bench for Figure 3: bandwidth-utilization experiments.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use event_sim::SimDuration;
+
+use bench_harness::experiments::{dynamic_experiment_statics, run_once, SEED};
+use coefficient::{Policy, Scenario, StopCondition};
+use flexray::config::ClusterConfig;
+use workloads::sae::IdRange;
+
+fn bench_bandwidth(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3_bandwidth");
+    group.sample_size(10);
+    for &ms in &[25u64, 100] {
+        for policy in [Policy::CoEfficient, Policy::Fspec] {
+            let label = format!(
+                "{}minislots/{}",
+                ms,
+                match policy {
+                    Policy::CoEfficient => "coefficient",
+                    Policy::Fspec => "fspec",
+                    Policy::Hosa => "hosa",
+                }
+            );
+            group.bench_with_input(
+                BenchmarkId::new("utilization_1s", label),
+                &(ms, policy),
+                |b, &(ms, policy)| {
+                    b.iter(|| {
+                        run_once(
+                            ClusterConfig::paper_mixed(ms),
+                            Scenario::ber7(),
+                            dynamic_experiment_statics(),
+                            workloads::sae::message_set(IdRange::For80Slots, SEED),
+                            policy,
+                            StopCondition::Horizon(SimDuration::from_secs(1)),
+                            SEED,
+                        )
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_bandwidth);
+criterion_main!(benches);

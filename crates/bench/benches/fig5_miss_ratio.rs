@@ -1,0 +1,48 @@
+//! Criterion bench for Figure 5: deadline-miss-ratio experiments.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use event_sim::SimDuration;
+
+use bench_harness::experiments::{dynamic_experiment_statics, run_once, SEED};
+use coefficient::{Policy, Scenario, StopCondition};
+use flexray::config::ClusterConfig;
+use workloads::sae::IdRange;
+
+fn bench_miss_ratio(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5_miss_ratio");
+    group.sample_size(10);
+    for scenario in [Scenario::ber7(), Scenario::ber9()] {
+        for policy in [Policy::CoEfficient, Policy::Fspec] {
+            let label = format!(
+                "{}/{}",
+                scenario.name,
+                match policy {
+                    Policy::CoEfficient => "coefficient",
+                    Policy::Fspec => "fspec",
+                    Policy::Hosa => "hosa",
+                }
+            );
+            group.bench_with_input(
+                BenchmarkId::new("miss_ratio_50minislots_1s", label),
+                &(scenario.clone(), policy),
+                |b, (scenario, policy)| {
+                    b.iter(|| {
+                        run_once(
+                            ClusterConfig::paper_mixed(50),
+                            scenario.clone(),
+                            dynamic_experiment_statics(),
+                            workloads::sae::message_set(IdRange::For80Slots, SEED),
+                            *policy,
+                            StopCondition::Horizon(SimDuration::from_secs(1)),
+                            SEED,
+                        )
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_miss_ratio);
+criterion_main!(benches);

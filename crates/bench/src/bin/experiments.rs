@@ -1,0 +1,229 @@
+//! Regenerates every figure of the CoEfficient paper's evaluation.
+//!
+//! ```text
+//! experiments [fig1|fig2|fig3|fig4a..fig4d|fig5|ablation|faults|verify|all] [--json]
+//! ```
+//!
+//! `verify` re-runs the paper's headline claims and exits non-zero if any
+//! fails — the one-command reproduction check.
+//!
+//! Without arguments, runs everything. `--json` additionally dumps the raw
+//! rows as JSON to stdout (for plotting).
+
+use bench_harness::experiments::{
+    ablation, fault_model_ablation, fig3_bandwidth, fig4_latency, fig5_miss_ratio,
+    fig_running_time, verify_reproduction, Segment,
+};
+use bench_harness::table::print_table;
+use coefficient::Scenario;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let json = args.iter().any(|a| a == "--json");
+    let which: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .collect();
+    let all = which.is_empty() || which.contains(&"all");
+    let want = |f: &str| all || which.contains(&f);
+
+    let counts: Vec<u64> = vec![200, 400, 600, 800, 1000];
+
+    if want("fig1") {
+        let rows = fig_running_time(&Scenario::ber7(), &counts);
+        print_table(
+            "Figure 1 — running time, BER-7 (seconds of simulated bus time)",
+            &["workload", "slots", "policy", "messages", "running time [s]"],
+            &rows
+                .iter()
+                .map(|r| {
+                    vec![
+                        r.workload.to_string(),
+                        r.slots.to_string(),
+                        r.policy.to_string(),
+                        r.messages.to_string(),
+                        format!("{:.3}", r.running_time_s),
+                    ]
+                })
+                .collect::<Vec<_>>(),
+        );
+        if json {
+            println!("{}", serde_json::to_string(&rows).expect("serializable"));
+        }
+    }
+
+    if want("fig2") {
+        let rows = fig_running_time(&Scenario::ber9(), &counts);
+        print_table(
+            "Figure 2 — running time, BER-9 (seconds of simulated bus time)",
+            &["workload", "slots", "policy", "messages", "running time [s]"],
+            &rows
+                .iter()
+                .map(|r| {
+                    vec![
+                        r.workload.to_string(),
+                        r.slots.to_string(),
+                        r.policy.to_string(),
+                        r.messages.to_string(),
+                        format!("{:.3}", r.running_time_s),
+                    ]
+                })
+                .collect::<Vec<_>>(),
+        );
+        if json {
+            println!("{}", serde_json::to_string(&rows).expect("serializable"));
+        }
+    }
+
+    if want("fig3") {
+        let rows = fig3_bandwidth();
+        print_table(
+            "Figure 3 — bandwidth utilization (%)",
+            &["minislots", "policy", "utilization [%]"],
+            &rows
+                .iter()
+                .map(|r| {
+                    vec![
+                        r.minislots.to_string(),
+                        r.policy.to_string(),
+                        format!("{:.1}", r.utilization_pct),
+                    ]
+                })
+                .collect::<Vec<_>>(),
+        );
+        if json {
+            println!("{}", serde_json::to_string(&rows).expect("serializable"));
+        }
+    }
+
+    for (fig, workload, segment) in [
+        ("fig4a", "synthetic", Segment::Static),
+        ("fig4b", "BBW+ACC", Segment::Static),
+        ("fig4c", "synthetic", Segment::Dynamic),
+        ("fig4d", "BBW+ACC", Segment::Dynamic),
+    ] {
+        if !want(fig) {
+            continue;
+        }
+        let rows: Vec<_> = fig4_latency(workload)
+            .into_iter()
+            .filter(|r| r.segment == segment)
+            .collect();
+        print_table(
+            &format!(
+                "Figure 4({}) — average {} -segment latency, {workload} (ms)",
+                &fig[4..],
+                if segment == Segment::Static { "static" } else { "dynamic" },
+            ),
+            &["minislots", "scenario", "policy", "mean latency [ms]"],
+            &rows
+                .iter()
+                .map(|r| {
+                    vec![
+                        r.minislots.to_string(),
+                        r.scenario.to_string(),
+                        r.policy.to_string(),
+                        format!("{:.3}", r.mean_latency_ms),
+                    ]
+                })
+                .collect::<Vec<_>>(),
+        );
+        if json {
+            println!("{}", serde_json::to_string(&rows).expect("serializable"));
+        }
+    }
+
+    if want("verify") {
+        let verdicts = verify_reproduction();
+        print_table(
+            "Reproduction verdict — the paper's headline claims vs this build",
+            &["claim", "verdict", "evidence"],
+            &verdicts
+                .iter()
+                .map(|v| {
+                    vec![
+                        v.claim.to_string(),
+                        if v.pass { "PASS".into() } else { "FAIL".into() },
+                        v.evidence.clone(),
+                    ]
+                })
+                .collect::<Vec<_>>(),
+        );
+        if json {
+            println!("{}", serde_json::to_string(&verdicts).expect("serializable"));
+        }
+        if verdicts.iter().any(|v| !v.pass) {
+            std::process::exit(1);
+        }
+    }
+
+    if want("ablation") {
+        let rows = ablation();
+        print_table(
+            "Ablation — each CoEfficient mechanism isolated (BBW+ACC + SAE, 1 s)",
+            &["variant", "delivered", "static lat [ms]", "dynamic lat [ms]", "util [%]", "miss [%]"],
+            &rows
+                .iter()
+                .map(|r| {
+                    vec![
+                        r.variant.to_string(),
+                        r.delivered.to_string(),
+                        format!("{:.3}", r.static_latency_ms),
+                        format!("{:.3}", r.dynamic_latency_ms),
+                        format!("{:.1}", r.utilization_pct),
+                        format!("{:.2}", r.miss_pct),
+                    ]
+                })
+                .collect::<Vec<_>>(),
+        );
+        if json {
+            println!("{}", serde_json::to_string(&rows).expect("serializable"));
+        }
+    }
+
+    if want("faults") {
+        let rows = fault_model_ablation();
+        print_table(
+            "Fault-model ablation — Bernoulli vs Gilbert–Elliott at BER 1e-5",
+            &["model", "policy", "delivered", "corrupted", "miss [%]"],
+            &rows
+                .iter()
+                .map(|r| {
+                    vec![
+                        r.model.to_string(),
+                        r.policy.to_string(),
+                        r.delivered.to_string(),
+                        r.corrupted.to_string(),
+                        format!("{:.2}", r.miss_pct),
+                    ]
+                })
+                .collect::<Vec<_>>(),
+        );
+        if json {
+            println!("{}", serde_json::to_string(&rows).expect("serializable"));
+        }
+    }
+
+    if want("fig5") {
+        let rows = fig5_miss_ratio();
+        print_table(
+            "Figure 5 — deadline miss ratio (%)",
+            &["minislots", "scenario", "policy", "miss ratio [%]"],
+            &rows
+                .iter()
+                .map(|r| {
+                    vec![
+                        r.minislots.to_string(),
+                        r.scenario.to_string(),
+                        r.policy.to_string(),
+                        format!("{:.2}", r.miss_pct),
+                    ]
+                })
+                .collect::<Vec<_>>(),
+        );
+        if json {
+            println!("{}", serde_json::to_string(&rows).expect("serializable"));
+        }
+    }
+}

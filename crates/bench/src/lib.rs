@@ -1,0 +1,14 @@
+//! Benchmark harness regenerating every figure of the CoEfficient paper's
+//! evaluation (§IV-B).
+//!
+//! Each `figN_*` function runs the full dual-channel bus simulation for
+//! every parameter combination of the corresponding figure and returns
+//! typed rows; the `experiments` binary prints them as tables, and the
+//! Criterion benches time representative configurations. Paper-reported
+//! values and our measured shapes are recorded side by side in
+//! `EXPERIMENTS.md`.
+
+pub mod experiments;
+pub mod table;
+
+pub use experiments::*;

@@ -1,0 +1,1125 @@
+//! The scheduling policies: CoEfficient, the FSPEC baseline and the
+//! HOSA-like ablation baseline.
+//!
+//! All are implemented by [`Scheduler`], a [`flexray::bus::TrafficSource`]
+//! driven cycle-by-cycle by the bus engine. The differences:
+//!
+//! | | FSPEC (baseline) | HOSA-like | CoEfficient |
+//! |---|---|---|---|
+//! | static primaries | slot on A + blanket mirror on B | same | slot on A only |
+//! | retransmission | uniform best-effort copies of **every** message, serialized fresh-first through the message's own slots (CHI depth 3) | the B mirror only | differentiated `k_z` copies placed in **stolen static slack** (copies that fit nowhere are dropped and counted — the selective criterion) |
+//! | idle static slots | stay idle (segments scheduled separately) | stay idle | serve backlogged dynamic messages and early copies of released static instances (cooperative scheduling) |
+//! | dynamic messages | channel A, plus best-effort copies | both channels, one extra copy | channel chosen per message, plus differentiated copies |
+
+use std::collections::HashMap;
+
+use event_sim::SimTime;
+#[cfg(test)]
+use event_sim::SimDuration;
+use flexray::bus::{OutboundPayload, TrafficSource, TransmissionOutcome};
+use flexray::codec::{payload_bytes_for, FrameCoding};
+use flexray::config::ClusterConfig;
+use flexray::schedule::MessageId;
+use flexray::signal::Signal;
+use flexray::ChannelId;
+use reliability::{MessageReliability, RetransmissionPlanner};
+use workloads::AperiodicMessage;
+
+use crate::assignment::{AllocationError, OccupantKind, StaticAllocation};
+use crate::instance::{InstanceId, InstanceTracker, MessageClass};
+use crate::scenario::Scenario;
+
+/// Which scheduling scheme a [`Scheduler`] runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Policy {
+    /// The paper's contribution: cooperative dual-channel scheduling with
+    /// selective slack stealing and differentiated retransmission.
+    CoEfficient,
+    /// The standard FlexRay-specification behaviour with best-effort
+    /// retransmission of all segments (the paper's baseline).
+    Fspec,
+    /// A HOSA-like scheme (paper §V-B, reference \[7\]): dual-channel redundancy — every
+    /// static message mirrored on channel B, every dynamic message sent
+    /// once more on the other channel — but no slack stealing and no
+    /// cooperative use of idle slots. Implemented as an ablation baseline
+    /// between FSPEC and CoEfficient.
+    Hosa,
+}
+
+/// Feature switches for CoEfficient, used by the ablation experiments.
+/// The defaults enable everything (the full scheme).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CoefficientOptions {
+    /// Send one early copy of a released static instance through free
+    /// slack before its primary slot arrives.
+    pub early_copies: bool,
+    /// Serve the backlogged dynamic queue through idle static slots
+    /// (cooperative scheduling of both segments).
+    pub cooperative_dynamic: bool,
+    /// Place stolen-slack copies on channel B as well as A (the
+    /// dual-channel design of §III-D).
+    pub dual_channel: bool,
+}
+
+impl Default for CoefficientOptions {
+    fn default() -> Self {
+        CoefficientOptions {
+            early_copies: true,
+            cooperative_dynamic: true,
+            dual_channel: true,
+        }
+    }
+}
+
+/// FSPEC's best-effort retransmission cap: the uniform per-message copy
+/// count is searched up to this bound (beyond it, best effort gives up —
+/// the bandwidth simply is not there).
+const FSPEC_MAX_UNIFORM_K: u32 = 4;
+
+/// FSPEC's per-message CHI backlog depth: a communication controller
+/// buffers only this many staged instances; older ones are overwritten by
+/// fresh data (and count as lost if they were never delivered).
+const FSPEC_QUEUE_DEPTH: usize = 3;
+
+/// Namespace offset separating dynamic-message tracker ids from static
+/// signal ids (a dynamic frame id `f` is tracked as `DYN_NS + f`).
+const DYN_NS: u32 = 0x0001_0000;
+
+/// Tracker id of a dynamic message.
+fn dyn_key(frame_id: u16) -> u32 {
+    DYN_NS + u32::from(frame_id)
+}
+
+#[derive(Debug, Clone)]
+struct StaticInfo {
+    signal: Signal,
+    payload_bytes: u16,
+    wire_bits: u64,
+    /// CoEfficient: copies per instance that found no static slack and go
+    /// through the dynamic segment. FSPEC: its uniform best-effort count.
+    dynamic_copies: u32,
+}
+
+#[derive(Debug, Clone)]
+struct DynInfo {
+    spec: AperiodicMessage,
+    payload_bytes: u16,
+    /// Extra transmissions per instance (beyond the first).
+    copies: u32,
+    /// Preferred channel of the first transmission.
+    home_channel: ChannelId,
+}
+
+#[derive(Debug, Clone)]
+struct DynPending {
+    frame_id: u16,
+    instance: InstanceId,
+    payload_bytes: u16,
+    /// Entries older than this are purged: retransmitting data a full
+    /// generation past its deadline serves nobody, and unreachable frame
+    /// ids (dynamic ids the slot counter can never reach within the
+    /// minislot budget) would otherwise pile up forever.
+    expires: SimTime,
+}
+
+/// A scheduler for one policy over one workload; drives the bus engine as
+/// its [`TrafficSource`]. Construct via [`Scheduler::new`], produce
+/// instances with [`produce_static`](Self::produce_static) /
+/// [`produce_dynamic`](Self::produce_dynamic) (the [`crate::Runner`] does
+/// this), and read results from [`tracker`](Self::tracker).
+#[derive(Debug)]
+pub struct Scheduler {
+    policy: Policy,
+    options: CoefficientOptions,
+    config: ClusterConfig,
+    alloc: StaticAllocation,
+    statics: HashMap<MessageId, StaticInfo>,
+    dynamics: HashMap<u16, DynInfo>,
+    tracker: InstanceTracker,
+    /// Per-channel dynamic queues, sorted by (frame id, seq).
+    queues: [Vec<(u64, DynPending)>; 2],
+    next_seq: u64,
+    /// In-flight instance ids, consumed by `on_outcome` in staging order.
+    in_flight: std::collections::VecDeque<InstanceId>,
+    /// CoEfficient: planned copies that found no fitting slack and were
+    /// dropped (the selective criterion: a copy only exists where slack
+    /// fits it). Reported for reliability accounting.
+    dropped_copies: u64,
+    /// FSPEC: per static message, the FIFO of instances awaiting their
+    /// transmissions through the message's *own* slot pattern. Because
+    /// FSPEC schedules the segments separately, retransmission copies can
+    /// only ride the pre-defined schedule — fresh instances queue behind
+    /// the copies of older ones, which is exactly the serialization the
+    /// paper blames for FSPEC's running time and latency.
+    fspec_static_queues: HashMap<MessageId, std::collections::VecDeque<(InstanceId, u32)>>,
+    /// FSPEC: channel transmissions each static instance needs
+    /// (1 primary + the uniform best-effort copy count; A and B mirrors
+    /// each count as one transmission).
+    fspec_tx_needed: u32,
+    /// Statistics: dynamic-segment transmissions that were retransmission
+    /// copies (not primaries).
+    copy_transmissions: u64,
+    /// Statistics: dynamic messages served through stolen static slots.
+    cooperative_static_serves: u64,
+    /// Statistics: early static copies sent through free slack.
+    early_copies_sent: u64,
+}
+
+/// Errors constructing a [`Scheduler`].
+#[derive(Debug)]
+pub enum SchedulerError {
+    /// Static allocation failed.
+    Allocation(AllocationError),
+    /// A dynamic frame id is not above the static slot range.
+    DynamicIdInStaticRange(u16),
+}
+
+impl std::fmt::Display for SchedulerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SchedulerError::Allocation(e) => write!(f, "static allocation failed: {e}"),
+            SchedulerError::DynamicIdInStaticRange(id) => {
+                write!(f, "dynamic frame id {id} lies inside the static slot range")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SchedulerError {}
+
+impl From<AllocationError> for SchedulerError {
+    fn from(e: AllocationError) -> Self {
+        SchedulerError::Allocation(e)
+    }
+}
+
+impl Scheduler {
+    /// Builds the scheduler with default [`CoefficientOptions`]: computes
+    /// the retransmission plan for the scenario's reliability goal and
+    /// lays out the static allocation.
+    ///
+    /// # Errors
+    /// [`SchedulerError`] on allocation failure or id-space collisions.
+    pub fn new(
+        policy: Policy,
+        config: ClusterConfig,
+        coding: FrameCoding,
+        scenario: &Scenario,
+        static_messages: &[Signal],
+        dynamic_messages: &[AperiodicMessage],
+    ) -> Result<Self, SchedulerError> {
+        Self::new_with_options(
+            policy,
+            config,
+            coding,
+            scenario,
+            static_messages,
+            dynamic_messages,
+            CoefficientOptions::default(),
+        )
+    }
+
+    /// Like [`Scheduler::new`] with explicit feature switches (used by the
+    /// ablation experiments; the options only affect
+    /// [`Policy::CoEfficient`]).
+    ///
+    /// # Errors
+    /// [`SchedulerError`] on allocation failure or id-space collisions.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new_with_options(
+        policy: Policy,
+        config: ClusterConfig,
+        coding: FrameCoding,
+        scenario: &Scenario,
+        static_messages: &[Signal],
+        dynamic_messages: &[AperiodicMessage],
+        options: CoefficientOptions,
+    ) -> Result<Self, SchedulerError> {
+        // --- id space checks -------------------------------------------------
+        let slots = config.static_slot_count() as u16;
+        for d in dynamic_messages {
+            if d.frame_id <= slots {
+                return Err(SchedulerError::DynamicIdInStaticRange(d.frame_id));
+            }
+        }
+
+        // --- reliability plan ------------------------------------------------
+        // p_z is computed over the on-wire frame length: that is what the
+        // fault injector corrupts.
+        let mut rel: Vec<MessageReliability> = Vec::new();
+        for s in static_messages {
+            let wire = coding.message_wire_bits(u64::from(s.size_bits), false) as u32;
+            rel.push(MessageReliability::from_ber(s.id, wire, s.period, scenario.ber));
+        }
+        for d in dynamic_messages {
+            let wire = coding.message_wire_bits(u64::from(d.size_bits), true) as u32;
+            rel.push(MessageReliability::from_ber(
+                dyn_key(d.frame_id),
+                wire,
+                d.min_interarrival,
+                scenario.ber,
+            ));
+        }
+        let planner = RetransmissionPlanner::new(rel).unit(scenario.unit);
+        let goal = scenario.reliability_goal();
+
+        // Per-message copy counts.
+        let counts: Vec<(MessageId, u32)> = match policy {
+            Policy::CoEfficient => {
+                if goal <= 0.0 {
+                    Vec::new()
+                } else {
+                    // An unreachable goal falls back to the cap — the
+                    // scheduler still does its best.
+                    let plan = planner
+                        .plan_for_goal(goal)
+                        .unwrap_or_else(|_| planner.uniform(4));
+                    plan.messages()
+                        .iter()
+                        .zip(plan.retransmission_counts())
+                        .map(|(m, &k)| (m.id, k))
+                        .collect()
+                }
+            }
+            Policy::Fspec => {
+                // Uniform best-effort: the smallest k meeting the goal,
+                // applied to every message (capped).
+                let k = if goal <= 0.0 {
+                    0
+                } else {
+                    (0..=FSPEC_MAX_UNIFORM_K)
+                        .find(|&k| planner.uniform(k).success_probability() >= goal)
+                        .unwrap_or(FSPEC_MAX_UNIFORM_K)
+                };
+                planner
+                    .uniform(k)
+                    .messages()
+                    .iter()
+                    .map(|m| (m.id, k))
+                    .collect()
+            }
+            // HOSA's redundancy is fixed: exactly one extra copy of every
+            // message via the second channel.
+            Policy::Hosa => planner
+                .uniform(1)
+                .messages()
+                .iter()
+                .map(|m| (m.id, 1))
+                .collect(),
+        };
+        let count_of = |id: u32| -> u32 {
+            counts
+                .iter()
+                .find(|(m, _)| *m == id)
+                .map(|&(_, k)| k)
+                .unwrap_or(0)
+        };
+
+        // --- static allocation -----------------------------------------------
+        let alloc = match policy {
+            Policy::CoEfficient => {
+                let static_counts: Vec<(MessageId, u32)> = static_messages
+                    .iter()
+                    .map(|s| (s.id, count_of(s.id)))
+                    .collect();
+                StaticAllocation::build_with_channels(
+                    &config,
+                    &coding,
+                    static_messages,
+                    &static_counts,
+                    false,
+                    options.dual_channel,
+                )?
+            }
+            // Both baselines mirror every primary on channel B and steal
+            // no slack.
+            Policy::Fspec | Policy::Hosa => {
+                StaticAllocation::build(&config, &coding, static_messages, &[], true)?
+            }
+        };
+
+        // --- message info maps -----------------------------------------------
+        // FSPEC pushes every static copy through the message's own slot
+        // pattern (separate scheduling); its per-instance transmission
+        // demand is 1 primary + the uniform copy count, while its
+        // dynamic-queue copy count for statics is zero.
+        let fspec_k = counts.first().map(|&(_, k)| k).unwrap_or(0);
+        let fspec_tx_needed = 1 + fspec_k;
+
+        let mut statics = HashMap::new();
+        let mut fspec_static_queues = HashMap::new();
+        for s in static_messages {
+            let wire = coding.message_wire_bits(u64::from(s.size_bits), true);
+            let spilled = match policy {
+                Policy::CoEfficient => alloc
+                    .spill()
+                    .iter()
+                    .find(|(m, _)| *m == s.id)
+                    .map(|&(_, k)| k)
+                    .unwrap_or(0),
+                Policy::Fspec | Policy::Hosa => 0,
+            };
+            statics.insert(
+                s.id,
+                StaticInfo {
+                    signal: s.clone(),
+                    payload_bytes: payload_bytes_for(u64::from(s.size_bits)) as u16,
+                    wire_bits: wire,
+                    dynamic_copies: spilled,
+                },
+            );
+            fspec_static_queues.insert(s.id, std::collections::VecDeque::new());
+        }
+
+        let mut dynamics = HashMap::new();
+        for (i, d) in dynamic_messages.iter().enumerate() {
+            let home_channel = match policy {
+                // Dual-channel schemes balance first transmissions across
+                // the two channels (unless the ablation disables B).
+                Policy::CoEfficient | Policy::Hosa
+                    if policy == Policy::Hosa || options.dual_channel =>
+                {
+                    if i % 2 == 0 {
+                        ChannelId::A
+                    } else {
+                        ChannelId::B
+                    }
+                }
+                _ => ChannelId::A,
+            };
+            dynamics.insert(
+                d.frame_id,
+                DynInfo {
+                    spec: d.clone(),
+                    payload_bytes: payload_bytes_for(u64::from(d.size_bits)) as u16,
+                    copies: count_of(dyn_key(d.frame_id)),
+                    home_channel,
+                },
+            );
+        }
+
+        Ok(Scheduler {
+            policy,
+            options,
+            config,
+            alloc,
+            statics,
+            dynamics,
+            tracker: InstanceTracker::new(),
+            queues: [Vec::new(), Vec::new()],
+            next_seq: 0,
+            in_flight: std::collections::VecDeque::new(),
+            dropped_copies: 0,
+            fspec_static_queues,
+            fspec_tx_needed,
+            copy_transmissions: 0,
+            cooperative_static_serves: 0,
+            early_copies_sent: 0,
+        })
+    }
+
+    /// The policy this scheduler runs.
+    pub fn policy(&self) -> Policy {
+        self.policy
+    }
+
+    /// The static allocation (read-only).
+    pub fn allocation(&self) -> &StaticAllocation {
+        &self.alloc
+    }
+
+    /// The instance tracker with all production/delivery records.
+    pub fn tracker(&self) -> &InstanceTracker {
+        &self.tracker
+    }
+
+    /// Dynamic messages served through stolen static slots (CoEfficient's
+    /// cooperative scheduling).
+    pub fn cooperative_static_serves(&self) -> u64 {
+        self.cooperative_static_serves
+    }
+
+    /// Early static copies sent through free slack.
+    pub fn early_copies_sent(&self) -> u64 {
+        self.early_copies_sent
+    }
+
+    /// Retransmission copies actually transmitted.
+    pub fn copy_transmissions(&self) -> u64 {
+        self.copy_transmissions
+    }
+
+    /// CoEfficient: planned copies dropped for lack of fitting slack.
+    pub fn dropped_copies(&self) -> u64 {
+        self.dropped_copies
+    }
+
+    /// Total backlogged dynamic-segment entries across both channels.
+    pub fn dynamic_backlog(&self) -> usize {
+        self.queues[0].len() + self.queues[1].len()
+    }
+
+    /// All pending transmission work: the dynamic backlog plus (for FSPEC)
+    /// static instances still owing transmissions through their slots.
+    /// A run has drained when this reaches zero after production ends.
+    pub fn pending_work(&self) -> usize {
+        self.dynamic_backlog()
+            + self
+                .fspec_static_queues
+                .values()
+                .map(std::collections::VecDeque::len)
+                .sum::<usize>()
+    }
+
+    /// Registers a newly produced static message instance. The paper's
+    /// model: hard-deadline periodic task release.
+    ///
+    /// # Panics
+    /// Panics if `message` is not a configured static message.
+    pub fn produce_static(&mut self, message: MessageId, now: SimTime) -> InstanceId {
+        let info = self.statics.get(&message).expect("unknown static message");
+        let deadline = now + info.signal.deadline;
+        let expires = deadline + info.signal.period;
+        let (copies, payload) = (info.dynamic_copies, info.payload_bytes);
+        let instance = self
+            .tracker
+            .produce(message, MessageClass::Static, now, deadline);
+        let _ = (payload, expires);
+        match self.policy {
+            Policy::CoEfficient => {
+                // Planned copies that found no fitting static slack are
+                // dropped: the selective criterion only steals slack whose
+                // length fits the segment (§III-F). The reliability plan
+                // degrades gracefully; the drop count is reported.
+                self.dropped_copies += u64::from(copies);
+            }
+            // HOSA's static redundancy is the channel-B mirror, already in
+            // the allocation; nothing extra to stage.
+            Policy::Hosa => {}
+            Policy::Fspec => {
+                // All transmissions (primary + best-effort copies) are
+                // serialized through the message's own slot pattern; the
+                // CHI buffers only FSPEC_QUEUE_DEPTH instances, so a
+                // congested queue overwrites its oldest staging.
+                let q = self
+                    .fspec_static_queues
+                    .get_mut(&message)
+                    .expect("queue exists for every static message");
+                if q.len() >= FSPEC_QUEUE_DEPTH {
+                    q.pop_front();
+                }
+                q.push_back((instance, self.fspec_tx_needed));
+            }
+        }
+        instance
+    }
+
+    /// Registers a newly produced dynamic message instance (soft aperiodic
+    /// arrival) and enqueues its transmissions.
+    ///
+    /// # Panics
+    /// Panics if `frame_id` is not a configured dynamic message.
+    pub fn produce_dynamic(&mut self, frame_id: u16, now: SimTime) -> InstanceId {
+        let info = self.dynamics.get(&frame_id).expect("unknown dynamic message");
+        let deadline = now + info.spec.deadline;
+        let expires = deadline + info.spec.min_interarrival;
+        let (copies, home, payload) = (info.copies, info.home_channel, info.payload_bytes);
+        let instance =
+            self.tracker
+                .produce(dyn_key(frame_id), MessageClass::Dynamic, now, deadline);
+        // First transmission on the home channel, copies alternating from
+        // the other one.
+        self.enqueue_dynamic(
+            home,
+            DynPending {
+                frame_id,
+                instance,
+                payload_bytes: payload,
+                expires,
+            },
+        );
+        for c in 0..copies {
+            let channel = if c % 2 == 0 { home.other() } else { home };
+            self.enqueue_dynamic(
+                channel,
+                DynPending {
+                    frame_id,
+                    instance,
+                    payload_bytes: payload,
+                    expires,
+                },
+            );
+        }
+        instance
+    }
+
+    /// Drops queued dynamic entries whose usefulness window has passed
+    /// (one full generation beyond the deadline). The [`crate::Runner`]
+    /// calls this at each cycle start; undelivered purged instances count
+    /// as deadline misses in the final accounting.
+    pub fn purge_expired(&mut self, now: SimTime) {
+        for q in &mut self.queues {
+            q.retain(|(_, e)| e.expires > now);
+        }
+    }
+
+    fn enqueue_dynamic(&mut self, channel: ChannelId, p: DynPending) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let q = &mut self.queues[channel.index()];
+        let pos = q
+            .iter()
+            .position(|(_, e)| e.frame_id > p.frame_id)
+            .unwrap_or(q.len());
+        q.insert(pos, (seq, p));
+    }
+
+    /// Whether the instance is still within its generation window at `t`
+    /// (stale instances are not retransmitted — this is what drains the
+    /// static side once production stops).
+    fn static_instance_window_open(&self, instance: InstanceId, t: SimTime) -> bool {
+        let inst = self.tracker.get(instance);
+        let period = self.statics[&inst.message].signal.period;
+        t < inst.produced_at + period
+    }
+
+    /// CoEfficient's cooperative use of a free static position: first a
+    /// backlogged dynamic entry that fits, then an early copy of a released
+    /// static instance whose primary occurrence is still ahead.
+    fn cooperative_fill(
+        &mut self,
+        cycle: u64,
+        cycle_counter: u8,
+        slot: u16,
+        channel: ChannelId,
+        slot_start: SimTime,
+    ) -> Option<OutboundPayload> {
+        let capacity = self.config.static_slot_capacity_bits();
+        if !self.options.dual_channel && channel == ChannelId::B {
+            return None; // single-channel ablation leaves B untouched
+        }
+        // 1. Serve the dynamic backlog (lowest frame id first).
+        if self.options.cooperative_dynamic {
+            let q = &mut self.queues[channel.index()];
+            if let Some(pos) = q.iter().position(|(_, e)| {
+                // Static-slot coding has no DTS, so the fit check uses the
+                // static wire length.
+                FrameCoding::default().frame_wire_bits(u64::from(e.payload_bytes), false)
+                    <= capacity
+            }) {
+                let (_, entry) = q.remove(pos);
+                self.cooperative_static_serves += 1;
+                let inst = self.tracker.get(entry.instance);
+                self.in_flight.push_back(entry.instance);
+                return Some(OutboundPayload {
+                    message: inst.message,
+                    payload_bytes: entry.payload_bytes,
+                    produced_at: inst.produced_at,
+                });
+            }
+        }
+        if !self.options.early_copies {
+            return None;
+        }
+        // 2. Early copy: a static instance released but with its primary
+        // occurrence still ahead in this matrix period.
+        let mut best: Option<(SimTime, MessageId, InstanceId, u16)> = None;
+        for (id, info) in &self.statics {
+            let Some(instance) = self.tracker.newest_at_or_before(*id, slot_start) else {
+                continue;
+            };
+            let inst = self.tracker.get(instance);
+            if inst.early_copies > 0 {
+                continue;
+            }
+            if !self.static_instance_window_open(instance, slot_start) {
+                continue;
+            }
+            let primary = self.alloc.primary_of(*id).expect("static has a primary");
+            // Has the primary already fired for this instance? The next
+            // primary occurrence at/after production must still be ahead
+            // of this slot.
+            let next_primary = next_occurrence_at_or_after(
+                &self.config,
+                primary.slot,
+                primary.base_cycle,
+                primary.repetition,
+                inst.produced_at,
+            );
+            if next_primary <= slot_start {
+                continue; // primary already had its chance
+            }
+            if (cycle, slot) >= occurrence_cycle_slot(&self.config, next_primary) {
+                continue;
+            }
+            let _ = cycle_counter;
+            if info.wire_bits > capacity {
+                continue;
+            }
+            let key = inst.deadline;
+            if best.is_none_or(|(d, ..)| key < d) {
+                best = Some((key, *id, instance, info.payload_bytes));
+            }
+        }
+        if let Some((_, message, instance, payload_bytes)) = best {
+            self.tracker.get_mut(instance).early_copies += 1;
+            self.early_copies_sent += 1;
+            let produced_at = self.tracker.get(instance).produced_at;
+            self.in_flight.push_back(instance);
+            return Some(OutboundPayload {
+                message,
+                payload_bytes,
+                produced_at,
+            });
+        }
+        None
+    }
+}
+
+/// The first instant ≥ `t` at which the `(slot, base, rep)` pattern
+/// occurs.
+fn next_occurrence_at_or_after(
+    config: &ClusterConfig,
+    slot: u16,
+    base: u8,
+    rep: u8,
+    t: SimTime,
+) -> SimTime {
+    let mut cycle = config.cycle_of(t);
+    loop {
+        if config.cycle_counter(cycle) % rep == base {
+            let start = config.static_slot_start(cycle, u64::from(slot));
+            if start >= t {
+                return start;
+            }
+        }
+        cycle += 1;
+    }
+}
+
+///`(cycle, slot)` coordinates of an occurrence instant.
+fn occurrence_cycle_slot(config: &ClusterConfig, t: SimTime) -> (u64, u16) {
+    let cycle = config.cycle_of(t);
+    let offset = t - config.cycle_start(cycle);
+    let slot = offset.as_nanos() / config.static_slot_duration().as_nanos() + 1;
+    (cycle, slot as u16)
+}
+
+impl TrafficSource for Scheduler {
+    fn static_frame(
+        &mut self,
+        cycle: u64,
+        cycle_counter: u8,
+        slot: u16,
+        channel: ChannelId,
+    ) -> Option<OutboundPayload> {
+        let slot_start = self.config.static_slot_start(cycle, u64::from(slot));
+        if let Some(occ) = self.alloc.occupant(channel, slot, cycle_counter) {
+            if self.policy == Policy::Fspec {
+                // Fresh data first (the CHI always stages the latest
+                // instance): the newest entry still owing its initial A/B
+                // transmission pair wins the occurrence; otherwise the
+                // occurrence is *spare* and serves the oldest entry still
+                // owing best-effort copies. Because FSPEC schedules the
+                // segments separately, copies can only ride these spare
+                // occurrences of the message's own slot.
+                let fresh_threshold = self.fspec_tx_needed.saturating_sub(2);
+                let q = self
+                    .fspec_static_queues
+                    .get_mut(&occ.message)
+                    .expect("queue exists for every static message");
+                let idx = (0..q.len())
+                    .rev()
+                    .find(|&i| q[i].1 > fresh_threshold)
+                    .or_else(|| (!q.is_empty()).then_some(0))?;
+                let entry = &mut q[idx];
+                let instance = entry.0;
+                entry.1 -= 1;
+                let is_copy = entry.1 + 1 < self.fspec_tx_needed;
+                if entry.1 == 0 {
+                    q.remove(idx);
+                }
+                if is_copy {
+                    self.copy_transmissions += 1;
+                }
+                let info = &self.statics[&occ.message];
+                let payload = OutboundPayload {
+                    message: occ.message,
+                    payload_bytes: info.payload_bytes,
+                    produced_at: self.tracker.get(instance).produced_at,
+                };
+                self.in_flight.push_back(instance);
+                return Some(payload);
+            }
+            // CoEfficient: transmit the instance whose generation window
+            // contains this slot — the newest released at or before the
+            // slot (the production batch may run ahead of the bus cycle).
+            let instance = self.tracker.newest_at_or_before(occ.message, slot_start)?;
+            if !self.static_instance_window_open(instance, slot_start) {
+                return None; // window passed or production ended
+            }
+            let info = &self.statics[&occ.message];
+            if occ.kind != OccupantKind::Primary {
+                self.copy_transmissions += 1;
+            }
+            let payload = OutboundPayload {
+                message: occ.message,
+                payload_bytes: info.payload_bytes,
+                produced_at: self.tracker.get(instance).produced_at,
+            };
+            self.in_flight.push_back(instance);
+            return Some(payload);
+        }
+        match self.policy {
+            Policy::CoEfficient => {
+                self.cooperative_fill(cycle, cycle_counter, slot, channel, slot_start)
+            }
+            // The baselines schedule the segments separately: free static
+            // positions stay idle.
+            Policy::Fspec | Policy::Hosa => None,
+        }
+    }
+
+    fn dynamic_frame(
+        &mut self,
+        _cycle: u64,
+        channel: ChannelId,
+        slot_counter: u64,
+        max_payload_bytes: u16,
+    ) -> Option<OutboundPayload> {
+        let Ok(frame_id) = u16::try_from(slot_counter) else {
+            return None;
+        };
+        let q = &mut self.queues[channel.index()];
+        let pos = q
+            .iter()
+            .position(|(_, e)| e.frame_id == frame_id && e.payload_bytes <= max_payload_bytes)?;
+        let (_, entry) = q.remove(pos);
+        let inst = self.tracker.get(entry.instance);
+        if inst.class == MessageClass::Static {
+            self.copy_transmissions += 1;
+        }
+        let payload = OutboundPayload {
+            message: inst.message,
+            payload_bytes: entry.payload_bytes,
+            produced_at: inst.produced_at,
+        };
+        self.in_flight.push_back(entry.instance);
+        Some(payload)
+    }
+
+    fn on_outcome(&mut self, outcome: &TransmissionOutcome) {
+        let instance = self
+            .in_flight
+            .pop_front()
+            .expect("outcome without a staged frame");
+        debug_assert_eq!(self.tracker.get(instance).message, outcome.message);
+        self.tracker.record_transmission(
+            instance,
+            outcome.start + outcome.duration,
+            outcome.corrupted,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexray::bus::BusEngine;
+
+    fn config() -> ClusterConfig {
+        ClusterConfig::paper_dynamic(50)
+    }
+
+    fn statics() -> Vec<Signal> {
+        vec![
+            Signal::new(
+                1,
+                SimDuration::from_millis(1),
+                SimDuration::ZERO,
+                SimDuration::from_millis(1),
+                400,
+            ),
+            Signal::new(
+                2,
+                SimDuration::from_millis(4),
+                SimDuration::ZERO,
+                SimDuration::from_millis(4),
+                800,
+            ),
+        ]
+    }
+
+    fn dynamics() -> Vec<AperiodicMessage> {
+        // Frame ids must be reachable by the dynamic slot counter, which
+        // starts at 19 in the 18-slot paper_dynamic geometry.
+        vec![
+            AperiodicMessage::new(20, SimDuration::from_millis(50), SimDuration::from_millis(50), 32),
+            AperiodicMessage::new(21, SimDuration::from_millis(50), SimDuration::from_millis(50), 64),
+        ]
+    }
+
+    fn scheduler(policy: Policy) -> Scheduler {
+        Scheduler::new(
+            policy,
+            config(),
+            FrameCoding::default(),
+            &Scenario::ber7(),
+            &statics(),
+            &dynamics(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn coefficient_places_copies_in_slack() {
+        let s = scheduler(Policy::CoEfficient);
+        // The reliability goal at BER 1e-7 forces copies for the frequent
+        // static messages; they must live in the matrix, not the spill.
+        assert!(
+            !s.allocation().copies().is_empty(),
+            "expected stolen-slack copies"
+        );
+        assert!(s.allocation().spill().is_empty(), "no spill expected at this load");
+    }
+
+    #[test]
+    fn fspec_mirrors_instead_of_stealing() {
+        let s = scheduler(Policy::Fspec);
+        assert!(s.allocation().copies().is_empty());
+        let p = s.allocation().primary_of(1).unwrap();
+        let b = s
+            .allocation()
+            .occupant(ChannelId::B, p.slot, p.base_cycle)
+            .unwrap();
+        assert_eq!(b.kind, OccupantKind::Mirror);
+        // FSPEC's best-effort copies are serialized through the message's
+        // own slots: each instance owes more than one transmission.
+        assert!(s.fspec_tx_needed > 1);
+        assert_eq!(s.statics[&1].dynamic_copies, 0);
+    }
+
+    #[test]
+    fn dynamic_ids_validated() {
+        let bad = vec![AperiodicMessage::new(
+            3, // inside the 18-slot static range
+            SimDuration::from_millis(50),
+            SimDuration::from_millis(50),
+            32,
+        )];
+        let err = Scheduler::new(
+            Policy::CoEfficient,
+            config(),
+            FrameCoding::default(),
+            &Scenario::ber7(),
+            &statics(),
+            &bad,
+        )
+        .unwrap_err();
+        assert!(matches!(err, SchedulerError::DynamicIdInStaticRange(3)));
+    }
+
+    #[test]
+    fn static_and_dynamic_ids_may_overlap() {
+        // Static signal ids and dynamic frame ids live in separate
+        // namespaces (the tracker offsets dynamic keys), so a static id 20
+        // coexists with dynamic frame id 20.
+        let statics = vec![Signal::new(
+            20,
+            SimDuration::from_millis(1),
+            SimDuration::ZERO,
+            SimDuration::from_millis(1),
+            100,
+        )];
+        let mut s = Scheduler::new(
+            Policy::CoEfficient,
+            config(),
+            FrameCoding::default(),
+            &Scenario::ber7(),
+            &statics,
+            &dynamics(),
+        )
+        .unwrap();
+        s.produce_static(20, SimTime::ZERO);
+        s.produce_dynamic(20, SimTime::ZERO);
+        let mut engine = BusEngine::new(config());
+        engine.run_cycle(0, &mut s);
+        assert_eq!(s.tracker().produced(), 2);
+        assert_eq!(s.tracker().delivered(), 2);
+    }
+
+    #[test]
+    fn end_to_end_cycle_delivers_static_instances() {
+        let mut s = scheduler(Policy::CoEfficient);
+        s.produce_static(1, SimTime::ZERO);
+        s.produce_static(2, SimTime::ZERO);
+        let mut engine = BusEngine::new(config());
+        engine.run_cycle(0, &mut s);
+        assert_eq!(s.tracker().delivered(), 2);
+        for inst in s.tracker().instances() {
+            assert!(inst.latency().unwrap() < SimDuration::from_millis(1));
+        }
+    }
+
+    #[test]
+    fn dynamic_messages_flow_through_the_dynamic_segment() {
+        let mut s = scheduler(Policy::Fspec);
+        s.produce_dynamic(20, SimTime::ZERO);
+        s.produce_dynamic(21, SimTime::ZERO);
+        let mut engine = BusEngine::new(config());
+        engine.run_cycle(0, &mut s);
+        assert_eq!(s.tracker().delivered(), 2, "primaries delivered in cycle 0");
+        // FTDMA transmits one frame per id per cycle per channel, so the
+        // redundant copies need a few more cycles to drain.
+        for c in 1..6 {
+            engine.run_cycle(c, &mut s);
+        }
+        assert_eq!(s.dynamic_backlog(), 0, "primaries and copies drained");
+    }
+
+    #[test]
+    fn cooperative_fill_serves_dynamic_backlog_from_static_slack() {
+        let mut s = scheduler(Policy::CoEfficient);
+        // Flood the dynamic queue with more work than the dynamic segment
+        // can carry in one cycle, then check static slack absorbed some.
+        for _ in 0..30 {
+            s.produce_dynamic(20, SimTime::ZERO);
+            s.produce_dynamic(21, SimTime::ZERO);
+        }
+        let mut engine = BusEngine::new(config());
+        engine.run_cycle(0, &mut s);
+        assert!(
+            s.cooperative_static_serves() > 0,
+            "static slack must serve dynamic backlog"
+        );
+    }
+
+    #[test]
+    fn fspec_leaves_static_slack_idle() {
+        let mut s = scheduler(Policy::Fspec);
+        for _ in 0..30 {
+            s.produce_dynamic(20, SimTime::ZERO);
+        }
+        let mut engine = BusEngine::new(config());
+        engine.run_cycle(0, &mut s);
+        assert_eq!(s.cooperative_static_serves(), 0);
+        assert!(engine.stats(ChannelId::A).idle_static_slots > 0);
+    }
+
+    #[test]
+    fn early_copy_accelerates_static_release() {
+        // Message 2 (rep 4) releases at t=0 but its primary may sit in a
+        // later cycle; a free earlier slot should carry an early copy.
+        let mut s = scheduler(Policy::CoEfficient);
+        s.produce_static(2, SimTime::ZERO);
+        let mut engine = BusEngine::new(config());
+        for c in 0..4 {
+            engine.run_cycle(c, &mut s);
+        }
+        // Delivered well before the worst case (4 cycles).
+        let inst = &s.tracker().instances()[0];
+        assert!(inst.is_delivered());
+    }
+
+    #[test]
+    fn stale_instances_are_not_retransmitted_after_production() {
+        let mut s = scheduler(Policy::CoEfficient);
+        s.produce_static(1, SimTime::ZERO); // 1 ms period
+        let mut engine = BusEngine::new(config());
+        engine.run_cycle(0, &mut s); // within the window
+        let sent_after_first = s.tracker().instances()[0].transmissions;
+        assert!(sent_after_first >= 1);
+        engine.run_cycle(1, &mut s); // window closed (t ≥ 1 ms)
+        engine.run_cycle(2, &mut s);
+        assert_eq!(
+            s.tracker().instances()[0].transmissions,
+            sent_after_first,
+            "stale instance kept transmitting"
+        );
+    }
+
+    #[test]
+    fn hosa_mirrors_and_stays_out_of_slack() {
+        let s = scheduler(Policy::Hosa);
+        // Mirrors on B, like FSPEC...
+        let p = s.allocation().primary_of(1).unwrap();
+        assert_eq!(
+            s.allocation()
+                .occupant(ChannelId::B, p.slot, p.base_cycle)
+                .unwrap()
+                .kind,
+            OccupantKind::Mirror
+        );
+        // ...but no stolen-slack copies and no own-slot serialization.
+        assert!(s.allocation().copies().is_empty());
+        assert_eq!(s.fspec_tx_needed, 2, "HOSA plans exactly one extra copy");
+    }
+
+    #[test]
+    fn hosa_delivers_through_the_window_path() {
+        let mut s = scheduler(Policy::Hosa);
+        s.produce_static(1, SimTime::ZERO);
+        s.produce_dynamic(20, SimTime::ZERO);
+        let mut engine = BusEngine::new(config());
+        engine.run_cycle(0, &mut s);
+        assert_eq!(s.tracker().delivered(), 2);
+        assert_eq!(s.cooperative_static_serves(), 0, "HOSA must not steal slack");
+        assert_eq!(s.early_copies_sent(), 0);
+    }
+
+    #[test]
+    fn option_flags_disable_their_mechanisms() {
+        use crate::policy::CoefficientOptions;
+        let mk = |options: CoefficientOptions| {
+            Scheduler::new_with_options(
+                Policy::CoEfficient,
+                config(),
+                FrameCoding::default(),
+                &Scenario::ber7(),
+                &statics(),
+                &dynamics(),
+                options,
+            )
+            .unwrap()
+        };
+
+        // No early copies: flood-free run sends none.
+        let mut s = mk(CoefficientOptions { early_copies: false, ..Default::default() });
+        s.produce_static(2, SimTime::ZERO);
+        let mut engine = BusEngine::new(config());
+        for c in 0..4 {
+            engine.run_cycle(c, &mut s);
+        }
+        assert_eq!(s.early_copies_sent(), 0);
+
+        // No cooperative dynamic: a flooded queue is never served statically.
+        let mut s = mk(CoefficientOptions { cooperative_dynamic: false, ..Default::default() });
+        for _ in 0..30 {
+            s.produce_dynamic(20, SimTime::ZERO);
+        }
+        let mut engine = BusEngine::new(config());
+        engine.run_cycle(0, &mut s);
+        assert_eq!(s.cooperative_static_serves(), 0);
+
+        // Single channel: nothing allocated or filled on B.
+        let s = mk(CoefficientOptions { dual_channel: false, ..Default::default() });
+        assert_eq!(s.allocation().occupancy(ChannelId::B), 0.0);
+        for c in s.allocation().copies() {
+            assert_eq!(c.position.channel, ChannelId::A);
+        }
+    }
+
+    #[test]
+    fn outcome_order_matches_staging_order() {
+        // The in-flight FIFO must stay consistent across a full cycle with
+        // mixed static/dynamic traffic on both channels.
+        let mut s = scheduler(Policy::CoEfficient);
+        s.produce_static(1, SimTime::ZERO);
+        s.produce_static(2, SimTime::ZERO);
+        s.produce_dynamic(20, SimTime::ZERO);
+        s.produce_dynamic(21, SimTime::ZERO);
+        let mut engine = BusEngine::new(config());
+        engine.run_cycle(0, &mut s);
+        assert!(s.in_flight.is_empty(), "every staged frame got its outcome");
+    }
+}

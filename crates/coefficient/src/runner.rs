@@ -1,0 +1,563 @@
+//! End-to-end simulation runner.
+//!
+//! [`Runner`] wires a [`Scheduler`] to a fault-injecting
+//! [`flexray::bus::BusEngine`], produces workload instances cycle by
+//! cycle, and collects the paper's four metrics into a [`RunReport`].
+
+use event_sim::rng::substream;
+use event_sim::{SimDuration, SimTime};
+use flexray::bus::BusEngine;
+use flexray::codec::FrameCoding;
+use flexray::config::ClusterConfig;
+use flexray::signal::Signal;
+use flexray::ChannelId;
+use metrics::{DeadlineTracker, Summary};
+use rand::Rng;
+use reliability::fault::{BernoulliFaults, FaultProcess, GilbertElliott};
+use reliability::Ber;
+use workloads::AperiodicMessage;
+
+use crate::instance::MessageClass;
+use crate::policy::{CoefficientOptions, Policy, Scheduler, SchedulerError};
+use crate::scenario::{FaultModel, Scenario};
+
+/// When a run ends.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopCondition {
+    /// Produce this many message instances (across both classes), then run
+    /// until all pending transmissions drain.
+    ProducedInstances(u64),
+    /// Run (producing continuously) until this many instances have been
+    /// **successfully transmitted** (delivered within their deadline, the
+    /// paper's §III-E success notion). The running-time experiments
+    /// measure the time to complete the transmission of a message set
+    /// (§IV-B.1); a scheduler that drops, loses or delays instances needs
+    /// proportionally longer to complete the same count.
+    DeliveredInstances(u64),
+    /// Run for a fixed span of simulated time (production continues to the
+    /// end) — used by the utilization/latency/miss-ratio experiments.
+    Horizon(SimDuration),
+}
+
+/// Everything a run needs.
+#[derive(Debug)]
+pub struct RunConfig {
+    /// Cluster geometry.
+    pub cluster: ClusterConfig,
+    /// Fault/reliability scenario.
+    pub scenario: Scenario,
+    /// Static (time-triggered) workload.
+    pub static_messages: Vec<Signal>,
+    /// Dynamic (event-triggered) workload.
+    pub dynamic_messages: Vec<AperiodicMessage>,
+    /// Scheduling policy under test.
+    pub policy: Policy,
+    /// Stop condition.
+    pub stop: StopCondition,
+    /// Master seed (drives fault injection and arrival phases).
+    pub seed: u64,
+}
+
+/// The measured results of one run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Which policy produced this report.
+    pub policy: Policy,
+    /// Scenario label.
+    pub scenario: &'static str,
+    /// Simulated time from start to completion (drain) or horizon.
+    pub running_time: SimDuration,
+    /// Channel-A bandwidth utilization: the allocated fraction of the
+    /// channel timeline (occupied static slots count whole, as TDMA
+    /// reserves them; dynamic transmissions count their consumed
+    /// minislots).
+    pub utilization_a: f64,
+    /// Channel-B bandwidth utilization (same definition).
+    pub utilization_b: f64,
+    /// Combined utilization over both channels.
+    pub utilization: f64,
+    /// Wire-level busy fraction over both channels (frame bits only).
+    pub wire_utilization: f64,
+    /// Latency of delivered static instances.
+    pub static_latency: Summary,
+    /// Latency of delivered dynamic instances.
+    pub dynamic_latency: Summary,
+    /// Deadline accounting for static instances.
+    pub static_deadlines: DeadlineTracker,
+    /// Deadline accounting for dynamic instances.
+    pub dynamic_deadlines: DeadlineTracker,
+    /// Instances produced.
+    pub produced: u64,
+    /// Instances delivered (≥ 1 uncorrupted transmission).
+    pub delivered: u64,
+    /// Frames transmitted (both channels).
+    pub frames: u64,
+    /// Frames corrupted by fault injection.
+    pub corrupted: u64,
+    /// Dynamic messages served through stolen static slack (CoEfficient).
+    pub cooperative_static_serves: u64,
+    /// Early static copies sent through free slack (CoEfficient).
+    pub early_copies_sent: u64,
+    /// Retransmission copies transmitted.
+    pub copy_transmissions: u64,
+    /// `true` if the run hit the safety cycle cap before draining.
+    pub truncated: bool,
+}
+
+impl RunReport {
+    /// Combined deadline miss ratio over both classes.
+    pub fn miss_ratio(&self) -> f64 {
+        let mut t = self.static_deadlines;
+        t.merge(&self.dynamic_deadlines);
+        t.miss_ratio()
+    }
+}
+
+/// Safety cap: no experiment in the suite needs more simulated cycles.
+const MAX_CYCLES: u64 = 5_000_000;
+
+/// Drives one policy over one workload. See the crate-level example.
+#[derive(Debug)]
+pub struct Runner {
+    cfg: RunConfig,
+    scheduler: Scheduler,
+    engine: BusEngine,
+    /// Arrival phase per dynamic message (index-aligned).
+    dynamic_phases: Vec<SimDuration>,
+}
+
+impl Runner {
+    /// Builds the scheduler and fault-injecting engine for `cfg` with
+    /// default [`CoefficientOptions`].
+    ///
+    /// # Errors
+    /// Propagates [`SchedulerError`] from scheduler construction.
+    pub fn new(cfg: RunConfig) -> Result<Self, SchedulerError> {
+        Self::new_with_options(cfg, CoefficientOptions::default())
+    }
+
+    /// Like [`Runner::new`] with explicit CoEfficient feature switches
+    /// (used by the ablation experiments).
+    ///
+    /// # Errors
+    /// Propagates [`SchedulerError`] from scheduler construction.
+    pub fn new_with_options(
+        cfg: RunConfig,
+        options: CoefficientOptions,
+    ) -> Result<Self, SchedulerError> {
+        let coding = FrameCoding::default();
+        let scheduler = Scheduler::new_with_options(
+            cfg.policy,
+            cfg.cluster.clone(),
+            coding,
+            &cfg.scenario,
+            &cfg.static_messages,
+            &cfg.dynamic_messages,
+            options,
+        )?;
+        let fault = |seed: u64| -> Box<dyn FaultProcess> {
+            match cfg.scenario.fault_model {
+                FaultModel::Bernoulli => Box::new(BernoulliFaults::new(cfg.scenario.ber, seed)),
+                FaultModel::GilbertElliott { bad_factor, p_gb, p_bg } => {
+                    let bad = Ber::new((cfg.scenario.ber.rate() * bad_factor).min(0.999))
+                        .expect("scaled BER in range");
+                    Box::new(GilbertElliott::new(cfg.scenario.ber, bad, p_gb, p_bg, seed))
+                }
+            }
+        };
+        let engine = BusEngine::new(cfg.cluster.clone())
+            .with_coding(coding)
+            .with_faults(fault(cfg.seed ^ 0xA), fault(cfg.seed ^ 0xB));
+        let mut rng = substream(cfg.seed, "runner/dynamic-phases");
+        let dynamic_phases = cfg
+            .dynamic_messages
+            .iter()
+            .map(|d| {
+                let span = d.min_interarrival.as_nanos();
+                SimDuration::from_nanos(rng.gen_range(0..span))
+            })
+            .collect();
+        Ok(Runner {
+            cfg,
+            scheduler,
+            engine,
+            dynamic_phases,
+        })
+    }
+
+    /// Read-only access to the scheduler (allocation, tracker).
+    pub fn scheduler(&self) -> &Scheduler {
+        &self.scheduler
+    }
+
+    /// Runs to completion and reports.
+    pub fn run(mut self) -> RunReport {
+        let cycle_dur = self.cfg.cluster.cycle_duration();
+        let production_target = match self.cfg.stop {
+            StopCondition::ProducedInstances(n) => Some(n),
+            StopCondition::Horizon(_) | StopCondition::DeliveredInstances(_) => None,
+        };
+        let horizon = match self.cfg.stop {
+            StopCondition::Horizon(h) => Some(SimTime::ZERO + h),
+            StopCondition::ProducedInstances(_) | StopCondition::DeliveredInstances(_) => None,
+        };
+
+        // Release cursors.
+        let mut static_next: Vec<SimTime> = self
+            .cfg
+            .static_messages
+            .iter()
+            .map(|s| SimTime::ZERO + s.offset)
+            .collect();
+        let mut dynamic_next: Vec<SimTime> = self
+            .dynamic_phases
+            .iter()
+            .map(|p| SimTime::ZERO + *p)
+            .collect();
+        let max_static_period = self
+            .cfg
+            .static_messages
+            .iter()
+            .map(|s| s.period)
+            .max()
+            .unwrap_or(SimDuration::ZERO);
+
+        let mut produced: u64 = 0;
+        let mut production_done = self.cfg.static_messages.is_empty()
+            && self.cfg.dynamic_messages.is_empty();
+        let mut last_production = SimTime::ZERO;
+        let mut cycle: u64 = 0;
+        let mut truncated = false;
+
+        loop {
+            let cycle_start = self.cfg.cluster.cycle_start(cycle);
+            let cycle_end = cycle_start + cycle_dur;
+            self.scheduler.purge_expired(cycle_start);
+
+            // Produce every release falling in this cycle, in time order
+            // across messages (merge by earliest release).
+            if !production_done {
+                loop {
+                    // Earliest pending release among all messages.
+                    let next_static = static_next
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|(_, t)| **t)
+                        .map(|(i, t)| (i, *t));
+                    let next_dynamic = dynamic_next
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|(_, t)| **t)
+                        .map(|(i, t)| (i, *t));
+                    let pick_static = match (next_static, next_dynamic) {
+                        (Some((_, ts)), Some((_, td))) => ts <= td,
+                        (Some(_), None) => true,
+                        (None, _) => false,
+                    };
+                    let release = if pick_static {
+                        next_static.map(|(_, t)| t)
+                    } else {
+                        next_dynamic.map(|(_, t)| t)
+                    };
+                    let Some(release) = release else { break };
+                    if release >= cycle_end {
+                        break;
+                    }
+                    if let Some(h) = horizon {
+                        if release >= h {
+                            production_done = true;
+                            break;
+                        }
+                    }
+                    if pick_static {
+                        let (i, t) = next_static.expect("static release exists");
+                        self.scheduler
+                            .produce_static(self.cfg.static_messages[i].id, t);
+                        static_next[i] = t + self.cfg.static_messages[i].period;
+                    } else {
+                        let (i, t) = next_dynamic.expect("dynamic release exists");
+                        self.scheduler
+                            .produce_dynamic(self.cfg.dynamic_messages[i].frame_id, t);
+                        dynamic_next[i] = t + self.cfg.dynamic_messages[i].min_interarrival;
+                    }
+                    produced += 1;
+                    last_production = release;
+                    if let Some(target) = production_target {
+                        if produced >= target {
+                            production_done = true;
+                            break;
+                        }
+                    }
+                }
+            }
+
+            self.engine.run_cycle(cycle, &mut self.scheduler);
+            cycle += 1;
+            let elapsed = self.engine.elapsed();
+
+            // Stop checks.
+            match self.cfg.stop {
+                StopCondition::Horizon(h) => {
+                    if elapsed >= SimTime::ZERO + h {
+                        break;
+                    }
+                }
+                StopCondition::ProducedInstances(_) => {
+                    let windows_closed =
+                        elapsed >= last_production.saturating_add(max_static_period);
+                    if production_done && windows_closed && self.scheduler.pending_work() == 0 {
+                        break;
+                    }
+                }
+                StopCondition::DeliveredInstances(n) => {
+                    if self.scheduler.tracker().delivered_in_time() >= n {
+                        break;
+                    }
+                }
+            }
+            if cycle >= MAX_CYCLES {
+                truncated = true;
+                break;
+            }
+        }
+
+        self.report(truncated)
+    }
+
+    fn report(self, truncated: bool) -> RunReport {
+        let elapsed = self.engine.elapsed();
+        let a = self.engine.stats(ChannelId::A);
+        let b = self.engine.stats(ChannelId::B);
+        let tracker = self.scheduler.tracker();
+        let utilization_a = a.occupied_utilization(elapsed);
+        let utilization_b = b.occupied_utilization(elapsed);
+        let wire_utilization = (a.utilization(elapsed) + b.utilization(elapsed)) / 2.0;
+        RunReport {
+            policy: self.scheduler.policy(),
+            scenario: self.cfg.scenario.name,
+            running_time: elapsed - SimTime::ZERO,
+            utilization_a,
+            utilization_b,
+            utilization: (utilization_a + utilization_b) / 2.0,
+            wire_utilization,
+            static_latency: tracker.latency_summary(MessageClass::Static),
+            dynamic_latency: tracker.latency_summary(MessageClass::Dynamic),
+            static_deadlines: tracker.deadline_tracker(MessageClass::Static),
+            dynamic_deadlines: tracker.deadline_tracker(MessageClass::Dynamic),
+            produced: tracker.produced() as u64,
+            delivered: tracker.delivered() as u64,
+            frames: a.frames + b.frames,
+            corrupted: a.corrupted + b.corrupted,
+            cooperative_static_serves: self.scheduler.cooperative_static_serves(),
+            early_copies_sent: self.scheduler.early_copies_sent(),
+            copy_transmissions: self.scheduler.copy_transmissions(),
+            truncated,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base_config(policy: Policy, stop: StopCondition) -> RunConfig {
+        RunConfig {
+            cluster: ClusterConfig::paper_dynamic(50),
+            scenario: Scenario::ber7(),
+            static_messages: workloads::bbw::message_set(),
+            dynamic_messages: workloads::sae::message_set(
+                workloads::sae::IdRange::StartingAt(20),
+                1,
+            ),
+            policy,
+            stop,
+            seed: 42,
+        }
+    }
+
+    #[test]
+    fn coefficient_run_delivers_and_drains() {
+        let report = Runner::new(base_config(
+            Policy::CoEfficient,
+            StopCondition::ProducedInstances(300),
+        ))
+        .unwrap()
+        .run();
+        assert!(!report.truncated);
+        assert_eq!(report.produced, 300);
+        assert!(report.delivered as f64 >= 0.95 * report.produced as f64);
+        assert!(report.running_time > SimDuration::ZERO);
+        assert!(report.frames > 0);
+    }
+
+    #[test]
+    fn fspec_run_completes_too() {
+        let report = Runner::new(base_config(
+            Policy::Fspec,
+            StopCondition::ProducedInstances(300),
+        ))
+        .unwrap()
+        .run();
+        assert!(!report.truncated);
+        assert_eq!(report.produced, 300);
+        assert!(report.delivered > 0);
+    }
+
+    #[test]
+    fn coefficient_beats_fspec_on_running_time() {
+        let co = Runner::new(base_config(
+            Policy::CoEfficient,
+            StopCondition::ProducedInstances(500),
+        ))
+        .unwrap()
+        .run();
+        let fs = Runner::new(base_config(
+            Policy::Fspec,
+            StopCondition::ProducedInstances(500),
+        ))
+        .unwrap()
+        .run();
+        assert!(
+            co.running_time < fs.running_time,
+            "CoEfficient {:?} !< FSPEC {:?}",
+            co.running_time,
+            fs.running_time
+        );
+    }
+
+    #[test]
+    fn coefficient_utilizes_more_bandwidth() {
+        let horizon = StopCondition::Horizon(SimDuration::from_millis(500));
+        let co = Runner::new(base_config(Policy::CoEfficient, horizon))
+            .unwrap()
+            .run();
+        let fs = Runner::new(base_config(Policy::Fspec, horizon)).unwrap().run();
+        assert!(
+            co.utilization > fs.utilization,
+            "CoEfficient {} !> FSPEC {}",
+            co.utilization,
+            fs.utilization
+        );
+    }
+
+    #[test]
+    fn coefficient_dynamic_latency_is_lower_under_pressure() {
+        // With a tight 25-minislot dynamic segment, FSPEC's copies crowd
+        // the FTDMA arbitration; CoEfficient offloads to static slack.
+        let mk = |policy| {
+            let mut cfg = base_config(policy, StopCondition::Horizon(SimDuration::from_millis(500)));
+            cfg.cluster = ClusterConfig::paper_dynamic(25);
+            Runner::new(cfg).unwrap().run()
+        };
+        let co = mk(Policy::CoEfficient);
+        let fs = mk(Policy::Fspec);
+        let co_lat = co.dynamic_latency.mean_millis_f64();
+        let fs_lat = fs.dynamic_latency.mean_millis_f64();
+        assert!(
+            co_lat < fs_lat,
+            "CoEfficient {co_lat} ms !< FSPEC {fs_lat} ms"
+        );
+    }
+
+    #[test]
+    fn horizon_stop_is_exact() {
+        let report = Runner::new(base_config(
+            Policy::CoEfficient,
+            StopCondition::Horizon(SimDuration::from_millis(100)),
+        ))
+        .unwrap()
+        .run();
+        assert_eq!(report.running_time, SimDuration::from_millis(100));
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let mk = || {
+            Runner::new(base_config(
+                Policy::CoEfficient,
+                StopCondition::ProducedInstances(200),
+            ))
+            .unwrap()
+            .run()
+        };
+        let a = mk();
+        let b = mk();
+        assert_eq!(a.running_time, b.running_time);
+        assert_eq!(a.delivered, b.delivered);
+        assert_eq!(a.frames, b.frames);
+        assert_eq!(a.corrupted, b.corrupted);
+    }
+
+    #[test]
+    fn fault_free_scenario_delivers_everything() {
+        let mut cfg = base_config(
+            Policy::CoEfficient,
+            StopCondition::ProducedInstances(200),
+        );
+        cfg.scenario = Scenario::fault_free();
+        let report = Runner::new(cfg).unwrap().run();
+        assert_eq!(report.corrupted, 0);
+        assert_eq!(report.delivered, report.produced);
+    }
+
+    #[test]
+    fn hosa_sits_between_the_extremes() {
+        let horizon = StopCondition::Horizon(SimDuration::from_millis(500));
+        let co = Runner::new(base_config(Policy::CoEfficient, horizon)).unwrap().run();
+        let ho = Runner::new(base_config(Policy::Hosa, horizon)).unwrap().run();
+        assert!(ho.delivered > 0);
+        assert!(ho.cooperative_static_serves == 0);
+        // HOSA's blanket mirror gives it decent delivery but it cannot
+        // exceed CoEfficient's slack-assisted delivery.
+        assert!(ho.delivered <= co.delivered);
+    }
+
+    #[test]
+    fn static_only_workload_runs() {
+        let mut cfg = base_config(
+            Policy::CoEfficient,
+            StopCondition::Horizon(SimDuration::from_millis(100)),
+        );
+        cfg.dynamic_messages.clear();
+        let report = Runner::new(cfg).unwrap().run();
+        assert!(report.delivered > 0);
+        assert_eq!(report.dynamic_latency.count(), 0);
+    }
+
+    #[test]
+    fn dynamic_only_workload_runs() {
+        let mut cfg = base_config(
+            Policy::CoEfficient,
+            StopCondition::Horizon(SimDuration::from_millis(200)),
+        );
+        cfg.static_messages.clear();
+        let report = Runner::new(cfg).unwrap().run();
+        assert!(report.delivered > 0);
+        assert_eq!(report.static_latency.count(), 0);
+    }
+
+    #[test]
+    fn bursty_scenario_still_meets_goals() {
+        let mut cfg = base_config(
+            Policy::CoEfficient,
+            StopCondition::Horizon(SimDuration::from_millis(300)),
+        );
+        cfg.scenario = Scenario::ber7().bursty();
+        let report = Runner::new(cfg).unwrap().run();
+        assert!(report.delivered > 0);
+        // Burstiness changes the fault pattern, not feasibility.
+        assert!(report.delivered * 10 >= report.produced * 9);
+    }
+
+    #[test]
+    fn miss_ratio_combines_classes() {
+        let report = Runner::new(base_config(
+            Policy::CoEfficient,
+            StopCondition::Horizon(SimDuration::from_millis(200)),
+        ))
+        .unwrap()
+        .run();
+        let r = report.miss_ratio();
+        assert!((0.0..=1.0).contains(&r));
+    }
+}

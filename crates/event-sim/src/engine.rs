@@ -1,0 +1,322 @@
+//! The simulation driver: a model, a clock and an event queue.
+
+use crate::queue::EventQueue;
+use crate::time::{SimDuration, SimTime};
+
+/// A simulated system.
+///
+/// The model owns all mutable state of the simulated world. The engine calls
+/// [`Model::handle`] once per event, in deterministic time order, passing a
+/// [`Context`] through which the model schedules follow-up events.
+pub trait Model {
+    /// The event alphabet of this model.
+    type Event;
+
+    /// Reacts to `event` firing at instant `now`.
+    fn handle(&mut self, now: SimTime, event: Self::Event, ctx: &mut Context<Self::Event>);
+}
+
+/// Scheduling interface handed to [`Model::handle`].
+///
+/// All scheduling is relative to the simulation clock; events cannot be
+/// scheduled in the past.
+#[derive(Debug)]
+pub struct Context<'a, E> {
+    now: SimTime,
+    queue: &'a mut EventQueue<E>,
+    stop_requested: &'a mut bool,
+}
+
+impl<'a, E> Context<'a, E> {
+    /// The current simulated instant.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedules `event` to fire at the absolute instant `at`.
+    ///
+    /// # Panics
+    /// Panics if `at` is before the current instant.
+    pub fn schedule_at(&mut self, at: SimTime, event: E) {
+        assert!(at >= self.now, "cannot schedule into the past: {at:?} < {:?}", self.now);
+        self.queue.push(at, event);
+    }
+
+    /// Schedules `event` to fire `delay` after the current instant.
+    pub fn schedule_in(&mut self, delay: SimDuration, event: E) {
+        let at = self.now.saturating_add(delay);
+        self.queue.push(at, event);
+    }
+
+    /// Schedules `event` to fire immediately after the current event (same
+    /// instant, FIFO order).
+    pub fn schedule_now(&mut self, event: E) {
+        self.queue.push(self.now, event);
+    }
+
+    /// Requests the simulation to stop after the current event completes.
+    /// Pending events remain in the queue.
+    pub fn stop(&mut self) {
+        *self.stop_requested = true;
+    }
+}
+
+/// Why [`Simulation::run_until`] returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// The event queue drained completely.
+    QueueEmpty,
+    /// The time horizon was reached with events still pending.
+    HorizonReached,
+    /// The model called [`Context::stop`].
+    Stopped,
+    /// The event budget was exhausted (see [`Simulation::set_event_limit`]).
+    EventLimit,
+}
+
+/// A deterministic discrete-event simulation over a [`Model`].
+///
+/// See the [crate-level documentation](crate) for an end-to-end example.
+pub struct Simulation<M: Model> {
+    model: M,
+    queue: EventQueue<M::Event>,
+    now: SimTime,
+    events_processed: u64,
+    event_limit: u64,
+}
+
+impl<M: Model> Simulation<M> {
+    /// Creates a simulation at t = 0 over `model` with an empty queue.
+    pub fn new(model: M) -> Self {
+        Simulation {
+            model,
+            queue: EventQueue::new(),
+            now: SimTime::ZERO,
+            events_processed: 0,
+            event_limit: u64::MAX,
+        }
+    }
+
+    /// The current simulated instant (the firing time of the last processed
+    /// event, or t = 0 if none have fired).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Total number of events processed so far.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Shared access to the model.
+    pub fn model(&self) -> &M {
+        &self.model
+    }
+
+    /// Exclusive access to the model.
+    pub fn model_mut(&mut self) -> &mut M {
+        &mut self.model
+    }
+
+    /// Consumes the simulation and returns the model.
+    pub fn into_model(self) -> M {
+        self.model
+    }
+
+    /// Caps the total number of events this simulation may process — a
+    /// safety net against runaway feedback loops. Defaults to `u64::MAX`.
+    pub fn set_event_limit(&mut self, limit: u64) {
+        self.event_limit = limit;
+    }
+
+    /// Schedules an event from outside the model (e.g. initial stimuli).
+    ///
+    /// # Panics
+    /// Panics if `at` is before the current instant.
+    pub fn schedule(&mut self, at: SimTime, event: M::Event) {
+        assert!(at >= self.now, "cannot schedule into the past");
+        self.queue.push(at, event);
+    }
+
+    /// Number of pending events.
+    pub fn pending_events(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Runs until the queue drains, the model stops, or the event limit is
+    /// hit.
+    pub fn run(&mut self) -> RunOutcome {
+        self.run_until(SimTime::MAX)
+    }
+
+    /// Runs until no event at or before `horizon` remains (or the model
+    /// stops / the event limit is hit). The clock is advanced to the firing
+    /// time of each processed event; it never exceeds `horizon`.
+    pub fn run_until(&mut self, horizon: SimTime) -> RunOutcome {
+        loop {
+            let Some(next) = self.queue.peek_time() else {
+                return RunOutcome::QueueEmpty;
+            };
+            if next > horizon {
+                return RunOutcome::HorizonReached;
+            }
+            if self.events_processed >= self.event_limit {
+                return RunOutcome::EventLimit;
+            }
+            let queued = self.queue.pop().expect("peeked event vanished");
+            debug_assert!(queued.at >= self.now, "event queue went backwards");
+            self.now = queued.at;
+            self.events_processed += 1;
+            let mut stop = false;
+            let mut ctx = Context {
+                now: self.now,
+                queue: &mut self.queue,
+                stop_requested: &mut stop,
+            };
+            self.model.handle(queued.at, queued.event, &mut ctx);
+            if stop {
+                return RunOutcome::Stopped;
+            }
+        }
+    }
+
+    /// Processes exactly one event if one is pending; returns its firing
+    /// time.
+    pub fn step(&mut self) -> Option<SimTime> {
+        let queued = self.queue.pop()?;
+        self.now = queued.at;
+        self.events_processed += 1;
+        let mut stop = false;
+        let mut ctx = Context {
+            now: self.now,
+            queue: &mut self.queue,
+            stop_requested: &mut stop,
+        };
+        self.model.handle(queued.at, queued.event, &mut ctx);
+        Some(queued.at)
+    }
+}
+
+impl<M: Model + std::fmt::Debug> std::fmt::Debug for Simulation<M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulation")
+            .field("now", &self.now)
+            .field("pending", &self.queue.len())
+            .field("events_processed", &self.events_processed)
+            .field("model", &self.model)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, Default)]
+    struct Recorder {
+        fired: Vec<(SimTime, u32)>,
+    }
+
+    #[derive(Debug)]
+    enum Ev {
+        Mark(u32),
+        Chain { id: u32, period: SimDuration, remaining: u32 },
+        StopNow,
+    }
+
+    impl Model for Recorder {
+        type Event = Ev;
+        fn handle(&mut self, now: SimTime, event: Ev, ctx: &mut Context<Ev>) {
+            match event {
+                Ev::Mark(id) => self.fired.push((now, id)),
+                Ev::Chain { id, period, remaining } => {
+                    self.fired.push((now, id));
+                    if remaining > 0 {
+                        ctx.schedule_in(period, Ev::Chain { id, period, remaining: remaining - 1 });
+                    }
+                }
+                Ev::StopNow => ctx.stop(),
+            }
+        }
+    }
+
+    #[test]
+    fn runs_in_time_order() {
+        let mut sim = Simulation::new(Recorder::default());
+        sim.schedule(SimTime::from_micros(10), Ev::Mark(1));
+        sim.schedule(SimTime::from_micros(5), Ev::Mark(2));
+        sim.schedule(SimTime::from_micros(10), Ev::Mark(3));
+        assert_eq!(sim.run(), RunOutcome::QueueEmpty);
+        let ids: Vec<u32> = sim.model().fired.iter().map(|&(_, id)| id).collect();
+        assert_eq!(ids, vec![2, 1, 3]);
+        assert_eq!(sim.now(), SimTime::from_micros(10));
+    }
+
+    #[test]
+    fn chained_events_advance_clock() {
+        let mut sim = Simulation::new(Recorder::default());
+        sim.schedule(
+            SimTime::ZERO,
+            Ev::Chain { id: 7, period: SimDuration::from_millis(1), remaining: 4 },
+        );
+        sim.run();
+        assert_eq!(sim.model().fired.len(), 5);
+        assert_eq!(sim.now(), SimTime::from_millis(4));
+        assert_eq!(sim.events_processed(), 5);
+    }
+
+    #[test]
+    fn horizon_stops_without_consuming_later_events() {
+        let mut sim = Simulation::new(Recorder::default());
+        sim.schedule(SimTime::from_millis(1), Ev::Mark(1));
+        sim.schedule(SimTime::from_millis(10), Ev::Mark(2));
+        assert_eq!(sim.run_until(SimTime::from_millis(5)), RunOutcome::HorizonReached);
+        assert_eq!(sim.model().fired.len(), 1);
+        assert_eq!(sim.pending_events(), 1);
+        // Resume past the horizon.
+        assert_eq!(sim.run(), RunOutcome::QueueEmpty);
+        assert_eq!(sim.model().fired.len(), 2);
+    }
+
+    #[test]
+    fn stop_request_halts_immediately() {
+        let mut sim = Simulation::new(Recorder::default());
+        sim.schedule(SimTime::from_micros(1), Ev::StopNow);
+        sim.schedule(SimTime::from_micros(2), Ev::Mark(9));
+        assert_eq!(sim.run(), RunOutcome::Stopped);
+        assert!(sim.model().fired.is_empty());
+        assert_eq!(sim.pending_events(), 1);
+    }
+
+    #[test]
+    fn event_limit_guards_runaway() {
+        let mut sim = Simulation::new(Recorder::default());
+        sim.set_event_limit(3);
+        sim.schedule(
+            SimTime::ZERO,
+            Ev::Chain { id: 1, period: SimDuration::from_nanos(1), remaining: u32::MAX },
+        );
+        assert_eq!(sim.run(), RunOutcome::EventLimit);
+        assert_eq!(sim.events_processed(), 3);
+    }
+
+    #[test]
+    fn step_processes_one_event() {
+        let mut sim = Simulation::new(Recorder::default());
+        sim.schedule(SimTime::from_micros(4), Ev::Mark(1));
+        sim.schedule(SimTime::from_micros(9), Ev::Mark(2));
+        assert_eq!(sim.step(), Some(SimTime::from_micros(4)));
+        assert_eq!(sim.model().fired.len(), 1);
+        assert_eq!(sim.step(), Some(SimTime::from_micros(9)));
+        assert_eq!(sim.step(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule into the past")]
+    fn scheduling_into_past_panics() {
+        let mut sim = Simulation::new(Recorder::default());
+        sim.schedule(SimTime::from_millis(2), Ev::Mark(1));
+        sim.run();
+        sim.schedule(SimTime::from_millis(1), Ev::Mark(2));
+    }
+}

@@ -1,0 +1,165 @@
+//! Deterministic time-ordered event queue.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+/// An event waiting in the queue, together with its firing time and a
+/// monotone sequence number used to break ties deterministically.
+#[derive(Debug, Clone)]
+pub struct QueuedEvent<E> {
+    /// The instant at which this event fires.
+    pub at: SimTime,
+    /// Monotone insertion index: earlier-scheduled events fire first among
+    /// events scheduled for the same instant.
+    pub seq: u64,
+    /// The user event payload.
+    pub event: E,
+}
+
+/// Internal heap entry: min-ordering on `(at, seq)` over a max-heap.
+struct Entry<E>(QueuedEvent<E>);
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.at == other.0.at && self.0.seq == other.0.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse: BinaryHeap is a max-heap, we want the earliest first.
+        (other.0.at, other.0.seq).cmp(&(self.0.at, self.0.seq))
+    }
+}
+
+/// A priority queue of timed events with deterministic FIFO tie-breaking.
+///
+/// ```
+/// use event_sim::{EventQueue, SimTime};
+/// let mut q = EventQueue::new();
+/// q.push(SimTime::from_micros(2), "late");
+/// q.push(SimTime::from_micros(1), "early-a");
+/// q.push(SimTime::from_micros(1), "early-b");
+/// assert_eq!(q.pop().unwrap().event, "early-a");
+/// assert_eq!(q.pop().unwrap().event, "early-b");
+/// assert_eq!(q.pop().unwrap().event, "late");
+/// assert!(q.pop().is_none());
+/// ```
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedules `event` to fire at `at`. Events pushed for the same instant
+    /// pop in push order.
+    pub fn push(&mut self, at: SimTime, event: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry(QueuedEvent { at, seq, event }));
+    }
+
+    /// Removes and returns the earliest event, or `None` if empty.
+    pub fn pop(&mut self) -> Option<QueuedEvent<E>> {
+        self.heap.pop().map(|e| e.0)
+    }
+
+    /// The firing time of the earliest pending event.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.0.at)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// `true` if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Drops all pending events.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> std::fmt::Debug for EventQueue<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventQueue")
+            .field("len", &self.heap.len())
+            .field("next_seq", &self.next_seq)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orders_by_time_then_insertion() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_nanos(5), 0u32);
+        q.push(SimTime::from_nanos(1), 1);
+        q.push(SimTime::from_nanos(5), 2);
+        q.push(SimTime::from_nanos(3), 3);
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop().map(|e| e.event)).collect();
+        assert_eq!(order, vec![1, 3, 0, 2]);
+    }
+
+    #[test]
+    fn peek_time_matches_pop() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.peek_time(), None);
+        q.push(SimTime::from_nanos(7), ());
+        q.push(SimTime::from_nanos(3), ());
+        assert_eq!(q.peek_time(), Some(SimTime::from_nanos(3)));
+        q.pop();
+        assert_eq!(q.peek_time(), Some(SimTime::from_nanos(7)));
+    }
+
+    #[test]
+    fn len_and_clear() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::ZERO, ());
+        q.push(SimTime::ZERO, ());
+        assert_eq!(q.len(), 2);
+        assert!(!q.is_empty());
+        q.clear();
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn interleaved_push_pop_stays_fifo_at_same_time() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::ZERO, "a");
+        q.push(SimTime::ZERO, "b");
+        assert_eq!(q.pop().unwrap().event, "a");
+        q.push(SimTime::ZERO, "c");
+        assert_eq!(q.pop().unwrap().event, "b");
+        assert_eq!(q.pop().unwrap().event, "c");
+    }
+}

@@ -1,0 +1,338 @@
+//! Bit-level frame serialization and deserialization.
+//!
+//! [`crate::codec`] computes *how long* a frame occupies the wire; this
+//! module actually produces and parses the bit sequence:
+//!
+//! ```text
+//! TSS (low bits) | FSS (high) | per byte: BSS (1,0) + 8 data bits | FES (0,1)
+//! ```
+//!
+//! A decoder validates the framing sequences and the embedded CRCs, so a
+//! corrupted stream is rejected exactly the way a real receiver rejects
+//! it. The bus *engine* abstracts corruption to a per-frame flag for
+//! speed; these routines are the ground truth that abstraction is checked
+//! against (see the roundtrip tests).
+
+use crate::channel::ChannelId;
+use crate::codec::FrameCoding;
+use crate::frame::{Frame, FrameHeader, FrameId};
+
+/// Why decoding failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Stream ended before the expected structure completed.
+    Truncated,
+    /// The transmission start sequence was not all-LOW.
+    BadTss,
+    /// The frame start sequence bit was not HIGH.
+    BadFss,
+    /// A byte start sequence was not the (1, 0) pattern.
+    BadBss {
+        /// Index of the offending byte.
+        byte: usize,
+    },
+    /// The frame end sequence was not the (0, 1) pattern.
+    BadFes,
+    /// The header CRC did not match the protected header fields.
+    HeaderCrcMismatch,
+    /// The 24-bit frame CRC did not match.
+    FrameCrcMismatch,
+    /// The header's frame id was 0 (invalid).
+    InvalidFrameId,
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::Truncated => write!(f, "bit stream truncated"),
+            DecodeError::BadTss => write!(f, "transmission start sequence not LOW"),
+            DecodeError::BadFss => write!(f, "frame start sequence not HIGH"),
+            DecodeError::BadBss { byte } => write!(f, "byte start sequence corrupt at byte {byte}"),
+            DecodeError::BadFes => write!(f, "frame end sequence corrupt"),
+            DecodeError::HeaderCrcMismatch => write!(f, "header CRC mismatch"),
+            DecodeError::FrameCrcMismatch => write!(f, "frame CRC mismatch"),
+            DecodeError::InvalidFrameId => write!(f, "frame id 0 is invalid"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Serializes `frame` for `channel` into wire bits (static-segment coding,
+/// no DTS).
+pub fn encode(frame: &Frame, channel: ChannelId, coding: &FrameCoding) -> Vec<bool> {
+    let mut bits = Vec::with_capacity(
+        coding.frame_wire_bits(frame.payload().len() as u64, false) as usize,
+    );
+    // TSS: a run of LOW.
+    bits.extend(std::iter::repeat_n(false, coding.tss_bits() as usize));
+    // FSS: one HIGH bit.
+    bits.push(true);
+    // Bytes: header (5), payload, trailer CRC (3) — each with BSS (1, 0).
+    let mut bytes = Vec::with_capacity(frame.byte_count() as usize);
+    push_header_bytes(frame.header(), &mut bytes);
+    bytes.extend_from_slice(frame.payload());
+    let fcrc = frame.frame_crc(channel);
+    bytes.push((fcrc >> 16) as u8);
+    bytes.push((fcrc >> 8) as u8);
+    bytes.push(fcrc as u8);
+    for b in bytes {
+        bits.push(true);
+        bits.push(false);
+        bits.extend((0..8).rev().map(|i| (b >> i) & 1 == 1));
+    }
+    // FES: (0, 1).
+    bits.push(false);
+    bits.push(true);
+    bits
+}
+
+/// Packs the 40 header bits into 5 bytes.
+fn push_header_bytes(h: &FrameHeader, out: &mut Vec<u8>) {
+    let bits = h.bits();
+    debug_assert_eq!(bits.len(), 40);
+    for chunk in bits.chunks(8) {
+        let mut b = 0u8;
+        for &bit in chunk {
+            b = (b << 1) | u8::from(bit);
+        }
+        out.push(b);
+    }
+}
+
+/// Parses wire bits produced by [`encode`], validating framing and both
+/// CRCs.
+///
+/// # Errors
+/// A [`DecodeError`] naming the first defect.
+pub fn decode(bits: &[bool], channel: ChannelId, coding: &FrameCoding) -> Result<Frame, DecodeError> {
+    let mut pos = 0usize;
+    let take = |pos: &mut usize, n: usize| -> Result<&[bool], DecodeError> {
+        if *pos + n > bits.len() {
+            return Err(DecodeError::Truncated);
+        }
+        let s = &bits[*pos..*pos + n];
+        *pos += n;
+        Ok(s)
+    };
+
+    // TSS.
+    for &b in take(&mut pos, coding.tss_bits() as usize)? {
+        if b {
+            return Err(DecodeError::BadTss);
+        }
+    }
+    // FSS.
+    if !take(&mut pos, 1)?[0] {
+        return Err(DecodeError::BadFss);
+    }
+    // Bytes until only the FES remains. Total byte count derives from the
+    // stream length: (len - TSS - FSS - FES) / 10.
+    let body_bits = bits
+        .len()
+        .checked_sub(coding.tss_bits() as usize + 1 + 2)
+        .ok_or(DecodeError::Truncated)?;
+    if body_bits % 10 != 0 {
+        return Err(DecodeError::Truncated);
+    }
+    let n_bytes = body_bits / 10;
+    if n_bytes < 8 {
+        return Err(DecodeError::Truncated); // header + trailer minimum
+    }
+    let mut bytes = Vec::with_capacity(n_bytes);
+    for i in 0..n_bytes {
+        let bss = take(&mut pos, 2)?;
+        if !bss[0] || bss[1] {
+            return Err(DecodeError::BadBss { byte: i });
+        }
+        let data = take(&mut pos, 8)?;
+        let mut b = 0u8;
+        for &bit in data {
+            b = (b << 1) | u8::from(bit);
+        }
+        bytes.push(b);
+    }
+    // FES.
+    let fes = take(&mut pos, 2)?;
+    if fes[0] || !fes[1] {
+        return Err(DecodeError::BadFes);
+    }
+
+    // Header fields from the 5 header bytes.
+    let h0 = bytes[0];
+    let sync = (h0 >> 4) & 1 == 1;
+    let startup = (h0 >> 3) & 1 == 1;
+    let id_high = u16::from(h0 & 0b111);
+    let frame_id_raw = (id_high << 8) | u16::from(bytes[1]);
+    let frame_id = FrameId::try_new(frame_id_raw).ok_or(DecodeError::InvalidFrameId)?;
+    let payload_words = bytes[2] >> 1;
+    let header_crc = (u16::from(bytes[2] & 1) << 10)
+        | (u16::from(bytes[3]) << 2)
+        | u16::from(bytes[4] >> 6);
+    let cycle_count = bytes[4] & 0b11_1111;
+
+    if header_crc != FrameHeader::compute_crc(frame_id, payload_words, sync, startup) {
+        return Err(DecodeError::HeaderCrcMismatch);
+    }
+
+    let payload_len = usize::from(payload_words) * 2;
+    if bytes.len() != 5 + payload_len + 3 {
+        return Err(DecodeError::Truncated);
+    }
+    let payload = bytes[5..5 + payload_len].to_vec();
+    let rx_crc = (u32::from(bytes[5 + payload_len]) << 16)
+        | (u32::from(bytes[6 + payload_len]) << 8)
+        | u32::from(bytes[7 + payload_len]);
+
+    let frame = if sync {
+        Frame::sync_frame(frame_id, payload, cycle_count)
+    } else {
+        Frame::new(frame_id, payload, cycle_count)
+    };
+    if frame.frame_crc(channel) != rx_crc {
+        return Err(DecodeError::FrameCrcMismatch);
+    }
+    Ok(frame)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn coding() -> FrameCoding {
+        FrameCoding::default()
+    }
+
+    fn sample_frame() -> Frame {
+        Frame::new(FrameId::new(0x2A5), vec![0x11, 0x22, 0x33, 0x44], 19)
+    }
+
+    #[test]
+    fn roundtrip_preserves_the_frame() {
+        let f = sample_frame();
+        let bits = encode(&f, ChannelId::A, &coding());
+        let back = decode(&bits, ChannelId::A, &coding()).expect("clean stream decodes");
+        assert_eq!(back, f);
+    }
+
+    #[test]
+    fn wire_length_matches_codec_prediction() {
+        let f = sample_frame();
+        let bits = encode(&f, ChannelId::B, &coding());
+        assert_eq!(
+            bits.len() as u64,
+            coding().frame_wire_bits(f.payload().len() as u64, false)
+        );
+    }
+
+    #[test]
+    fn sync_frame_roundtrip_keeps_indicators() {
+        let f = Frame::sync_frame(FrameId::new(3), vec![9, 8], 1);
+        let bits = encode(&f, ChannelId::A, &coding());
+        let back = decode(&bits, ChannelId::A, &coding()).unwrap();
+        assert!(back.header().sync_frame);
+        assert!(back.header().startup_frame);
+        assert_eq!(back, f);
+    }
+
+    #[test]
+    fn wrong_channel_fails_the_frame_crc() {
+        let f = sample_frame();
+        let bits = encode(&f, ChannelId::A, &coding());
+        assert_eq!(
+            decode(&bits, ChannelId::B, &coding()),
+            Err(DecodeError::FrameCrcMismatch)
+        );
+    }
+
+    #[test]
+    fn payload_bit_flip_is_caught_by_frame_crc() {
+        let f = sample_frame();
+        let mut bits = encode(&f, ChannelId::A, &coding());
+        // Flip a payload data bit: byte 5 (first payload byte) starts at
+        // TSS + FSS + 5 * 10 bits; skip its BSS.
+        let idx = coding().tss_bits() as usize + 1 + 5 * 10 + 2 + 3;
+        bits[idx] = !bits[idx];
+        assert_eq!(
+            decode(&bits, ChannelId::A, &coding()),
+            Err(DecodeError::FrameCrcMismatch)
+        );
+    }
+
+    #[test]
+    fn header_bit_flip_is_caught_by_header_crc() {
+        let f = sample_frame();
+        let mut bits = encode(&f, ChannelId::A, &coding());
+        // Flip the lowest frame-id bit (header byte 1, last data bit).
+        let idx = coding().tss_bits() as usize + 1 + 10 + 2 + 7;
+        bits[idx] = !bits[idx];
+        let err = decode(&bits, ChannelId::A, &coding()).unwrap_err();
+        assert!(
+            matches!(err, DecodeError::HeaderCrcMismatch | DecodeError::InvalidFrameId),
+            "unexpected error {err:?}"
+        );
+    }
+
+    #[test]
+    fn framing_violations_are_detected() {
+        let f = sample_frame();
+        let c = coding();
+        let clean = encode(&f, ChannelId::A, &c);
+
+        let mut bad_tss = clean.clone();
+        bad_tss[0] = true;
+        assert_eq!(decode(&bad_tss, ChannelId::A, &c), Err(DecodeError::BadTss));
+
+        let mut bad_fss = clean.clone();
+        bad_fss[c.tss_bits() as usize] = false;
+        assert_eq!(decode(&bad_fss, ChannelId::A, &c), Err(DecodeError::BadFss));
+
+        let mut bad_bss = clean.clone();
+        bad_bss[c.tss_bits() as usize + 1] = false; // first BSS high bit
+        assert_eq!(
+            decode(&bad_bss, ChannelId::A, &c),
+            Err(DecodeError::BadBss { byte: 0 })
+        );
+
+        let mut bad_fes = clean.clone();
+        let n = bad_fes.len();
+        bad_fes[n - 1] = false;
+        assert_eq!(decode(&bad_fes, ChannelId::A, &c), Err(DecodeError::BadFes));
+    }
+
+    #[test]
+    fn truncated_streams_are_rejected() {
+        let f = sample_frame();
+        let bits = encode(&f, ChannelId::A, &coding());
+        for cut in [1usize, 10, bits.len() / 2] {
+            let err = decode(&bits[..bits.len() - cut], ChannelId::A, &coding()).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    DecodeError::Truncated | DecodeError::BadFes | DecodeError::BadBss { .. }
+                ),
+                "cut {cut}: unexpected {err:?}"
+            );
+        }
+        assert_eq!(decode(&[], ChannelId::A, &coding()), Err(DecodeError::Truncated));
+    }
+
+    #[test]
+    fn all_payload_sizes_roundtrip() {
+        for words in [0usize, 1, 8, 64, 127] {
+            let f = Frame::new(
+                FrameId::new(100),
+                (0..words * 2).map(|i| i as u8).collect(),
+                0,
+            );
+            let bits = encode(&f, ChannelId::A, &coding());
+            assert_eq!(decode(&bits, ChannelId::A, &coding()).unwrap(), f);
+        }
+    }
+
+    #[test]
+    fn decode_error_display() {
+        assert!(DecodeError::BadBss { byte: 3 }.to_string().contains('3'));
+        assert!(!DecodeError::Truncated.to_string().is_empty());
+    }
+}

@@ -1,0 +1,713 @@
+//! The dual-channel bus engine.
+//!
+//! [`BusEngine`] plays out communication cycles at slot/minislot
+//! granularity: TDMA in the static segment, FTDMA (minislot counting with
+//! `pLatestTx` gating) in the dynamic segment, independently per channel,
+//! with BER-driven fault injection on each transmitted frame.
+//!
+//! Traffic is supplied by a [`TrafficSource`] — either a cluster of
+//! [`crate::node::Node`]s (see [`NodeCluster`]) or a scheduler-level
+//! implementation such as the CoEfficient/FSPEC runners in the
+//! `coefficient` crate. Everything the paper's metrics need (who occupied
+//! the bus when, and whether the frame was corrupted) is reported through
+//! [`TransmissionOutcome`].
+
+use event_sim::{SimDuration, SimTime};
+
+use reliability::fault::{FaultProcess, NoFaults};
+
+use crate::channel::ChannelId;
+use crate::codec::FrameCoding;
+use crate::config::ClusterConfig;
+use crate::node::Node;
+use crate::schedule::MessageId;
+
+/// A payload handed to the engine for transmission.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OutboundPayload {
+    /// Which message is being transmitted.
+    pub message: MessageId,
+    /// Payload length in bytes (even).
+    pub payload_bytes: u16,
+    /// When the host produced the message (for latency accounting).
+    pub produced_at: SimTime,
+}
+
+/// Where in the cycle a transmission happened.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SlotLocation {
+    /// A static slot (1-based).
+    Static {
+        /// Slot number.
+        slot: u16,
+    },
+    /// A dynamic slot.
+    Dynamic {
+        /// The dynamic slot counter value (continues after the static
+        /// slots).
+        slot_counter: u64,
+        /// The minislot index (0-based) at which transmission started.
+        minislot: u64,
+    },
+}
+
+/// The engine's record of one frame transmission.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TransmissionOutcome {
+    /// Communication cycle index (unbounded).
+    pub cycle: u64,
+    /// Channel the frame went out on.
+    pub channel: ChannelId,
+    /// Slot/minislot placement.
+    pub location: SlotLocation,
+    /// The transmitted message.
+    pub message: MessageId,
+    /// Transmission start instant.
+    pub start: SimTime,
+    /// Time the frame occupied the wire.
+    pub duration: SimDuration,
+    /// On-wire length in bits (coding overhead included).
+    pub wire_bits: u64,
+    /// `true` if fault injection corrupted the frame (receivers observe a
+    /// CRC failure).
+    pub corrupted: bool,
+    /// When the host produced the message.
+    pub produced_at: SimTime,
+}
+
+impl TransmissionOutcome {
+    /// Latency from production to the end of this transmission.
+    pub fn latency(&self) -> SimDuration {
+        (self.start + self.duration).saturating_duration_since(self.produced_at)
+    }
+}
+
+/// Supplies frames to the engine, one decision at a time.
+///
+/// Implementations must be deterministic: the engine polls in a fixed
+/// order (cycle → channel A then B → slot order).
+pub trait TrafficSource {
+    /// The frame to transmit in static `slot` on `channel` during `cycle`
+    /// (whose 0–63 counter is `cycle_counter`), or `None` for a null/idle
+    /// slot.
+    fn static_frame(
+        &mut self,
+        cycle: u64,
+        cycle_counter: u8,
+        slot: u16,
+        channel: ChannelId,
+    ) -> Option<OutboundPayload>;
+
+    /// The frame to transmit in the dynamic slot with counter value
+    /// `slot_counter` on `channel`, or `None` to let the minislot pass.
+    /// The returned payload must not exceed `max_payload_bytes` (what fits
+    /// in the remaining minislots); the engine panics otherwise.
+    fn dynamic_frame(
+        &mut self,
+        cycle: u64,
+        channel: ChannelId,
+        slot_counter: u64,
+        max_payload_bytes: u16,
+    ) -> Option<OutboundPayload>;
+
+    /// Notification after every transmission (success or corruption) —
+    /// retransmission schemes hook here.
+    fn on_outcome(&mut self, outcome: &TransmissionOutcome) {
+        let _ = outcome;
+    }
+}
+
+/// Aggregate per-channel counters maintained by the engine.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChannelStats {
+    /// Frames transmitted.
+    pub frames: u64,
+    /// Frames corrupted by fault injection.
+    pub corrupted: u64,
+    /// Static slots that carried no frame.
+    pub idle_static_slots: u64,
+    /// Minislots that passed without a transmission.
+    pub idle_minislots: u64,
+    /// Total wire-busy time (frame bits on the wire).
+    pub busy: SimDuration,
+    /// Total *allocated* time: occupied static slots count whole (TDMA
+    /// reserves the slot regardless of the frame length) and dynamic
+    /// transmissions count their consumed minislots. This is the
+    /// "bandwidth actually used" of the paper's utilization metric — time
+    /// nobody else could have used.
+    pub occupied: SimDuration,
+}
+
+impl ChannelStats {
+    /// Wire-busy fraction of `[0, horizon)`.
+    pub fn utilization(&self, horizon: SimTime) -> f64 {
+        assert!(horizon > SimTime::ZERO, "horizon must be positive");
+        (self.busy.as_nanos() as f64 / horizon.as_nanos() as f64).min(1.0)
+    }
+
+    /// Allocated (slot-granular) fraction of `[0, horizon)`.
+    pub fn occupied_utilization(&self, horizon: SimTime) -> f64 {
+        assert!(horizon > SimTime::ZERO, "horizon must be positive");
+        (self.occupied.as_nanos() as f64 / horizon.as_nanos() as f64).min(1.0)
+    }
+}
+
+/// The cycle-level dual-channel bus simulator.
+pub struct BusEngine {
+    config: ClusterConfig,
+    coding: FrameCoding,
+    faults: [Box<dyn FaultProcess>; 2],
+    stats: [ChannelStats; 2],
+    record: bool,
+    outcomes: Vec<TransmissionOutcome>,
+    cycles_run: u64,
+}
+
+impl std::fmt::Debug for BusEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BusEngine")
+            .field("config", &self.config)
+            .field("cycles_run", &self.cycles_run)
+            .field("stats", &self.stats)
+            .field("recorded_outcomes", &self.outcomes.len())
+            .finish()
+    }
+}
+
+impl BusEngine {
+    /// Creates a fault-free engine.
+    pub fn new(config: ClusterConfig) -> Self {
+        BusEngine {
+            config,
+            coding: FrameCoding::default(),
+            faults: [Box::new(NoFaults), Box::new(NoFaults)],
+            stats: [ChannelStats::default(), ChannelStats::default()],
+            record: false,
+            outcomes: Vec::new(),
+            cycles_run: 0,
+        }
+    }
+
+    /// Replaces the physical coding parameters.
+    pub fn with_coding(mut self, coding: FrameCoding) -> Self {
+        self.coding = coding;
+        self
+    }
+
+    /// Installs independent fault processes for channels A and B.
+    pub fn with_faults(
+        mut self,
+        a: Box<dyn FaultProcess>,
+        b: Box<dyn FaultProcess>,
+    ) -> Self {
+        self.faults = [a, b];
+        self
+    }
+
+    /// Enables in-memory recording of every [`TransmissionOutcome`]
+    /// (disabled by default: long runs produce millions).
+    pub fn record_outcomes(&mut self, on: bool) {
+        self.record = on;
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.config
+    }
+
+    /// Aggregate counters for `channel`.
+    pub fn stats(&self, channel: ChannelId) -> &ChannelStats {
+        &self.stats[channel.index()]
+    }
+
+    /// Recorded outcomes (empty unless [`record_outcomes`] was enabled).
+    ///
+    /// [`record_outcomes`]: Self::record_outcomes
+    pub fn outcomes(&self) -> &[TransmissionOutcome] {
+        &self.outcomes
+    }
+
+    /// Number of cycles simulated so far.
+    pub fn cycles_run(&self) -> u64 {
+        self.cycles_run
+    }
+
+    /// Simulated time elapsed (cycles × cycle duration).
+    pub fn elapsed(&self) -> SimTime {
+        self.config.cycle_start(self.cycles_run)
+    }
+
+    /// Runs one communication cycle, pulling traffic from `source`.
+    /// Cycles must be run in order starting from 0.
+    ///
+    /// # Panics
+    /// Panics if `cycle` is not the next cycle, if a static frame exceeds
+    /// the slot capacity, or if a dynamic frame exceeds the advertised
+    /// maximum.
+    pub fn run_cycle(&mut self, cycle: u64, source: &mut dyn TrafficSource) {
+        assert_eq!(cycle, self.cycles_run, "cycles must be run in order");
+        let cycle_counter = self.config.cycle_counter(cycle);
+        for channel in ChannelId::BOTH {
+            self.run_static_segment(cycle, cycle_counter, channel, source);
+            self.run_dynamic_segment(cycle, channel, source);
+        }
+        self.cycles_run += 1;
+    }
+
+    fn run_static_segment(
+        &mut self,
+        cycle: u64,
+        cycle_counter: u8,
+        channel: ChannelId,
+        source: &mut dyn TrafficSource,
+    ) {
+        let capacity = self.config.static_slot_capacity_bits();
+        for slot in 1..=self.config.static_slot_count() {
+            let slot_u16 = slot as u16;
+            match source.static_frame(cycle, cycle_counter, slot_u16, channel) {
+                Some(payload) => {
+                    let wire_bits = self
+                        .coding
+                        .frame_wire_bits(u64::from(payload.payload_bytes), false);
+                    assert!(
+                        wire_bits <= capacity,
+                        "frame of {wire_bits} wire bits exceeds static slot capacity {capacity}"
+                    );
+                    let start = self.config.static_slot_start(cycle, slot)
+                        + self.config.mt(self.config.action_point_offset());
+                    let duration = self.config.transmission_duration(wire_bits);
+                    let corrupted = self.faults[channel.index()].corrupts(wire_bits as u32);
+                    let outcome = TransmissionOutcome {
+                        cycle,
+                        channel,
+                        location: SlotLocation::Static { slot: slot_u16 },
+                        message: payload.message,
+                        start,
+                        duration,
+                        wire_bits,
+                        corrupted,
+                        produced_at: payload.produced_at,
+                    };
+                    let st = &mut self.stats[channel.index()];
+                    st.frames += 1;
+                    st.corrupted += u64::from(corrupted);
+                    st.busy += duration;
+                    st.occupied += self.config.static_slot_duration();
+                    source.on_outcome(&outcome);
+                    if self.record {
+                        self.outcomes.push(outcome);
+                    }
+                }
+                None => {
+                    self.stats[channel.index()].idle_static_slots += 1;
+                }
+            }
+        }
+    }
+
+    fn run_dynamic_segment(&mut self, cycle: u64, channel: ChannelId, source: &mut dyn TrafficSource) {
+        let n_ms = self.config.minislot_count();
+        let latest_tx = self.config.latest_tx();
+        let ms_bits = (self.config.minislot_duration().as_nanos() as u128
+            * self.config.bit_rate_bps() as u128
+            / 1_000_000_000u128) as u64;
+        let mut ms: u64 = 0;
+        let mut slot_counter = self.config.static_slot_count() + 1;
+        while ms < n_ms {
+            // A transmission may start in this minislot only before
+            // pLatestTx; afterwards the remaining minislots tick away empty.
+            let max_payload = if ms < latest_tx {
+                self.max_dynamic_payload(n_ms - ms, ms_bits)
+            } else {
+                0
+            };
+            let frame = if max_payload > 0 {
+                source.dynamic_frame(cycle, channel, slot_counter, max_payload)
+            } else {
+                None
+            };
+            match frame {
+                Some(payload) => {
+                    assert!(
+                        payload.payload_bytes <= max_payload,
+                        "dynamic payload {} exceeds advertised maximum {max_payload}",
+                        payload.payload_bytes
+                    );
+                    let wire_bits = self
+                        .coding
+                        .frame_wire_bits(u64::from(payload.payload_bytes), true);
+                    let used_ms = self.config.minislots_for(wire_bits);
+                    debug_assert!(ms + used_ms <= n_ms, "engine sizing is consistent");
+                    let start = self.config.cycle_start(cycle) + self.config.minislot_offset(ms);
+                    let duration = self.config.transmission_duration(wire_bits);
+                    let corrupted = self.faults[channel.index()].corrupts(wire_bits as u32);
+                    let outcome = TransmissionOutcome {
+                        cycle,
+                        channel,
+                        location: SlotLocation::Dynamic {
+                            slot_counter,
+                            minislot: ms,
+                        },
+                        message: payload.message,
+                        start,
+                        duration,
+                        wire_bits,
+                        corrupted,
+                        produced_at: payload.produced_at,
+                    };
+                    let st = &mut self.stats[channel.index()];
+                    st.frames += 1;
+                    st.corrupted += u64::from(corrupted);
+                    st.busy += duration;
+                    st.occupied += self.config.minislot_duration() * used_ms;
+                    source.on_outcome(&outcome);
+                    if self.record {
+                        self.outcomes.push(outcome);
+                    }
+                    ms += used_ms;
+                }
+                None => {
+                    self.stats[channel.index()].idle_minislots += 1;
+                    ms += 1;
+                }
+            }
+            slot_counter += 1;
+        }
+    }
+
+    /// Largest payload (bytes) whose coded frame fits in `minislots_left`
+    /// minislots of `ms_bits` bits each, accounting for the dynamic slot
+    /// idle phase and coding overhead.
+    fn max_dynamic_payload(&self, minislots_left: u64, ms_bits: u64) -> u16 {
+        let idle = self.config.dynamic_slot_idle_phase();
+        if minislots_left <= idle {
+            return 0;
+        }
+        let budget_bits = (minislots_left - idle) * ms_bits;
+        let overhead = self.coding.frame_wire_bits(0, true);
+        if budget_bits <= overhead {
+            return 0;
+        }
+        let payload_bits = budget_bits - overhead;
+        let bytes = payload_bits / crate::codec::BITS_PER_BYTE_CODED;
+        (bytes.min(254) as u16) & !1 // round down to an even byte count
+    }
+}
+
+/// A cluster of [`Node`]s acting as one [`TrafficSource`]: static slots are
+/// answered by the owning node's controller, dynamic slots by polling every
+/// node (exactly one can own a frame id at a time on a channel).
+#[derive(Debug, Default)]
+pub struct NodeCluster {
+    nodes: Vec<Node>,
+}
+
+impl NodeCluster {
+    /// Creates a cluster over `nodes`.
+    pub fn new(nodes: Vec<Node>) -> Self {
+        NodeCluster { nodes }
+    }
+
+    /// The member nodes.
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// The member nodes, mutably (host-side message production).
+    pub fn nodes_mut(&mut self) -> &mut [Node] {
+        &mut self.nodes
+    }
+}
+
+impl TrafficSource for NodeCluster {
+    fn static_frame(
+        &mut self,
+        _cycle: u64,
+        cycle_counter: u8,
+        slot: u16,
+        channel: ChannelId,
+    ) -> Option<OutboundPayload> {
+        for node in &mut self.nodes {
+            if let Some(staged) = node
+                .controller_mut()
+                .static_frame(cycle_counter, slot, channel)
+            {
+                return Some(OutboundPayload {
+                    message: staged.message,
+                    payload_bytes: staged.payload_bytes,
+                    produced_at: staged.produced_at,
+                });
+            }
+        }
+        None
+    }
+
+    fn dynamic_frame(
+        &mut self,
+        _cycle: u64,
+        channel: ChannelId,
+        slot_counter: u64,
+        max_payload_bytes: u16,
+    ) -> Option<OutboundPayload> {
+        let Ok(frame_id) = u16::try_from(slot_counter) else {
+            return None;
+        };
+        for node in &mut self.nodes {
+            // Only take the frame if it fits; otherwise it waits for the
+            // next cycle (its id will match again).
+            let fits = node
+                .controller()
+                .chi()
+                .peek_dynamic(channel)
+                .map(|r| r.frame_id.get() == frame_id && r.staged.payload_bytes <= max_payload_bytes)
+                .unwrap_or(false);
+            if !fits {
+                continue;
+            }
+            if let Some(req) = node.controller_mut().dynamic_frame(channel, frame_id) {
+                return Some(OutboundPayload {
+                    message: req.staged.message,
+                    payload_bytes: req.staged.payload_bytes,
+                    produced_at: req.staged.produced_at,
+                });
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channel::ChannelSet;
+    use crate::frame::FrameId;
+    use crate::node::NodeId;
+    use crate::schedule::{ScheduleEntry, ScheduleTable};
+    use reliability::fault::BernoulliFaults;
+    use reliability::Ber;
+
+    fn config() -> ClusterConfig {
+        ClusterConfig::builder()
+            .macroticks_per_cycle(1000)
+            .static_slots(4, 60)
+            .minislots(100, 2)
+            .bit_rate(10_000_000)
+            .build()
+            .unwrap()
+    }
+
+    /// A scripted source for engine-level tests.
+    #[derive(Debug, Default)]
+    struct Script {
+        static_payloads: Vec<(u64, u16, ChannelId, OutboundPayload)>,
+        dynamic_payloads: Vec<(u64, ChannelId, u64, OutboundPayload)>,
+        outcomes: Vec<TransmissionOutcome>,
+    }
+
+    impl TrafficSource for Script {
+        fn static_frame(
+            &mut self,
+            cycle: u64,
+            _cycle_counter: u8,
+            slot: u16,
+            channel: ChannelId,
+        ) -> Option<OutboundPayload> {
+            let idx = self
+                .static_payloads
+                .iter()
+                .position(|(c, s, ch, _)| *c == cycle && *s == slot && *ch == channel)?;
+            Some(self.static_payloads.remove(idx).3)
+        }
+
+        fn dynamic_frame(
+            &mut self,
+            cycle: u64,
+            channel: ChannelId,
+            slot_counter: u64,
+            max_payload_bytes: u16,
+        ) -> Option<OutboundPayload> {
+            let idx = self.dynamic_payloads.iter().position(|(c, ch, sc, p)| {
+                *c == cycle && *ch == channel && *sc == slot_counter
+                    && p.payload_bytes <= max_payload_bytes
+            })?;
+            Some(self.dynamic_payloads.remove(idx).3)
+        }
+
+        fn on_outcome(&mut self, outcome: &TransmissionOutcome) {
+            self.outcomes.push(outcome.clone());
+        }
+    }
+
+    fn payload(message: MessageId, bytes: u16) -> OutboundPayload {
+        OutboundPayload {
+            message,
+            payload_bytes: bytes,
+            produced_at: SimTime::ZERO,
+        }
+    }
+
+    #[test]
+    fn static_transmission_lands_in_its_slot() {
+        let mut engine = BusEngine::new(config());
+        engine.record_outcomes(true);
+        let mut src = Script::default();
+        src.static_payloads
+            .push((0, 2, ChannelId::A, payload(7, 8)));
+        engine.run_cycle(0, &mut src);
+        let out = &engine.outcomes()[0];
+        assert_eq!(out.message, 7);
+        assert_eq!(out.location, SlotLocation::Static { slot: 2 });
+        // Slot 2 starts at 60 MT; +1 MT action point.
+        assert_eq!(out.start, SimTime::from_micros(61));
+        // 8-byte payload → (5+8+3)*10 + 5+1+2 = 168 bits → 16.8 µs.
+        assert_eq!(out.wire_bits, 168);
+        assert_eq!(out.duration, SimDuration::from_nanos(16_800));
+        assert_eq!(engine.stats(ChannelId::A).frames, 1);
+        assert_eq!(engine.stats(ChannelId::A).idle_static_slots, 3);
+        assert_eq!(engine.stats(ChannelId::B).idle_static_slots, 4);
+    }
+
+    #[test]
+    fn dynamic_transmission_consumes_minislots() {
+        let mut engine = BusEngine::new(config());
+        engine.record_outcomes(true);
+        let mut src = Script::default();
+        // Dynamic slot counter starts at 5 (4 static slots).
+        src.dynamic_payloads
+            .push((0, ChannelId::A, 7, payload(42, 16)));
+        engine.run_cycle(0, &mut src);
+        let out = &engine.outcomes()[0];
+        match out.location {
+            SlotLocation::Dynamic { slot_counter, minislot } => {
+                assert_eq!(slot_counter, 7);
+                // Counters 5 and 6 passed as empty minislots 0 and 1.
+                assert_eq!(minislot, 2);
+            }
+            other => panic!("unexpected location {other:?}"),
+        }
+        // 16-byte payload → (5+16+3)*10 + 5+1+2+2 = 250 bits → 13 minislots
+        // of 20 bits + 1 idle phase = 14 minislots consumed.
+        assert_eq!(out.wire_bits, 250);
+        let st = engine.stats(ChannelId::A);
+        assert_eq!(st.frames, 1);
+        // 100 minislots total: 2 empty before + 14 used + 84 empty after.
+        assert_eq!(st.idle_minislots, 86);
+    }
+
+    #[test]
+    fn latest_tx_blocks_late_starts() {
+        let cfg = ClusterConfig::builder()
+            .macroticks_per_cycle(1000)
+            .static_slots(4, 60)
+            .minislots(100, 2)
+            .latest_tx(3)
+            .bit_rate(10_000_000)
+            .build()
+            .unwrap();
+        let mut engine = BusEngine::new(cfg);
+        engine.record_outcomes(true);
+        let mut src = Script::default();
+        // Would match at minislot 4 (slot counter 9) — after pLatestTx 3.
+        src.dynamic_payloads
+            .push((0, ChannelId::A, 9, payload(1, 2)));
+        engine.run_cycle(0, &mut src);
+        assert!(engine.outcomes().is_empty(), "late start must be blocked");
+        assert_eq!(engine.stats(ChannelId::A).frames, 0);
+    }
+
+    #[test]
+    fn fault_injection_marks_corruption() {
+        // BER 0.5: a 100+-bit frame is corrupted essentially always.
+        let ber = Ber::new(0.5).unwrap();
+        let mut engine = BusEngine::new(config()).with_faults(
+            Box::new(BernoulliFaults::new(ber, 1)),
+            Box::new(BernoulliFaults::new(ber, 2)),
+        );
+        engine.record_outcomes(true);
+        let mut src = Script::default();
+        src.static_payloads
+            .push((0, 1, ChannelId::A, payload(1, 8)));
+        engine.run_cycle(0, &mut src);
+        assert!(engine.outcomes()[0].corrupted);
+        assert_eq!(engine.stats(ChannelId::A).corrupted, 1);
+    }
+
+    #[test]
+    fn channels_are_independent_and_both_polled() {
+        let mut engine = BusEngine::new(config());
+        engine.record_outcomes(true);
+        let mut src = Script::default();
+        src.static_payloads
+            .push((0, 1, ChannelId::A, payload(1, 2)));
+        src.static_payloads
+            .push((0, 1, ChannelId::B, payload(2, 2)));
+        engine.run_cycle(0, &mut src);
+        assert_eq!(engine.outcomes().len(), 2);
+        assert_eq!(engine.stats(ChannelId::A).frames, 1);
+        assert_eq!(engine.stats(ChannelId::B).frames, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "cycles must be run in order")]
+    fn out_of_order_cycles_rejected() {
+        let mut engine = BusEngine::new(config());
+        let mut src = Script::default();
+        engine.run_cycle(1, &mut src);
+    }
+
+    #[test]
+    fn elapsed_tracks_cycles() {
+        let mut engine = BusEngine::new(config());
+        let mut src = Script::default();
+        engine.run_cycle(0, &mut src);
+        engine.run_cycle(1, &mut src);
+        assert_eq!(engine.cycles_run(), 2);
+        assert_eq!(engine.elapsed(), SimTime::from_millis(2));
+    }
+
+    #[test]
+    fn node_cluster_serves_static_and_dynamic() {
+        let me = NodeId::new(0);
+        let table = ScheduleTable::new(
+            4,
+            vec![ScheduleEntry {
+                slot: 1,
+                base_cycle: 0,
+                repetition: 1,
+                node: me,
+                channels: ChannelSet::AOnly,
+                message: 11,
+            }],
+        )
+        .unwrap();
+        let mut node = Node::new(me, table);
+        node.produce_static(1, 11, 4, SimTime::ZERO);
+        node.produce_dynamic(ChannelId::A, FrameId::new(6), 99, 4, SimTime::ZERO);
+        let mut cluster = NodeCluster::new(vec![node]);
+        let mut engine = BusEngine::new(config());
+        engine.record_outcomes(true);
+        engine.run_cycle(0, &mut cluster);
+        let msgs: Vec<MessageId> = engine.outcomes().iter().map(|o| o.message).collect();
+        assert_eq!(msgs, vec![11, 99]);
+        match engine.outcomes()[1].location {
+            SlotLocation::Dynamic { slot_counter, minislot } => {
+                assert_eq!(slot_counter, 6);
+                assert_eq!(minislot, 1);
+            }
+            _ => panic!("expected dynamic"),
+        }
+    }
+
+    #[test]
+    fn max_dynamic_payload_is_even_and_bounded() {
+        let engine = BusEngine::new(config());
+        // Full segment: 100 minislots, 1 idle → 99 * 20 = 1980 bits budget;
+        // overhead (0-byte payload, dynamic) = 5+1+80+2+2 = 90 → 1890 bits
+        // → 189 bytes → floor to even = 188.
+        assert_eq!(engine.max_dynamic_payload(100, 20), 188);
+        assert_eq!(engine.max_dynamic_payload(1, 20), 0);
+        assert_eq!(engine.max_dynamic_payload(0, 20), 0);
+        // Huge budget clamps at the 254-byte FlexRay maximum.
+        assert_eq!(engine.max_dynamic_payload(10_000, 20), 254);
+    }
+}

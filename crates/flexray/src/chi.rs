@@ -1,0 +1,204 @@
+//! The Controller–Host Interface (CHI).
+//!
+//! The CHI is the buffer layer between an ECU's host processor and its
+//! communication controller (§II-B): the host writes outgoing messages
+//! into it, the controller reads them at transmission time. Static
+//! messages live in per-slot buffers; dynamic messages wait in per-channel
+//! priority queues ordered by frame id (lower id = higher priority), with
+//! FIFO order among messages sharing an id.
+
+use std::collections::VecDeque;
+
+use event_sim::SimTime;
+
+use crate::channel::ChannelId;
+use crate::frame::FrameId;
+use crate::schedule::MessageId;
+
+/// A message staged for transmission.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StagedMessage {
+    /// Which message this is.
+    pub message: MessageId,
+    /// Payload length in bytes (even; FlexRay counts 2-byte words).
+    pub payload_bytes: u16,
+    /// When the host produced it (for latency accounting).
+    pub produced_at: SimTime,
+}
+
+/// A dynamic-segment transmission request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DynamicRequest {
+    /// The frame id to arbitrate with (doubles as priority).
+    pub frame_id: FrameId,
+    /// The staged message.
+    pub staged: StagedMessage,
+}
+
+/// The CHI buffer structure of one node.
+#[derive(Debug, Clone, Default)]
+pub struct Chi {
+    /// Static buffers indexed by slot number; `None` = no fresh data (the
+    /// controller sends a null frame in owned slots without data).
+    static_buffers: Vec<Option<StagedMessage>>,
+    /// Per-channel dynamic queues, kept sorted by (frame id, arrival seq).
+    dynamic: [VecDeque<(u64, DynamicRequest)>; 2],
+    next_seq: u64,
+    /// Messages dropped because a static buffer was overwritten before the
+    /// controller consumed it (host overruns).
+    overwrites: u64,
+}
+
+impl Chi {
+    /// Creates a CHI with static buffers for slots `1..=slots`.
+    pub fn new(slots: u16) -> Self {
+        Chi {
+            static_buffers: vec![None; usize::from(slots) + 1],
+            dynamic: [VecDeque::new(), VecDeque::new()],
+            next_seq: 0,
+            overwrites: 0,
+        }
+    }
+
+    /// Host side: stages `msg` for static slot `slot`, replacing any
+    /// unconsumed previous content (counted as an overwrite).
+    ///
+    /// # Panics
+    /// Panics if `slot` is 0 or out of range.
+    pub fn write_static(&mut self, slot: u16, msg: StagedMessage) {
+        let buf = self
+            .static_buffers
+            .get_mut(usize::from(slot))
+            .expect("slot out of range");
+        assert!(slot > 0, "slot numbers start at 1");
+        if buf.replace(msg).is_some() {
+            self.overwrites += 1;
+        }
+    }
+
+    /// Controller side: consumes the staged message for `slot`, if any.
+    pub fn take_static(&mut self, slot: u16) -> Option<StagedMessage> {
+        self.static_buffers.get_mut(usize::from(slot))?.take()
+    }
+
+    /// Controller side: inspects the staged message for `slot` without
+    /// consuming (used for dual-channel transmission of one staging).
+    pub fn peek_static(&self, slot: u16) -> Option<&StagedMessage> {
+        self.static_buffers.get(usize::from(slot))?.as_ref()
+    }
+
+    /// Host side: enqueues a dynamic transmission request on `channel`.
+    /// Requests keep priority order by frame id; equal ids stay FIFO.
+    pub fn enqueue_dynamic(&mut self, channel: ChannelId, req: DynamicRequest) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let q = &mut self.dynamic[channel.index()];
+        // Insert before the first entry with a strictly larger id, after
+        // all entries with the same or smaller id (FIFO among equals).
+        let pos = q
+            .iter()
+            .position(|(_, r)| r.frame_id > req.frame_id)
+            .unwrap_or(q.len());
+        q.insert(pos, (seq, req));
+    }
+
+    /// Controller side: the head-of-queue request on `channel`, if any.
+    pub fn peek_dynamic(&self, channel: ChannelId) -> Option<&DynamicRequest> {
+        self.dynamic[channel.index()].front().map(|(_, r)| r)
+    }
+
+    /// Controller side: pops the head-of-queue request on `channel`.
+    pub fn pop_dynamic(&mut self, channel: ChannelId) -> Option<DynamicRequest> {
+        self.dynamic[channel.index()].pop_front().map(|(_, r)| r)
+    }
+
+    /// Number of pending dynamic requests on `channel`.
+    pub fn dynamic_len(&self, channel: ChannelId) -> usize {
+        self.dynamic[channel.index()].len()
+    }
+
+    /// Host overruns observed so far.
+    pub fn overwrites(&self) -> u64 {
+        self.overwrites
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn staged(message: MessageId) -> StagedMessage {
+        StagedMessage {
+            message,
+            payload_bytes: 8,
+            produced_at: SimTime::ZERO,
+        }
+    }
+
+    fn req(id: u16, message: MessageId) -> DynamicRequest {
+        DynamicRequest {
+            frame_id: FrameId::new(id),
+            staged: staged(message),
+        }
+    }
+
+    #[test]
+    fn static_buffer_roundtrip() {
+        let mut chi = Chi::new(4);
+        chi.write_static(2, staged(7));
+        assert_eq!(chi.peek_static(2).unwrap().message, 7);
+        assert_eq!(chi.take_static(2).unwrap().message, 7);
+        assert!(chi.take_static(2).is_none());
+        assert!(chi.peek_static(3).is_none());
+    }
+
+    #[test]
+    fn overwrite_is_counted() {
+        let mut chi = Chi::new(2);
+        chi.write_static(1, staged(1));
+        chi.write_static(1, staged(2));
+        assert_eq!(chi.overwrites(), 1);
+        assert_eq!(chi.take_static(1).unwrap().message, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "slot out of range")]
+    fn out_of_range_slot_rejected() {
+        let mut chi = Chi::new(2);
+        chi.write_static(3, staged(1));
+    }
+
+    #[test]
+    fn dynamic_queue_orders_by_frame_id() {
+        let mut chi = Chi::new(1);
+        chi.enqueue_dynamic(ChannelId::A, req(90, 1));
+        chi.enqueue_dynamic(ChannelId::A, req(85, 2));
+        chi.enqueue_dynamic(ChannelId::A, req(100, 3));
+        assert_eq!(chi.pop_dynamic(ChannelId::A).unwrap().staged.message, 2);
+        assert_eq!(chi.pop_dynamic(ChannelId::A).unwrap().staged.message, 1);
+        assert_eq!(chi.pop_dynamic(ChannelId::A).unwrap().staged.message, 3);
+    }
+
+    #[test]
+    fn equal_ids_stay_fifo() {
+        let mut chi = Chi::new(1);
+        chi.enqueue_dynamic(ChannelId::B, req(90, 1));
+        chi.enqueue_dynamic(ChannelId::B, req(90, 2));
+        chi.enqueue_dynamic(ChannelId::B, req(90, 3));
+        let order: Vec<MessageId> = std::iter::from_fn(|| {
+            chi.pop_dynamic(ChannelId::B).map(|r| r.staged.message)
+        })
+        .collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn channels_are_independent() {
+        let mut chi = Chi::new(1);
+        chi.enqueue_dynamic(ChannelId::A, req(90, 1));
+        assert_eq!(chi.dynamic_len(ChannelId::A), 1);
+        assert_eq!(chi.dynamic_len(ChannelId::B), 0);
+        assert!(chi.peek_dynamic(ChannelId::B).is_none());
+        assert_eq!(chi.peek_dynamic(ChannelId::A).unwrap().staged.message, 1);
+    }
+}

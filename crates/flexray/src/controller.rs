@@ -1,0 +1,217 @@
+//! The communication controller (CC).
+//!
+//! The CC executes the protocol on behalf of its node: it maintains one
+//! slot counter per channel (§III-D), transmits scheduled static frames
+//! from the CHI buffers, and arbitrates dynamic frames by comparing its
+//! head-of-queue frame id with the cluster-wide dynamic slot counter.
+
+use crate::channel::ChannelId;
+use crate::chi::{Chi, DynamicRequest, StagedMessage};
+use crate::node::NodeId;
+use crate::schedule::ScheduleTable;
+
+/// A node's communication controller.
+#[derive(Debug, Clone)]
+pub struct CommunicationController {
+    node: NodeId,
+    table: ScheduleTable,
+    chi: Chi,
+    /// `vSlotCounter`, one per channel; reset to 1 at each cycle start.
+    slot_counter: [u64; 2],
+}
+
+impl CommunicationController {
+    /// Creates a controller for `node` acting on its entries of `table`.
+    pub fn new(node: NodeId, table: ScheduleTable) -> Self {
+        let slots = table.slot_count();
+        CommunicationController {
+            node,
+            table,
+            chi: Chi::new(slots),
+            slot_counter: [1, 1],
+        }
+    }
+
+    /// The owning node.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// The schedule table this controller follows.
+    pub fn table(&self) -> &ScheduleTable {
+        &self.table
+    }
+
+    /// The CHI buffers (host side writes here).
+    pub fn chi(&self) -> &Chi {
+        &self.chi
+    }
+
+    /// The CHI buffers, mutably.
+    pub fn chi_mut(&mut self) -> &mut Chi {
+        &mut self.chi
+    }
+
+    /// Resets both slot counters to 1 (called at each cycle start,
+    /// §III-D: "these slot counters have the initial value of 1 at the
+    /// beginning of each communication cycle").
+    pub fn begin_cycle(&mut self) {
+        self.slot_counter = [1, 1];
+    }
+
+    /// Advances the slot counter of `channel` (called at the end of each
+    /// communication slot) and returns the new value.
+    pub fn advance_slot_counter(&mut self, channel: ChannelId) -> u64 {
+        self.slot_counter[channel.index()] += 1;
+        self.slot_counter[channel.index()]
+    }
+
+    /// Current `vSlotCounter` value for `channel`.
+    pub fn slot_counter(&self, channel: ChannelId) -> u64 {
+        self.slot_counter[channel.index()]
+    }
+
+    /// The frame this controller transmits in static `slot` on `channel`
+    /// during the cycle with counter `cycle_counter`, if the slot is owned
+    /// by this node, active this cycle, and the CHI holds fresh data.
+    ///
+    /// For entries configured on both channels, the staged message is
+    /// consumed when the *last* channel (B) has been served, so a single
+    /// staging transmits redundantly on A and B.
+    pub fn static_frame(
+        &mut self,
+        cycle_counter: u8,
+        slot: u16,
+        channel: ChannelId,
+    ) -> Option<StagedMessage> {
+        let entry = self.table.lookup(slot, channel, cycle_counter)?;
+        if entry.node != self.node {
+            return None;
+        }
+        let consume = match channel {
+            ChannelId::A => !entry.channels.contains(ChannelId::B),
+            ChannelId::B => true,
+        };
+        if consume {
+            self.chi.take_static(slot)
+        } else {
+            self.chi.peek_static(slot).cloned()
+        }
+    }
+
+    /// Dynamic arbitration: if the head of this node's dynamic queue on
+    /// `channel` carries exactly `frame_id`, pops and returns it.
+    /// (FlexRay lets a node transmit in a dynamic slot only when the
+    /// cluster-wide slot counter equals the frame's id.)
+    pub fn dynamic_frame(&mut self, channel: ChannelId, frame_id: u16) -> Option<DynamicRequest> {
+        let head = self.chi.peek_dynamic(channel)?;
+        if head.frame_id.get() == frame_id {
+            self.chi.pop_dynamic(channel)
+        } else {
+            None
+        }
+    }
+
+    /// The smallest pending dynamic frame id on `channel`, if any — what
+    /// the node would transmit next.
+    pub fn next_dynamic_id(&self, channel: ChannelId) -> Option<u16> {
+        self.chi.peek_dynamic(channel).map(|r| r.frame_id.get())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channel::ChannelSet;
+    use crate::frame::FrameId;
+    use crate::schedule::ScheduleEntry;
+    use event_sim::SimTime;
+
+    fn entry(slot: u16, node: NodeId, channels: ChannelSet) -> ScheduleEntry {
+        ScheduleEntry {
+            slot,
+            base_cycle: 0,
+            repetition: 1,
+            node,
+            channels,
+            message: u32::from(slot),
+        }
+    }
+
+    fn staged(message: u32) -> StagedMessage {
+        StagedMessage {
+            message,
+            payload_bytes: 4,
+            produced_at: SimTime::ZERO,
+        }
+    }
+
+    #[test]
+    fn slot_counters_reset_and_advance() {
+        let id = NodeId::new(0);
+        let table = ScheduleTable::new(4, vec![entry(1, id, ChannelSet::AOnly)]).unwrap();
+        let mut cc = CommunicationController::new(id, table);
+        assert_eq!(cc.slot_counter(ChannelId::A), 1);
+        assert_eq!(cc.advance_slot_counter(ChannelId::A), 2);
+        assert_eq!(cc.slot_counter(ChannelId::B), 1);
+        cc.begin_cycle();
+        assert_eq!(cc.slot_counter(ChannelId::A), 1);
+    }
+
+    #[test]
+    fn static_frame_only_in_owned_slots() {
+        let me = NodeId::new(0);
+        let other = NodeId::new(1);
+        let table = ScheduleTable::new(
+            4,
+            vec![entry(1, me, ChannelSet::AOnly), entry(2, other, ChannelSet::AOnly)],
+        )
+        .unwrap();
+        let mut cc = CommunicationController::new(me, table);
+        cc.chi_mut().write_static(1, staged(10));
+        cc.chi_mut().write_static(2, staged(20));
+        assert!(cc.static_frame(0, 1, ChannelId::A).is_some());
+        // Slot 2 belongs to the other node: this controller stays silent.
+        assert!(cc.static_frame(0, 2, ChannelId::A).is_none());
+    }
+
+    #[test]
+    fn dual_channel_staging_served_on_both() {
+        let me = NodeId::new(0);
+        let table = ScheduleTable::new(4, vec![entry(1, me, ChannelSet::Both)]).unwrap();
+        let mut cc = CommunicationController::new(me, table);
+        cc.chi_mut().write_static(1, staged(10));
+        let a = cc.static_frame(0, 1, ChannelId::A);
+        assert!(a.is_some(), "A sees the staging");
+        let b = cc.static_frame(0, 1, ChannelId::B);
+        assert!(b.is_some(), "B consumes the staging");
+        // Consumed: next cycle has nothing until the host restages.
+        assert!(cc.static_frame(0, 1, ChannelId::A).is_none());
+    }
+
+    #[test]
+    fn empty_buffer_means_null_slot() {
+        let me = NodeId::new(0);
+        let table = ScheduleTable::new(4, vec![entry(1, me, ChannelSet::AOnly)]).unwrap();
+        let mut cc = CommunicationController::new(me, table);
+        assert!(cc.static_frame(0, 1, ChannelId::A).is_none());
+    }
+
+    #[test]
+    fn dynamic_arbitration_matches_frame_id() {
+        let me = NodeId::new(0);
+        let table = ScheduleTable::new(4, vec![entry(1, me, ChannelSet::AOnly)]).unwrap();
+        let mut cc = CommunicationController::new(me, table);
+        cc.chi_mut().enqueue_dynamic(
+            ChannelId::A,
+            DynamicRequest {
+                frame_id: FrameId::new(90),
+                staged: staged(5),
+            },
+        );
+        assert_eq!(cc.next_dynamic_id(ChannelId::A), Some(90));
+        assert!(cc.dynamic_frame(ChannelId::A, 89).is_none());
+        assert!(cc.dynamic_frame(ChannelId::A, 90).is_some());
+        assert!(cc.dynamic_frame(ChannelId::A, 90).is_none());
+    }
+}

@@ -1,0 +1,310 @@
+//! FlexRay frame format.
+//!
+//! A frame is 5 header bytes, 0–254 payload bytes (counted in 2-byte
+//! words) and a 3-byte trailer CRC:
+//!
+//! ```text
+//! | ind(5) | frame id(11) | length(7) | header CRC(11) | cycle(6) | payload | CRC(24) |
+//! ```
+//!
+//! The five indicator bits are: reserved, payload preamble, null frame,
+//! sync frame, startup frame.
+
+use std::fmt;
+
+use crate::channel::ChannelId;
+use crate::crc;
+
+/// A validated FlexRay frame identifier (1–2047; 0 is reserved/invalid).
+/// The frame ID doubles as the slot number in the static segment and the
+/// arbitration priority in the dynamic segment — **lower IDs win**, which
+/// is why the paper's dynamic messages carry IDs above the static range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FrameId(u16);
+
+impl FrameId {
+    /// Largest valid frame id.
+    pub const MAX: u16 = 2047;
+
+    /// Creates a validated frame id.
+    ///
+    /// # Panics
+    /// Panics if `id` is 0 or exceeds [`FrameId::MAX`]; use
+    /// [`FrameId::try_new`] for fallible construction.
+    pub fn new(id: u16) -> Self {
+        Self::try_new(id).expect("frame id must be 1–2047")
+    }
+
+    /// Fallible constructor: `None` if `id` is 0 or exceeds
+    /// [`FrameId::MAX`].
+    pub fn try_new(id: u16) -> Option<Self> {
+        if (1..=Self::MAX).contains(&id) {
+            Some(FrameId(id))
+        } else {
+            None
+        }
+    }
+
+    /// The numeric id.
+    pub fn get(self) -> u16 {
+        self.0
+    }
+}
+
+impl fmt::Display for FrameId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// The decoded frame header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FrameHeader {
+    /// Payload-preamble indicator (payload begins with a network-management
+    /// vector or message id).
+    pub payload_preamble: bool,
+    /// Null-frame indicator (slot owner transmitted no new data).
+    pub null_frame: bool,
+    /// Sync-frame indicator (frame participates in clock sync).
+    pub sync_frame: bool,
+    /// Startup-frame indicator (frame participates in cold start).
+    pub startup_frame: bool,
+    /// The frame/slot identifier.
+    pub frame_id: FrameId,
+    /// Payload length in 2-byte words (0–127).
+    pub payload_words: u8,
+    /// The 11-bit header CRC over (sync, startup, id, length).
+    pub header_crc: u16,
+    /// Cycle counter value (0–63) stamped at transmission.
+    pub cycle_count: u8,
+}
+
+impl FrameHeader {
+    /// Builds a header, computing the header CRC.
+    ///
+    /// # Panics
+    /// Panics if `payload_words > 127` or `cycle_count > 63`.
+    pub fn new(
+        frame_id: FrameId,
+        payload_words: u8,
+        cycle_count: u8,
+        sync_frame: bool,
+        startup_frame: bool,
+    ) -> Self {
+        assert!(payload_words <= 127, "payload length field is 7 bits");
+        assert!(cycle_count <= 63, "cycle counter is 6 bits");
+        let header_crc = Self::compute_crc(frame_id, payload_words, sync_frame, startup_frame);
+        FrameHeader {
+            payload_preamble: false,
+            null_frame: false,
+            sync_frame,
+            startup_frame,
+            frame_id,
+            payload_words,
+            header_crc,
+            cycle_count,
+        }
+    }
+
+    /// The CRC the header *should* carry given its protected fields.
+    pub fn compute_crc(
+        frame_id: FrameId,
+        payload_words: u8,
+        sync_frame: bool,
+        startup_frame: bool,
+    ) -> u16 {
+        let bits = crc::low_bits(u32::from(sync_frame), 1)
+            .chain(crc::low_bits(u32::from(startup_frame), 1))
+            .chain(crc::low_bits(u32::from(frame_id.get()), 11))
+            .chain(crc::low_bits(u32::from(payload_words), 7));
+        crc::header_crc(bits)
+    }
+
+    /// `true` if the stored header CRC matches the protected fields.
+    pub fn crc_valid(&self) -> bool {
+        self.header_crc
+            == Self::compute_crc(
+                self.frame_id,
+                self.payload_words,
+                self.sync_frame,
+                self.startup_frame,
+            )
+    }
+
+    /// Serializes the 40 header bits, MSB-first.
+    pub fn bits(&self) -> Vec<bool> {
+        let mut v = Vec::with_capacity(40);
+        v.push(false); // reserved bit
+        v.push(self.payload_preamble);
+        v.push(self.null_frame);
+        v.push(self.sync_frame);
+        v.push(self.startup_frame);
+        v.extend(crc::low_bits(u32::from(self.frame_id.get()), 11));
+        v.extend(crc::low_bits(u32::from(self.payload_words), 7));
+        v.extend(crc::low_bits(u32::from(self.header_crc), 11));
+        v.extend(crc::low_bits(u32::from(self.cycle_count), 6));
+        debug_assert_eq!(v.len(), 40);
+        v
+    }
+}
+
+/// A complete FlexRay frame: header, payload and (computed) trailer CRC.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Frame {
+    header: FrameHeader,
+    payload: Vec<u8>,
+}
+
+impl Frame {
+    /// Builds a data frame around `payload` (padded to a whole word).
+    ///
+    /// # Panics
+    /// Panics if the payload exceeds 254 bytes or `cycle_count > 63`.
+    pub fn new(frame_id: FrameId, mut payload: Vec<u8>, cycle_count: u8) -> Self {
+        assert!(payload.len() <= 254, "payload exceeds 254 bytes");
+        if payload.len() % 2 == 1 {
+            payload.push(0);
+        }
+        let words = (payload.len() / 2) as u8;
+        Frame {
+            header: FrameHeader::new(frame_id, words, cycle_count, false, false),
+            payload,
+        }
+    }
+
+    /// Builds a sync/startup frame (used by the clock-sync and startup
+    /// machinery).
+    pub fn sync_frame(frame_id: FrameId, payload: Vec<u8>, cycle_count: u8) -> Self {
+        let mut f = Frame::new(frame_id, payload, cycle_count);
+        f.header = FrameHeader::new(
+            frame_id,
+            f.header.payload_words,
+            cycle_count,
+            true,
+            true,
+        );
+        f
+    }
+
+    /// The frame header.
+    pub fn header(&self) -> &FrameHeader {
+        &self.header
+    }
+
+    /// The frame id.
+    pub fn id(&self) -> FrameId {
+        self.header.frame_id
+    }
+
+    /// The payload bytes (always an even count).
+    pub fn payload(&self) -> &[u8] {
+        &self.payload
+    }
+
+    /// Serializes header + payload bits (the region covered by the frame
+    /// CRC), MSB-first.
+    pub fn protected_bits(&self) -> Vec<bool> {
+        let mut v = self.header.bits();
+        v.extend(crc::byte_bits(&self.payload));
+        v
+    }
+
+    /// The 24-bit frame CRC for transmission on `channel`.
+    pub fn frame_crc(&self, channel: ChannelId) -> u32 {
+        crc::frame_crc(self.protected_bits(), channel)
+    }
+
+    /// Verifies a received `(frame, crc)` pair against `channel`'s init
+    /// vector.
+    pub fn verify(&self, received_crc: u32, channel: ChannelId) -> bool {
+        self.header.crc_valid() && self.frame_crc(channel) == received_crc
+    }
+
+    /// Number of frame bytes on the wire (header + payload + trailer).
+    pub fn byte_count(&self) -> u64 {
+        crate::codec::HEADER_BYTES + self.payload.len() as u64 + crate::codec::TRAILER_BYTES
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_id_validation() {
+        assert!(FrameId::try_new(0).is_none());
+        assert!(FrameId::try_new(2048).is_none());
+        assert_eq!(FrameId::try_new(1).unwrap().get(), 1);
+        assert_eq!(FrameId::new(2047).get(), 2047);
+        assert_eq!(FrameId::new(5).to_string(), "#5");
+    }
+
+    #[test]
+    #[should_panic(expected = "frame id must be")]
+    fn frame_id_zero_panics() {
+        let _ = FrameId::new(0);
+    }
+
+    #[test]
+    fn header_crc_roundtrip() {
+        let h = FrameHeader::new(FrameId::new(42), 8, 3, false, false);
+        assert!(h.crc_valid());
+        let mut tampered = h;
+        tampered.payload_words = 9;
+        assert!(!tampered.crc_valid());
+    }
+
+    #[test]
+    fn header_bits_are_forty() {
+        let h = FrameHeader::new(FrameId::new(2047), 127, 63, true, true);
+        let bits = h.bits();
+        assert_eq!(bits.len(), 40);
+        // Indicators: reserved=0, preamble=0, null=0, sync=1, startup=1.
+        assert_eq!(&bits[..5], &[false, false, false, true, true]);
+    }
+
+    #[test]
+    fn frame_pads_odd_payload() {
+        let f = Frame::new(FrameId::new(7), vec![1, 2, 3], 0);
+        assert_eq!(f.payload().len(), 4);
+        assert_eq!(f.header().payload_words, 2);
+        assert_eq!(f.byte_count(), 5 + 4 + 3);
+    }
+
+    #[test]
+    fn frame_crc_verifies_and_detects_channel_swap() {
+        let f = Frame::new(FrameId::new(9), vec![0xAA; 16], 5);
+        let crc_a = f.frame_crc(ChannelId::A);
+        assert!(f.verify(crc_a, ChannelId::A));
+        assert!(!f.verify(crc_a, ChannelId::B), "cross-channel CRC must fail");
+    }
+
+    #[test]
+    fn frame_crc_detects_payload_corruption() {
+        let f = Frame::new(FrameId::new(9), vec![0u8; 8], 0);
+        let crc = f.frame_crc(ChannelId::A);
+        let mut corrupted = Frame::new(FrameId::new(9), vec![0u8; 8], 0);
+        corrupted.payload[3] ^= 0x10;
+        assert_ne!(corrupted.frame_crc(ChannelId::A), crc);
+    }
+
+    #[test]
+    fn sync_frame_sets_indicators() {
+        let f = Frame::sync_frame(FrameId::new(3), vec![0; 2], 1);
+        assert!(f.header().sync_frame);
+        assert!(f.header().startup_frame);
+        assert!(f.header().crc_valid());
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds 254")]
+    fn oversized_payload_rejected() {
+        let _ = Frame::new(FrameId::new(1), vec![0; 255], 0);
+    }
+
+    #[test]
+    fn cycle_count_in_header() {
+        let f = Frame::new(FrameId::new(1), vec![0; 2], 63);
+        assert_eq!(f.header().cycle_count, 63);
+    }
+}

@@ -1,0 +1,169 @@
+//! ECU nodes.
+//!
+//! A node is a host (application software producing and consuming
+//! messages) plus a communication controller, joined by the CHI buffers
+//! (§II-B). The [`Node`] type here offers the host-side API; the
+//! controller logic lives in [`crate::controller`].
+
+use std::fmt;
+
+use event_sim::SimTime;
+
+use crate::channel::ChannelId;
+use crate::chi::{DynamicRequest, StagedMessage};
+use crate::controller::CommunicationController;
+use crate::frame::FrameId;
+use crate::schedule::{MessageId, ScheduleTable};
+
+/// Identifier of an ECU node in the cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(u8);
+
+impl NodeId {
+    /// Creates a node id.
+    pub const fn new(id: u8) -> Self {
+        NodeId(id)
+    }
+
+    /// The numeric id.
+    pub const fn get(self) -> u8 {
+        self.0
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "E{}", self.0)
+    }
+}
+
+/// An ECU node: host-side API over a communication controller.
+#[derive(Debug, Clone)]
+pub struct Node {
+    id: NodeId,
+    controller: CommunicationController,
+}
+
+impl Node {
+    /// Creates a node with a controller configured from the cluster-wide
+    /// schedule `table` (the controller only acts on entries owned by
+    /// `id`).
+    pub fn new(id: NodeId, table: ScheduleTable) -> Self {
+        Node {
+            id,
+            controller: CommunicationController::new(id, table),
+        }
+    }
+
+    /// This node's id.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// The communication controller (bus-facing side).
+    pub fn controller(&self) -> &CommunicationController {
+        &self.controller
+    }
+
+    /// The communication controller, mutably.
+    pub fn controller_mut(&mut self) -> &mut CommunicationController {
+        &mut self.controller
+    }
+
+    /// Host API: stages a periodic message for its static slot. The
+    /// controller transmits it in the next owned occurrence of `slot`.
+    ///
+    /// # Panics
+    /// Panics if `slot` is out of range for the schedule table.
+    pub fn produce_static(
+        &mut self,
+        slot: u16,
+        message: MessageId,
+        payload_bytes: u16,
+        now: SimTime,
+    ) {
+        self.controller.chi_mut().write_static(
+            slot,
+            StagedMessage {
+                message,
+                payload_bytes,
+                produced_at: now,
+            },
+        );
+    }
+
+    /// Host API: submits an event-triggered message for the dynamic
+    /// segment of `channel` under `frame_id` (the arbitration priority).
+    pub fn produce_dynamic(
+        &mut self,
+        channel: ChannelId,
+        frame_id: FrameId,
+        message: MessageId,
+        payload_bytes: u16,
+        now: SimTime,
+    ) {
+        self.controller.chi_mut().enqueue_dynamic(
+            channel,
+            DynamicRequest {
+                frame_id,
+                staged: StagedMessage {
+                    message,
+                    payload_bytes,
+                    produced_at: now,
+                },
+            },
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channel::ChannelSet;
+    use crate::schedule::ScheduleEntry;
+
+    fn table_for(node: NodeId) -> ScheduleTable {
+        ScheduleTable::new(
+            4,
+            vec![ScheduleEntry {
+                slot: 2,
+                base_cycle: 0,
+                repetition: 1,
+                node,
+                channels: ChannelSet::Both,
+                message: 42,
+            }],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn node_id_display() {
+        assert_eq!(NodeId::new(3).to_string(), "E3");
+        assert_eq!(NodeId::new(3).get(), 3);
+    }
+
+    #[test]
+    fn host_staging_reaches_controller() {
+        let id = NodeId::new(1);
+        let mut n = Node::new(id, table_for(id));
+        n.produce_static(2, 42, 8, SimTime::ZERO);
+        let frame = n
+            .controller_mut()
+            .static_frame(0, 2, ChannelId::A)
+            .expect("owned slot with data");
+        assert_eq!(frame.message, 42);
+    }
+
+    #[test]
+    fn dynamic_submission_queues() {
+        let id = NodeId::new(1);
+        let mut n = Node::new(id, table_for(id));
+        n.produce_dynamic(ChannelId::A, FrameId::new(90), 7, 4, SimTime::ZERO);
+        let got = n
+            .controller_mut()
+            .dynamic_frame(ChannelId::A, 90)
+            .expect("matching frame id");
+        assert_eq!(got.staged.message, 7);
+    }
+}

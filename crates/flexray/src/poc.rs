@@ -1,0 +1,291 @@
+//! Protocol Operation Control (POC).
+//!
+//! Each communication controller runs a state machine governing when it
+//! may transmit: it powers up into configuration, becomes ready, optionally
+//! performs wakeup, joins or leads startup, and then alternates between
+//! normal-active and normal-passive depending on clock-sync quality, with
+//! halt as the terminal error state. The transitions implemented here
+//! cover the host-commanded and error-driven paths the FlexRay 2.1 spec
+//! defines at this granularity.
+
+use std::fmt;
+
+/// POC states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PocState {
+    /// Parameters being written by the host; transmission forbidden.
+    Config,
+    /// Configured and waiting for a run command.
+    Ready,
+    /// Transmitting wakeup symbols on the configured channel.
+    Wakeup,
+    /// Integrating into (or leading) the TDMA schedule.
+    Startup,
+    /// Fully synchronized; transmission allowed.
+    NormalActive,
+    /// Degraded sync; reception only, no transmission.
+    NormalPassive,
+    /// Terminal error state; only a host reset leaves it.
+    Halt,
+}
+
+impl fmt::Display for PocState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            PocState::Config => "CONFIG",
+            PocState::Ready => "READY",
+            PocState::Wakeup => "WAKEUP",
+            PocState::Startup => "STARTUP",
+            PocState::NormalActive => "NORMAL_ACTIVE",
+            PocState::NormalPassive => "NORMAL_PASSIVE",
+            PocState::Halt => "HALT",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Events driving the POC state machine: host commands and protocol
+/// conditions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PocEvent {
+    /// Host finished writing configuration.
+    ConfigComplete,
+    /// Host commands wakeup transmission.
+    WakeupRequest,
+    /// Wakeup pattern transmitted / detected.
+    WakeupComplete,
+    /// Host commands the controller to run (join startup).
+    RunRequest,
+    /// Startup integration succeeded (enough sync frames seen).
+    StartupComplete,
+    /// Clock-sync quality dropped below the passive limit.
+    SyncLoss,
+    /// Clock-sync quality recovered above the passive limit.
+    SyncRecovered,
+    /// Sync error count exceeded the halt limit, or host commanded halt.
+    HaltRequest,
+    /// Host resets the controller back to configuration.
+    Reset,
+}
+
+/// Error returned for transitions the protocol does not define.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InvalidTransition {
+    /// State the machine was in.
+    pub from: PocState,
+    /// The rejected event.
+    pub event: PocEvent,
+}
+
+impl fmt::Display for InvalidTransition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "event {:?} is not valid in POC state {}", self.event, self.from)
+    }
+}
+
+impl std::error::Error for InvalidTransition {}
+
+/// The POC state machine.
+///
+/// ```
+/// use flexray::poc::{Poc, PocEvent, PocState};
+/// let mut poc = Poc::new();
+/// poc.apply(PocEvent::ConfigComplete)?;
+/// poc.apply(PocEvent::RunRequest)?;
+/// poc.apply(PocEvent::StartupComplete)?;
+/// assert_eq!(poc.state(), PocState::NormalActive);
+/// assert!(poc.may_transmit());
+/// # Ok::<(), flexray::poc::InvalidTransition>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Poc {
+    state: PocState,
+    sync_errors: u32,
+    halt_limit: u32,
+}
+
+impl Default for Poc {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Poc {
+    /// A controller fresh out of power-up, in `Config`, with the default
+    /// halt limit of 8 consecutive sync losses.
+    pub fn new() -> Self {
+        Poc {
+            state: PocState::Config,
+            sync_errors: 0,
+            halt_limit: 8,
+        }
+    }
+
+    /// Sets the number of consecutive sync losses tolerated in
+    /// `NormalPassive` before the controller halts itself.
+    pub fn with_halt_limit(mut self, limit: u32) -> Self {
+        self.halt_limit = limit;
+        self
+    }
+
+    /// Current state.
+    pub fn state(&self) -> PocState {
+        self.state
+    }
+
+    /// Consecutive sync losses observed since the last recovery.
+    pub fn sync_errors(&self) -> u32 {
+        self.sync_errors
+    }
+
+    /// `true` when the protocol permits frame transmission.
+    pub fn may_transmit(&self) -> bool {
+        self.state == PocState::NormalActive
+    }
+
+    /// `true` when the controller at least receives frames.
+    pub fn is_synchronized(&self) -> bool {
+        matches!(self.state, PocState::NormalActive | PocState::NormalPassive)
+    }
+
+    /// Applies `event`, returning the new state.
+    ///
+    /// # Errors
+    /// [`InvalidTransition`] if the protocol defines no such edge.
+    pub fn apply(&mut self, event: PocEvent) -> Result<PocState, InvalidTransition> {
+        use PocEvent as E;
+        use PocState as S;
+        let next = match (self.state, event) {
+            (S::Config, E::ConfigComplete) => S::Ready,
+            (S::Ready, E::WakeupRequest) => S::Wakeup,
+            (S::Wakeup, E::WakeupComplete) => S::Ready,
+            (S::Ready, E::RunRequest) => S::Startup,
+            (S::Startup, E::StartupComplete) => {
+                self.sync_errors = 0;
+                S::NormalActive
+            }
+            (S::NormalActive, E::SyncLoss) => {
+                self.sync_errors += 1;
+                S::NormalPassive
+            }
+            (S::NormalPassive, E::SyncLoss) => {
+                self.sync_errors += 1;
+                if self.sync_errors >= self.halt_limit {
+                    S::Halt
+                } else {
+                    S::NormalPassive
+                }
+            }
+            (S::NormalPassive, E::SyncRecovered) => {
+                self.sync_errors = 0;
+                S::NormalActive
+            }
+            (S::NormalActive | S::NormalPassive | S::Startup, E::HaltRequest) => S::Halt,
+            (_, E::Reset) => {
+                self.sync_errors = 0;
+                S::Config
+            }
+            (from, event) => return Err(InvalidTransition { from, event }),
+        };
+        self.state = next;
+        Ok(next)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn running_poc() -> Poc {
+        let mut p = Poc::new();
+        p.apply(PocEvent::ConfigComplete).unwrap();
+        p.apply(PocEvent::RunRequest).unwrap();
+        p.apply(PocEvent::StartupComplete).unwrap();
+        p
+    }
+
+    #[test]
+    fn happy_path_to_normal_active() {
+        let p = running_poc();
+        assert_eq!(p.state(), PocState::NormalActive);
+        assert!(p.may_transmit());
+        assert!(p.is_synchronized());
+    }
+
+    #[test]
+    fn wakeup_detour() {
+        let mut p = Poc::new();
+        p.apply(PocEvent::ConfigComplete).unwrap();
+        p.apply(PocEvent::WakeupRequest).unwrap();
+        assert_eq!(p.state(), PocState::Wakeup);
+        p.apply(PocEvent::WakeupComplete).unwrap();
+        assert_eq!(p.state(), PocState::Ready);
+        p.apply(PocEvent::RunRequest).unwrap();
+        assert_eq!(p.state(), PocState::Startup);
+    }
+
+    #[test]
+    fn sync_loss_degrades_then_recovers() {
+        let mut p = running_poc();
+        p.apply(PocEvent::SyncLoss).unwrap();
+        assert_eq!(p.state(), PocState::NormalPassive);
+        assert!(!p.may_transmit());
+        assert!(p.is_synchronized());
+        p.apply(PocEvent::SyncRecovered).unwrap();
+        assert_eq!(p.state(), PocState::NormalActive);
+        assert_eq!(p.sync_errors(), 0);
+    }
+
+    #[test]
+    fn repeated_sync_loss_halts() {
+        let mut p = running_poc();
+        p = Poc {
+            halt_limit: 3,
+            ..p
+        };
+        p.apply(PocEvent::SyncLoss).unwrap(); // 1 → passive
+        p.apply(PocEvent::SyncLoss).unwrap(); // 2 → passive
+        assert_eq!(p.state(), PocState::NormalPassive);
+        p.apply(PocEvent::SyncLoss).unwrap(); // 3 → halt
+        assert_eq!(p.state(), PocState::Halt);
+        assert!(!p.is_synchronized());
+    }
+
+    #[test]
+    fn halt_only_leaves_via_reset() {
+        let mut p = running_poc();
+        p.apply(PocEvent::HaltRequest).unwrap();
+        assert_eq!(p.state(), PocState::Halt);
+        let err = p.apply(PocEvent::RunRequest).unwrap_err();
+        assert_eq!(err.from, PocState::Halt);
+        p.apply(PocEvent::Reset).unwrap();
+        assert_eq!(p.state(), PocState::Config);
+    }
+
+    #[test]
+    fn invalid_transitions_rejected() {
+        let mut p = Poc::new();
+        assert!(p.apply(PocEvent::RunRequest).is_err());
+        assert!(p.apply(PocEvent::SyncLoss).is_err());
+        assert_eq!(p.state(), PocState::Config, "state unchanged on error");
+    }
+
+    #[test]
+    fn reset_from_anywhere() {
+        for mk in [Poc::new, running_poc] {
+            let mut p = mk();
+            p.apply(PocEvent::Reset).unwrap();
+            assert_eq!(p.state(), PocState::Config);
+        }
+    }
+
+    #[test]
+    fn display_and_errors() {
+        assert_eq!(PocState::NormalActive.to_string(), "NORMAL_ACTIVE");
+        let e = InvalidTransition {
+            from: PocState::Halt,
+            event: PocEvent::RunRequest,
+        };
+        assert!(e.to_string().contains("HALT"));
+    }
+}

@@ -1,0 +1,303 @@
+//! Cluster startup (coldstart and integration).
+//!
+//! A FlexRay cluster boots in two roles: *coldstart* nodes compete to
+//! establish the TDMA schedule (the winner — in practice the one whose CAS
+//! and first startup frame go uncontended — becomes the *leading*
+//! coldstart node and the others join as *following* coldstart nodes),
+//! and ordinary nodes *integrate* by listening for a consistent pair of
+//! startup frames across consecutive double cycles.
+//!
+//! This module models that sequence at cycle granularity: enough fidelity
+//! to exercise the POC's startup path and to reason about how long a
+//! cluster takes to reach steady state — not a bit-level re-creation of
+//! the spec's wakeup/CAS symbols.
+
+use crate::node::NodeId;
+use crate::poc::{Poc, PocEvent, PocState};
+
+/// Per-node startup role.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StartupRole {
+    /// May initiate the schedule (needs a key slot with a startup frame).
+    Coldstart,
+    /// Joins only after observing a running schedule.
+    Integrating,
+}
+
+/// The phase a node is in during cluster startup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StartupPhase {
+    /// Listening for existing traffic before daring a coldstart.
+    Listen,
+    /// Sent the collision-avoidance symbol; transmitting the first startup
+    /// frames, waiting to see them echoed without collision.
+    ColdstartCollisionResolution,
+    /// Seen consistent startup frames; counting double cycles until join.
+    IntegrationConsistencyCheck {
+        /// Consistent double cycles observed so far.
+        seen: u8,
+    },
+    /// Fully synchronized and participating.
+    Operational,
+}
+
+/// One node's startup controller.
+#[derive(Debug, Clone)]
+pub struct StartupNode {
+    id: NodeId,
+    role: StartupRole,
+    phase: StartupPhase,
+    poc: Poc,
+    /// Cycles spent listening before a coldstart attempt (role Coldstart).
+    listen_budget: u8,
+}
+
+impl StartupNode {
+    /// Creates a node ready to start up (POC already configured).
+    pub fn new(id: NodeId, role: StartupRole) -> Self {
+        let mut poc = Poc::new();
+        poc.apply(PocEvent::ConfigComplete).expect("fresh POC accepts config");
+        poc.apply(PocEvent::RunRequest).expect("ready POC accepts run");
+        StartupNode {
+            id,
+            role,
+            phase: StartupPhase::Listen,
+            poc,
+            listen_budget: 2,
+        }
+    }
+
+    /// The node id.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// The configured role.
+    pub fn role(&self) -> StartupRole {
+        self.role
+    }
+
+    /// Current phase.
+    pub fn phase(&self) -> StartupPhase {
+        self.phase
+    }
+
+    /// `true` once the node reached normal operation.
+    pub fn is_operational(&self) -> bool {
+        self.phase == StartupPhase::Operational
+    }
+
+    /// The POC state (driven through startup by this controller).
+    pub fn poc_state(&self) -> PocState {
+        self.poc.state()
+    }
+}
+
+/// Outcome of a cluster startup simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StartupOutcome {
+    /// The node that established the schedule.
+    pub leader: NodeId,
+    /// Cycle at which each node became operational, in node order.
+    pub joined_at: Vec<(NodeId, u64)>,
+    /// Total cycles until the whole cluster was operational.
+    pub cycles: u64,
+}
+
+/// Errors of [`run_startup`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StartupError {
+    /// No coldstart-capable node in the cluster.
+    NoColdstartNode,
+    /// The cluster did not converge within the cycle budget.
+    Timeout {
+        /// Budget that was exhausted.
+        budget: u64,
+    },
+}
+
+impl std::fmt::Display for StartupError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StartupError::NoColdstartNode => {
+                write!(f, "a cluster needs at least one coldstart node")
+            }
+            StartupError::Timeout { budget } => {
+                write!(f, "startup did not converge within {budget} cycles")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StartupError {}
+
+/// Simulates cluster startup at cycle granularity.
+///
+/// The lowest-id coldstart node wins collision resolution (deterministic
+/// stand-in for the spec's CAS contention — in a fault-free cluster the
+/// outcome is equivalent); following coldstart nodes integrate one double
+/// cycle later, ordinary nodes after two consistent double cycles.
+///
+/// # Errors
+/// [`StartupError::NoColdstartNode`] or [`StartupError::Timeout`].
+pub fn run_startup(nodes: &mut [StartupNode], max_cycles: u64) -> Result<StartupOutcome, StartupError> {
+    let leader = nodes
+        .iter()
+        .filter(|n| n.role == StartupRole::Coldstart)
+        .map(|n| n.id)
+        .min()
+        .ok_or(StartupError::NoColdstartNode)?;
+
+    let mut joined_at = Vec::new();
+    for cycle in 0..max_cycles {
+        // Is a schedule being broadcast this cycle? Only once the leader
+        // has passed collision resolution.
+        let schedule_visible = nodes
+            .iter()
+            .any(|n| n.id == leader && n.phase != StartupPhase::Listen);
+        for node in nodes.iter_mut() {
+            match node.phase {
+                StartupPhase::Listen => {
+                    if node.id == leader {
+                        if node.listen_budget == 0 {
+                            node.phase = StartupPhase::ColdstartCollisionResolution;
+                        } else {
+                            node.listen_budget -= 1;
+                        }
+                    } else if schedule_visible {
+                        node.phase = StartupPhase::IntegrationConsistencyCheck { seen: 0 };
+                    }
+                }
+                StartupPhase::ColdstartCollisionResolution => {
+                    // Uncontended in this model: one double cycle of its own
+                    // startup frames and the leader is operational.
+                    if cycle % 2 == 1 {
+                        node.phase = StartupPhase::Operational;
+                        node.poc
+                            .apply(PocEvent::StartupComplete)
+                            .expect("startup POC accepts completion");
+                        joined_at.push((node.id, cycle));
+                    }
+                }
+                StartupPhase::IntegrationConsistencyCheck { seen } => {
+                    // A consistent double cycle completes every second cycle.
+                    if cycle % 2 == 1 {
+                        let needed = match node.role {
+                            StartupRole::Coldstart => 1,  // following coldstart
+                            StartupRole::Integrating => 2,
+                        };
+                        if seen + 1 >= needed {
+                            node.phase = StartupPhase::Operational;
+                            node.poc
+                                .apply(PocEvent::StartupComplete)
+                                .expect("startup POC accepts completion");
+                            joined_at.push((node.id, cycle));
+                        } else {
+                            node.phase =
+                                StartupPhase::IntegrationConsistencyCheck { seen: seen + 1 };
+                        }
+                    }
+                }
+                StartupPhase::Operational => {}
+            }
+        }
+        if nodes.iter().all(StartupNode::is_operational) {
+            return Ok(StartupOutcome {
+                leader,
+                joined_at,
+                cycles: cycle + 1,
+            });
+        }
+    }
+    Err(StartupError::Timeout { budget: max_cycles })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cluster(coldstart: &[u8], integrating: &[u8]) -> Vec<StartupNode> {
+        coldstart
+            .iter()
+            .map(|&i| StartupNode::new(NodeId::new(i), StartupRole::Coldstart))
+            .chain(
+                integrating
+                    .iter()
+                    .map(|&i| StartupNode::new(NodeId::new(i), StartupRole::Integrating)),
+            )
+            .collect()
+    }
+
+    #[test]
+    fn lowest_id_coldstart_leads() {
+        let mut nodes = cluster(&[3, 1, 7], &[9]);
+        let out = run_startup(&mut nodes, 64).unwrap();
+        assert_eq!(out.leader, NodeId::new(1));
+    }
+
+    #[test]
+    fn whole_cluster_becomes_operational() {
+        let mut nodes = cluster(&[0, 1], &[2, 3, 4]);
+        let out = run_startup(&mut nodes, 64).unwrap();
+        assert!(nodes.iter().all(StartupNode::is_operational));
+        assert_eq!(out.joined_at.len(), 5);
+        for n in &nodes {
+            assert_eq!(n.poc_state(), PocState::NormalActive);
+        }
+    }
+
+    #[test]
+    fn leader_joins_first_then_coldstarters_then_plain_nodes() {
+        let mut nodes = cluster(&[0, 1], &[2]);
+        let out = run_startup(&mut nodes, 64).unwrap();
+        let at = |id: u8| {
+            out.joined_at
+                .iter()
+                .find(|(n, _)| *n == NodeId::new(id))
+                .map(|&(_, c)| c)
+                .unwrap()
+        };
+        assert!(at(0) <= at(1), "leader no later than following coldstart");
+        assert!(at(1) <= at(2), "coldstart no later than integrating node");
+    }
+
+    #[test]
+    fn integration_takes_two_double_cycles() {
+        let mut nodes = cluster(&[0], &[5]);
+        let out = run_startup(&mut nodes, 64).unwrap();
+        let leader_join = out.joined_at[0].1;
+        let plain_join = out.joined_at.last().unwrap().1;
+        assert!(
+            plain_join >= leader_join + 4,
+            "plain node joined too early: {plain_join} vs leader {leader_join}"
+        );
+    }
+
+    #[test]
+    fn no_coldstart_node_is_an_error() {
+        let mut nodes = cluster(&[], &[1, 2]);
+        assert_eq!(
+            run_startup(&mut nodes, 64).unwrap_err(),
+            StartupError::NoColdstartNode
+        );
+    }
+
+    #[test]
+    fn timeout_when_budget_too_small() {
+        let mut nodes = cluster(&[0], &[1]);
+        assert!(matches!(
+            run_startup(&mut nodes, 2),
+            Err(StartupError::Timeout { budget: 2 })
+        ));
+    }
+
+    #[test]
+    fn fresh_node_state() {
+        let n = StartupNode::new(NodeId::new(4), StartupRole::Integrating);
+        assert_eq!(n.id(), NodeId::new(4));
+        assert_eq!(n.role(), StartupRole::Integrating);
+        assert_eq!(n.phase(), StartupPhase::Listen);
+        assert_eq!(n.poc_state(), PocState::Startup);
+        assert!(!n.is_operational());
+    }
+}

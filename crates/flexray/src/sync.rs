@@ -1,0 +1,215 @@
+//! Clock synchronization.
+//!
+//! FlexRay keeps node clocks aligned with a fault-tolerant midpoint (FTM)
+//! algorithm: each node measures the deviation between the expected and
+//! observed arrival times of sync frames, discards the `k` largest and `k`
+//! smallest measurements (tolerating up to `k` faulty clocks), and averages
+//! the extremes of the remainder to obtain its offset correction. Rate
+//! correction compares measurements a double-cycle apart.
+//!
+//! The paper relies on this machinery implicitly ("the bus driver needs to
+//! contain clock synchronization with other nodes", §II-B); the bus engine
+//! assumes aligned clocks, and this module demonstrates and tests why that
+//! assumption holds.
+
+use std::fmt;
+
+/// Deviation of one observed sync-frame arrival from its expected time,
+/// in microticks (signed).
+pub type Deviation = i64;
+
+/// Errors from [`ftm_midpoint`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SyncError {
+    /// No measurements at all.
+    NoMeasurements,
+    /// Fewer than `2k + 1` measurements: cannot tolerate `k` faults.
+    TooFewForFaults {
+        /// Number of measurements supplied.
+        have: usize,
+        /// Faults to tolerate.
+        k: usize,
+    },
+}
+
+impl fmt::Display for SyncError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SyncError::NoMeasurements => write!(f, "no sync-frame measurements"),
+            SyncError::TooFewForFaults { have, k } => {
+                write!(f, "{have} measurements cannot tolerate {k} faulty clocks (need {})", 2 * k + 1)
+            }
+        }
+    }
+}
+
+impl std::error::Error for SyncError {}
+
+/// The fault-tolerant midpoint of `deviations` discarding the `k` largest
+/// and `k` smallest values: `(min' + max') / 2` of the surviving set
+/// (rounded toward zero).
+///
+/// # Errors
+/// * [`SyncError::NoMeasurements`] for an empty slice;
+/// * [`SyncError::TooFewForFaults`] if `deviations.len() < 2k + 1`.
+pub fn ftm_midpoint(deviations: &[Deviation], k: usize) -> Result<Deviation, SyncError> {
+    if deviations.is_empty() {
+        return Err(SyncError::NoMeasurements);
+    }
+    if deviations.len() < 2 * k + 1 {
+        return Err(SyncError::TooFewForFaults {
+            have: deviations.len(),
+            k,
+        });
+    }
+    let mut sorted = deviations.to_vec();
+    sorted.sort_unstable();
+    let survivors = &sorted[k..sorted.len() - k];
+    let min = survivors[0];
+    let max = survivors[survivors.len() - 1];
+    Ok((min + max) / 2)
+}
+
+/// Per-node clock correction state: applies FTM offset correction each
+/// double cycle and derives rate correction from consecutive offsets.
+#[derive(Debug, Clone, Default)]
+pub struct ClockCorrection {
+    /// Accumulated offset correction applied so far (microticks).
+    offset_correction: i64,
+    /// Current rate correction (microticks per double cycle).
+    rate_correction: i64,
+    /// Previous double-cycle offset measurement, for rate derivation.
+    last_offset: Option<i64>,
+    /// Number of correction rounds applied.
+    rounds: u64,
+}
+
+impl ClockCorrection {
+    /// Fresh state with no corrections.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Ingests one double-cycle's sync deviations, tolerating `k` faulty
+    /// clocks, and updates offset and rate corrections.
+    ///
+    /// # Errors
+    /// Propagates [`SyncError`] from the midpoint computation; state is
+    /// unchanged on error.
+    pub fn apply_round(&mut self, deviations: &[Deviation], k: usize) -> Result<(), SyncError> {
+        let offset = ftm_midpoint(deviations, k)?;
+        // Offset correction steers toward the cluster midpoint.
+        self.offset_correction -= offset;
+        // Rate correction: difference between successive offset
+        // measurements estimates the frequency error.
+        if let Some(prev) = self.last_offset {
+            self.rate_correction -= offset - prev;
+        }
+        self.last_offset = Some(offset);
+        self.rounds += 1;
+        Ok(())
+    }
+
+    /// Total offset correction applied (microticks).
+    pub fn offset_correction(&self) -> i64 {
+        self.offset_correction
+    }
+
+    /// Current rate correction (microticks per double cycle).
+    pub fn rate_correction(&self) -> i64 {
+        self.rate_correction
+    }
+
+    /// Correction rounds applied.
+    pub fn rounds(&self) -> u64 {
+        self.rounds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn midpoint_of_symmetric_set_is_zero() {
+        assert_eq!(ftm_midpoint(&[-4, -2, 0, 2, 4], 0).unwrap(), 0);
+        assert_eq!(ftm_midpoint(&[-4, -2, 0, 2, 4], 1).unwrap(), 0);
+        assert_eq!(ftm_midpoint(&[-4, -2, 0, 2, 4], 2).unwrap(), 0);
+    }
+
+    #[test]
+    fn discards_outliers() {
+        // One wildly faulty clock at +1000 must not move the midpoint when
+        // k = 1.
+        let honest = ftm_midpoint(&[-3, -1, 2, 4], 0).unwrap(); // (−3+4)/2 = 0
+        let with_fault = ftm_midpoint(&[-3, -1, 2, 4, 1000], 1).unwrap(); // drop −3 and 1000 → (−1+4)/2 = 1
+        assert!(with_fault.abs() <= honest.abs() + 2);
+        // Without fault tolerance the outlier dominates.
+        let naive = ftm_midpoint(&[-3, -1, 2, 4, 1000], 0).unwrap();
+        assert!(naive > 400);
+    }
+
+    #[test]
+    fn error_cases() {
+        assert_eq!(ftm_midpoint(&[], 0).unwrap_err(), SyncError::NoMeasurements);
+        assert_eq!(
+            ftm_midpoint(&[1, 2], 1).unwrap_err(),
+            SyncError::TooFewForFaults { have: 2, k: 1 }
+        );
+        assert!(ftm_midpoint(&[1, 2, 3], 1).is_ok());
+    }
+
+    #[test]
+    fn correction_converges_constant_offset() {
+        // A node consistently 10 microticks fast: after one round the
+        // offset correction compensates fully.
+        let mut c = ClockCorrection::new();
+        c.apply_round(&[10, 10, 10], 1).unwrap();
+        assert_eq!(c.offset_correction(), -10);
+        // A second identical round implies zero frequency error.
+        c.apply_round(&[10, 10, 10], 1).unwrap();
+        assert_eq!(c.rate_correction(), 0);
+        assert_eq!(c.rounds(), 2);
+    }
+
+    #[test]
+    fn rate_correction_tracks_drift() {
+        // Offsets growing by 5 per round ⇒ frequency error of 5 per double
+        // cycle; rate correction must counteract it.
+        let mut c = ClockCorrection::new();
+        c.apply_round(&[0, 0, 0], 0).unwrap();
+        c.apply_round(&[5, 5, 5], 0).unwrap();
+        c.apply_round(&[10, 10, 10], 0).unwrap();
+        assert_eq!(c.rate_correction(), -10); // −5 per round, two rounds
+    }
+
+    #[test]
+    fn failed_round_leaves_state_unchanged() {
+        let mut c = ClockCorrection::new();
+        c.apply_round(&[3, 3, 3], 0).unwrap();
+        let before = c.clone();
+        assert!(c.apply_round(&[], 0).is_err());
+        assert_eq!(format!("{c:?}"), format!("{before:?}"));
+    }
+
+    #[test]
+    fn simulated_cluster_converges() {
+        // Five nodes with distinct initial offsets; each round every node
+        // measures the others' deviations relative to itself and corrects.
+        let mut clocks: Vec<i64> = vec![0, 8, -6, 3, -2];
+        for _ in 0..8 {
+            let corrections: Vec<i64> = clocks
+                .iter()
+                .map(|&own| {
+                    let devs: Vec<i64> = clocks.iter().map(|&c| c - own).collect();
+                    ftm_midpoint(&devs, 1).unwrap()
+                })
+                .collect();
+            for (c, d) in clocks.iter_mut().zip(corrections) {
+                *c += d;
+            }
+        }
+        let spread = clocks.iter().max().unwrap() - clocks.iter().min().unwrap();
+        assert!(spread <= 2, "cluster failed to converge: {clocks:?}");
+    }
+}

@@ -1,0 +1,224 @@
+//! Cluster topologies.
+//!
+//! A FlexRay cluster connects its nodes per channel as a passive bus, an
+//! active star, or a hybrid of star couplers bridging bus stubs (§II-B).
+//! The topology determines per-pair propagation delay, which bounds the
+//! action-point offsets a valid configuration needs; the engine's timing
+//! assumes transmissions land within their slot, which
+//! [`Topology::max_propagation_delay`] lets configurations check.
+
+use event_sim::SimDuration;
+
+use crate::node::NodeId;
+
+/// Signal propagation speed assumed for cable-length conversion
+/// (~0.2 m/ns, typical for automotive twisted pair).
+const METERS_PER_NANO: f64 = 0.2;
+
+/// How the nodes of one channel are wired.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Topology {
+    /// A passive linear bus: nodes attach at positions along one cable.
+    Bus {
+        /// Attachment position of each node along the cable, in meters.
+        positions: Vec<(NodeId, f64)>,
+    },
+    /// An active star: every node connects to a central coupler.
+    Star {
+        /// Cable length from each node to the coupler, in meters.
+        arms: Vec<(NodeId, f64)>,
+        /// Processing delay added by the active coupler.
+        coupler_delay: SimDuration,
+    },
+    /// Cascaded stars: two couplers joined by a trunk, each with its own
+    /// arms (FlexRay allows up to two cascaded active stars).
+    Hybrid {
+        /// Arms on the first coupler.
+        near: Vec<(NodeId, f64)>,
+        /// Arms on the second coupler.
+        far: Vec<(NodeId, f64)>,
+        /// Trunk length between couplers, in meters.
+        trunk: f64,
+        /// Per-coupler processing delay.
+        coupler_delay: SimDuration,
+    },
+}
+
+fn cable_delay(meters: f64) -> SimDuration {
+    SimDuration::from_nanos((meters / METERS_PER_NANO).round() as u64)
+}
+
+impl Topology {
+    /// Propagation delay from `from` to `to`, or `None` if either node is
+    /// not attached to this channel.
+    pub fn propagation_delay(&self, from: NodeId, to: NodeId) -> Option<SimDuration> {
+        if from == to {
+            return Some(SimDuration::ZERO);
+        }
+        match self {
+            Topology::Bus { positions } => {
+                let a = positions.iter().find(|(n, _)| *n == from)?.1;
+                let b = positions.iter().find(|(n, _)| *n == to)?.1;
+                Some(cable_delay((a - b).abs()))
+            }
+            Topology::Star { arms, coupler_delay } => {
+                let a = arms.iter().find(|(n, _)| *n == from)?.1;
+                let b = arms.iter().find(|(n, _)| *n == to)?.1;
+                Some(cable_delay(a) + *coupler_delay + cable_delay(b))
+            }
+            Topology::Hybrid {
+                near,
+                far,
+                trunk,
+                coupler_delay,
+            } => {
+                let find = |n: NodeId| -> Option<(bool, f64)> {
+                    near.iter()
+                        .find(|(m, _)| *m == n)
+                        .map(|(_, d)| (true, *d))
+                        .or_else(|| far.iter().find(|(m, _)| *m == n).map(|(_, d)| (false, *d)))
+                };
+                let (side_a, da) = find(from)?;
+                let (side_b, db) = find(to)?;
+                let base = cable_delay(da) + cable_delay(db);
+                if side_a == side_b {
+                    Some(base + *coupler_delay)
+                } else {
+                    Some(base + *coupler_delay * 2 + cable_delay(*trunk))
+                }
+            }
+        }
+    }
+
+    /// The worst-case pairwise propagation delay, or `None` if fewer than
+    /// two nodes are attached.
+    pub fn max_propagation_delay(&self) -> Option<SimDuration> {
+        let nodes = self.nodes();
+        let mut worst: Option<SimDuration> = None;
+        for &a in &nodes {
+            for &b in &nodes {
+                if a == b {
+                    continue;
+                }
+                let d = self.propagation_delay(a, b)?;
+                worst = Some(match worst {
+                    Some(w) => w.max(d),
+                    None => d,
+                });
+            }
+        }
+        worst
+    }
+
+    /// The attached nodes.
+    pub fn nodes(&self) -> Vec<NodeId> {
+        match self {
+            Topology::Bus { positions } => positions.iter().map(|(n, _)| *n).collect(),
+            Topology::Star { arms, .. } => arms.iter().map(|(n, _)| *n).collect(),
+            Topology::Hybrid { near, far, .. } => {
+                near.iter().chain(far).map(|(n, _)| *n).collect()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u8) -> NodeId {
+        NodeId::new(i)
+    }
+
+    #[test]
+    fn bus_delay_is_distance() {
+        let t = Topology::Bus {
+            positions: vec![(n(0), 0.0), (n(1), 4.0), (n(2), 10.0)],
+        };
+        // 10 m at 0.2 m/ns = 50 ns.
+        assert_eq!(
+            t.propagation_delay(n(0), n(2)),
+            Some(SimDuration::from_nanos(50))
+        );
+        assert_eq!(
+            t.propagation_delay(n(2), n(0)),
+            t.propagation_delay(n(0), n(2)),
+            "symmetric"
+        );
+        assert_eq!(t.propagation_delay(n(1), n(1)), Some(SimDuration::ZERO));
+        assert_eq!(t.propagation_delay(n(0), n(9)), None);
+    }
+
+    #[test]
+    fn star_delay_includes_coupler() {
+        let t = Topology::Star {
+            arms: vec![(n(0), 2.0), (n(1), 4.0)],
+            coupler_delay: SimDuration::from_nanos(100),
+        };
+        // 2 m + 4 m = 30 ns cable + 100 ns coupler.
+        assert_eq!(
+            t.propagation_delay(n(0), n(1)),
+            Some(SimDuration::from_nanos(130))
+        );
+    }
+
+    #[test]
+    fn hybrid_crossing_trunk_pays_two_couplers() {
+        let t = Topology::Hybrid {
+            near: vec![(n(0), 2.0)],
+            far: vec![(n(1), 2.0)],
+            trunk: 10.0,
+            coupler_delay: SimDuration::from_nanos(100),
+        };
+        // 2+2 m arms (20 ns) + 10 m trunk (50 ns) + 2×100 ns couplers.
+        assert_eq!(
+            t.propagation_delay(n(0), n(1)),
+            Some(SimDuration::from_nanos(270))
+        );
+        // Same-side pair pays one coupler.
+        let t2 = Topology::Hybrid {
+            near: vec![(n(0), 2.0), (n(2), 3.0)],
+            far: vec![],
+            trunk: 10.0,
+            coupler_delay: SimDuration::from_nanos(100),
+        };
+        assert_eq!(
+            t2.propagation_delay(n(0), n(2)),
+            Some(SimDuration::from_nanos(125))
+        );
+    }
+
+    #[test]
+    fn max_delay_over_pairs() {
+        let t = Topology::Bus {
+            positions: vec![(n(0), 0.0), (n(1), 1.0), (n(2), 24.0)],
+        };
+        assert_eq!(t.max_propagation_delay(), Some(SimDuration::from_nanos(120)));
+        let single = Topology::Bus {
+            positions: vec![(n(0), 0.0)],
+        };
+        assert_eq!(single.max_propagation_delay(), None);
+    }
+
+    #[test]
+    fn nodes_listing() {
+        let t = Topology::Hybrid {
+            near: vec![(n(0), 1.0)],
+            far: vec![(n(1), 1.0), (n(2), 1.0)],
+            trunk: 5.0,
+            coupler_delay: SimDuration::ZERO,
+        };
+        assert_eq!(t.nodes(), vec![n(0), n(1), n(2)]);
+    }
+
+    #[test]
+    fn typical_car_topology_fits_action_point() {
+        // A 24 m bus: worst-case 120 ns ≪ the 1-macrotick (1 µs) action
+        // point offset the default configuration uses.
+        let t = Topology::Bus {
+            positions: vec![(n(0), 0.0), (n(1), 24.0)],
+        };
+        let worst = t.max_propagation_delay().unwrap();
+        assert!(worst < SimDuration::from_micros(1));
+    }
+}

@@ -1,0 +1,220 @@
+//! Fixed-width duration histograms.
+
+use event_sim::SimDuration;
+
+/// A histogram of durations with uniform bin width and an overflow bin.
+///
+/// Used for latency distributions: the paper reports averages, but the
+/// reproduction also records distributions so the benches can print
+/// percentiles.
+///
+/// ```
+/// use metrics::Histogram;
+/// use event_sim::SimDuration;
+/// let mut h = Histogram::new(SimDuration::from_millis(1), 10);
+/// h.record(SimDuration::from_micros(1_500)); // bin 1
+/// h.record(SimDuration::from_micros(9_999)); // bin 9
+/// h.record(SimDuration::from_millis(50));    // overflow
+/// assert_eq!(h.count(), 3);
+/// assert_eq!(h.bin_count(1), 1);
+/// assert_eq!(h.overflow(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    bin_width: SimDuration,
+    bins: Vec<u64>,
+    overflow: u64,
+    count: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `bins` uniform bins of width `bin_width`.
+    /// Samples at or beyond `bin_width * bins` land in the overflow bin.
+    ///
+    /// # Panics
+    /// Panics if `bin_width` is zero or `bins` is zero.
+    pub fn new(bin_width: SimDuration, bins: usize) -> Self {
+        assert!(!bin_width.is_zero(), "bin width must be positive");
+        assert!(bins > 0, "need at least one bin");
+        Histogram {
+            bin_width,
+            bins: vec![0; bins],
+            overflow: 0,
+            count: 0,
+        }
+    }
+
+    /// Adds one sample.
+    pub fn record(&mut self, sample: SimDuration) {
+        self.count += 1;
+        let idx = (sample.as_nanos() / self.bin_width.as_nanos()) as usize;
+        if idx < self.bins.len() {
+            self.bins[idx] += 1;
+        } else {
+            self.overflow += 1;
+        }
+    }
+
+    /// Total number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Number of samples in bin `idx` (0-based).
+    ///
+    /// # Panics
+    /// Panics if `idx` is out of range.
+    pub fn bin_count(&self, idx: usize) -> u64 {
+        self.bins[idx]
+    }
+
+    /// Number of samples beyond the last bin.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Number of bins (excluding overflow).
+    pub fn num_bins(&self) -> usize {
+        self.bins.len()
+    }
+
+    /// Width of each bin.
+    pub fn bin_width(&self) -> SimDuration {
+        self.bin_width
+    }
+
+    /// The inclusive lower edge of bin `idx`.
+    pub fn bin_lower_edge(&self, idx: usize) -> SimDuration {
+        self.bin_width * idx as u64
+    }
+
+    /// An upper bound on the `q`-quantile (0.0 ..= 1.0): the upper edge of
+    /// the bin in which the quantile falls, or `None` if the histogram is
+    /// empty or the quantile lands in the overflow bin.
+    ///
+    /// # Panics
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile_upper_bound(&self, q: f64) -> Option<SimDuration> {
+        assert!((0.0..=1.0).contains(&q), "quantile out of range");
+        if self.count == 0 {
+            return None;
+        }
+        let target = (q * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (idx, &c) in self.bins.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Some(self.bin_width * (idx as u64 + 1));
+            }
+        }
+        None // quantile is in the overflow bin
+    }
+
+    /// Iterates over `(lower_edge, count)` pairs for the finite bins.
+    pub fn iter(&self) -> impl Iterator<Item = (SimDuration, u64)> + '_ {
+        self.bins
+            .iter()
+            .enumerate()
+            .map(move |(i, &c)| (self.bin_lower_edge(i), c))
+    }
+
+    /// Merges another histogram with identical geometry into this one.
+    ///
+    /// # Panics
+    /// Panics if bin width or bin count differ.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(self.bin_width, other.bin_width, "bin width mismatch");
+        assert_eq!(self.bins.len(), other.bins.len(), "bin count mismatch");
+        for (a, b) in self.bins.iter_mut().zip(&other.bins) {
+            *a += b;
+        }
+        self.overflow += other.overflow;
+        self.count += other.count;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn us(v: u64) -> SimDuration {
+        SimDuration::from_micros(v)
+    }
+
+    #[test]
+    fn bins_receive_correct_samples() {
+        let mut h = Histogram::new(us(10), 5);
+        h.record(us(0)); // bin 0 (lower edge inclusive)
+        h.record(us(9)); // bin 0
+        h.record(us(10)); // bin 1
+        h.record(us(49)); // bin 4
+        h.record(us(50)); // overflow
+        assert_eq!(h.bin_count(0), 2);
+        assert_eq!(h.bin_count(1), 1);
+        assert_eq!(h.bin_count(4), 1);
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.count(), 5);
+    }
+
+    #[test]
+    fn quantiles_bound_from_above() {
+        let mut h = Histogram::new(us(1), 100);
+        for v in 0..100 {
+            h.record(us(v));
+        }
+        // Median of 0..99 is < 50, upper bound of its bin is 50us.
+        assert_eq!(h.quantile_upper_bound(0.5), Some(us(50)));
+        assert_eq!(h.quantile_upper_bound(1.0), Some(us(100)));
+        assert_eq!(h.quantile_upper_bound(0.0), Some(us(1)));
+    }
+
+    #[test]
+    fn quantile_of_empty_is_none() {
+        let h = Histogram::new(us(1), 4);
+        assert_eq!(h.quantile_upper_bound(0.5), None);
+    }
+
+    #[test]
+    fn quantile_in_overflow_is_none() {
+        let mut h = Histogram::new(us(1), 2);
+        h.record(us(100));
+        assert_eq!(h.quantile_upper_bound(0.5), None);
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = Histogram::new(us(10), 3);
+        let mut b = Histogram::new(us(10), 3);
+        a.record(us(5));
+        b.record(us(5));
+        b.record(us(25));
+        b.record(us(1000));
+        a.merge(&b);
+        assert_eq!(a.count(), 4);
+        assert_eq!(a.bin_count(0), 2);
+        assert_eq!(a.bin_count(2), 1);
+        assert_eq!(a.overflow(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "bin width mismatch")]
+    fn merge_rejects_different_geometry() {
+        let mut a = Histogram::new(us(10), 3);
+        let b = Histogram::new(us(20), 3);
+        a.merge(&b);
+    }
+
+    #[test]
+    fn iter_yields_edges_and_counts() {
+        let mut h = Histogram::new(us(10), 2);
+        h.record(us(15));
+        let v: Vec<_> = h.iter().collect();
+        assert_eq!(v, vec![(us(0), 0), (us(10), 1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "bin width must be positive")]
+    fn zero_bin_width_rejected() {
+        let _ = Histogram::new(SimDuration::ZERO, 3);
+    }
+}

@@ -1,0 +1,33 @@
+//! Measurement utilities for the CoEfficient simulation.
+//!
+//! The paper's evaluation reports four metrics (§IV-B): overall running
+//! time, bandwidth utilization, average transmission latency and deadline
+//! miss ratio. This crate provides the accounting primitives those metrics
+//! are computed from:
+//!
+//! * [`Summary`] — streaming min/max/mean/variance over durations;
+//! * [`Histogram`] — fixed-width latency histograms for percentile reports;
+//! * [`UtilizationTimeline`] — busy/idle accounting of a bus or channel;
+//! * [`DeadlineTracker`] — met/missed deadline counting per message class.
+//!
+//! ```
+//! use metrics::Summary;
+//! use event_sim::SimDuration;
+//! let mut s = Summary::new();
+//! s.record(SimDuration::from_micros(10));
+//! s.record(SimDuration::from_micros(30));
+//! assert_eq!(s.mean().unwrap().as_micros(), 20);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod deadline;
+mod histogram;
+mod stats;
+mod utilization;
+
+pub use deadline::{DeadlineOutcome, DeadlineTracker};
+pub use histogram::Histogram;
+pub use stats::Summary;
+pub use utilization::UtilizationTimeline;

@@ -1,0 +1,138 @@
+//! Busy/idle accounting for a bus or channel.
+
+use event_sim::{SimDuration, SimTime};
+
+/// Tracks how much of a resource's timeline was spent transmitting.
+///
+/// The paper's *bandwidth utilization* metric (§IV-B.2) is "the ratio of the
+/// bandwidth that is actually used to the whole bandwidth"; on a serial bus
+/// that equals busy time over elapsed time.
+///
+/// Busy intervals are recorded as half-open `[start, end)` spans. Spans must
+/// be non-overlapping per timeline (the FlexRay bus is serial; overlap would
+/// indicate an arbitration bug), which this type asserts.
+///
+/// ```
+/// use metrics::UtilizationTimeline;
+/// use event_sim::{SimTime, SimDuration};
+/// let mut u = UtilizationTimeline::new();
+/// u.record_busy(SimTime::ZERO, SimDuration::from_micros(30));
+/// u.record_busy(SimTime::from_micros(50), SimDuration::from_micros(20));
+/// assert_eq!(u.busy_time(), SimDuration::from_micros(50));
+/// assert!((u.utilization(SimTime::from_micros(100)) - 0.5).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct UtilizationTimeline {
+    busy: SimDuration,
+    last_busy_end: Option<SimTime>,
+    spans: u64,
+}
+
+impl UtilizationTimeline {
+    /// Creates an empty timeline.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a busy span starting at `start` lasting `len`.
+    ///
+    /// # Panics
+    /// Panics if the span overlaps a previously recorded span (spans must be
+    /// recorded in non-decreasing start order, as a serial bus produces
+    /// them).
+    pub fn record_busy(&mut self, start: SimTime, len: SimDuration) {
+        if let Some(end) = self.last_busy_end {
+            assert!(
+                start >= end,
+                "overlapping busy spans: new span starts at {start} before previous end {end}"
+            );
+        }
+        self.busy += len;
+        self.last_busy_end = Some(start + len);
+        self.spans += 1;
+    }
+
+    /// Total busy time recorded so far.
+    pub fn busy_time(&self) -> SimDuration {
+        self.busy
+    }
+
+    /// Number of busy spans recorded.
+    pub fn span_count(&self) -> u64 {
+        self.spans
+    }
+
+    /// End of the latest busy span, if any.
+    pub fn last_busy_end(&self) -> Option<SimTime> {
+        self.last_busy_end
+    }
+
+    /// Fraction of `[0, horizon)` that was busy, in `0.0 ..= 1.0`.
+    ///
+    /// # Panics
+    /// Panics if `horizon` is zero.
+    pub fn utilization(&self, horizon: SimTime) -> f64 {
+        assert!(horizon > SimTime::ZERO, "horizon must be positive");
+        (self.busy.as_nanos() as f64 / horizon.as_nanos() as f64).min(1.0)
+    }
+
+    /// Idle time within `[0, horizon)` (saturating at zero if busy time
+    /// exceeds the horizon, which can only happen if spans extend past it).
+    pub fn idle_time(&self, horizon: SimTime) -> SimDuration {
+        SimDuration::from_nanos(horizon.as_nanos()).saturating_sub(self.busy)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates_busy_time() {
+        let mut u = UtilizationTimeline::new();
+        u.record_busy(SimTime::from_micros(10), SimDuration::from_micros(5));
+        u.record_busy(SimTime::from_micros(20), SimDuration::from_micros(15));
+        assert_eq!(u.busy_time(), SimDuration::from_micros(20));
+        assert_eq!(u.span_count(), 2);
+        assert_eq!(u.last_busy_end(), Some(SimTime::from_micros(35)));
+    }
+
+    #[test]
+    fn utilization_fraction() {
+        let mut u = UtilizationTimeline::new();
+        u.record_busy(SimTime::ZERO, SimDuration::from_millis(1));
+        let util = u.utilization(SimTime::from_millis(4));
+        assert!((util - 0.25).abs() < 1e-12);
+        assert_eq!(u.idle_time(SimTime::from_millis(4)), SimDuration::from_millis(3));
+    }
+
+    #[test]
+    fn back_to_back_spans_allowed() {
+        let mut u = UtilizationTimeline::new();
+        u.record_busy(SimTime::ZERO, SimDuration::from_micros(10));
+        u.record_busy(SimTime::from_micros(10), SimDuration::from_micros(10));
+        assert_eq!(u.busy_time(), SimDuration::from_micros(20));
+    }
+
+    #[test]
+    #[should_panic(expected = "overlapping busy spans")]
+    fn overlap_detected() {
+        let mut u = UtilizationTimeline::new();
+        u.record_busy(SimTime::ZERO, SimDuration::from_micros(10));
+        u.record_busy(SimTime::from_micros(5), SimDuration::from_micros(1));
+    }
+
+    #[test]
+    fn utilization_clamps_at_one() {
+        let mut u = UtilizationTimeline::new();
+        u.record_busy(SimTime::ZERO, SimDuration::from_millis(10));
+        assert_eq!(u.utilization(SimTime::from_millis(5)), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "horizon must be positive")]
+    fn zero_horizon_rejected() {
+        let u = UtilizationTimeline::new();
+        let _ = u.utilization(SimTime::ZERO);
+    }
+}

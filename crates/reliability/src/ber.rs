@@ -1,0 +1,133 @@
+//! Bit-error-rate model.
+
+use std::fmt;
+
+/// A bit error rate: the probability that any single transmitted bit is
+/// corrupted by a transient fault.
+///
+/// The paper evaluates BER = 10⁻⁷ and BER = 10⁻⁹ (§IV-A), values produced by
+/// industrial fault-injection tools (Vector, Elektrobit). A `Ber` is
+/// validated to lie in `[0, 1)`.
+///
+/// ```
+/// use reliability::Ber;
+/// let ber = Ber::new(1e-7)?;
+/// // A 1000-bit frame fails with probability ~1e-4.
+/// let p = ber.frame_failure_probability(1000);
+/// assert!((p - 1e-4).abs() < 1e-8);
+/// # Ok::<(), reliability::BerOutOfRange>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct Ber(f64);
+
+/// Error returned by [`Ber::new`] for values outside `[0, 1)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BerOutOfRange;
+
+impl fmt::Display for BerOutOfRange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bit error rate must lie in [0, 1)")
+    }
+}
+
+impl std::error::Error for BerOutOfRange {}
+
+impl Ber {
+    /// A fault-free channel.
+    pub const ZERO: Ber = Ber(0.0);
+
+    /// Creates a validated bit error rate.
+    ///
+    /// # Errors
+    /// Returns [`BerOutOfRange`] if `rate` is NaN, negative, or ≥ 1.
+    pub fn new(rate: f64) -> Result<Self, BerOutOfRange> {
+        if rate.is_nan() || !(0.0..1.0).contains(&rate) {
+            Err(BerOutOfRange)
+        } else {
+            Ok(Ber(rate))
+        }
+    }
+
+    /// The raw rate.
+    pub fn rate(self) -> f64 {
+        self.0
+    }
+
+    /// The probability that a frame of `bits` bits suffers at least one bit
+    /// error: `p = 1 − (1 − BER)^bits`.
+    ///
+    /// Computed in the log domain (`-expm1(bits · ln1p(−BER))`) so it is
+    /// accurate for the tiny BERs the paper uses.
+    pub fn frame_failure_probability(self, bits: u32) -> f64 {
+        if self.0 == 0.0 || bits == 0 {
+            return 0.0;
+        }
+        -f64::exp_m1(f64::from(bits) * f64::ln_1p(-self.0))
+    }
+}
+
+impl fmt::Display for Ber {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BER={:e}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validates_range() {
+        assert!(Ber::new(0.0).is_ok());
+        assert!(Ber::new(0.5).is_ok());
+        assert!(Ber::new(1.0).is_err());
+        assert!(Ber::new(-0.1).is_err());
+        assert!(Ber::new(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn zero_ber_never_fails() {
+        assert_eq!(Ber::ZERO.frame_failure_probability(10_000), 0.0);
+    }
+
+    #[test]
+    fn zero_bits_never_fail() {
+        let ber = Ber::new(0.1).unwrap();
+        assert_eq!(ber.frame_failure_probability(0), 0.0);
+    }
+
+    #[test]
+    fn matches_naive_formula_for_moderate_ber() {
+        let ber = Ber::new(0.01).unwrap();
+        let naive = 1.0 - (1.0 - 0.01f64).powi(100);
+        let stable = ber.frame_failure_probability(100);
+        assert!((naive - stable).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tiny_ber_is_accurate() {
+        // For BER=1e-9 and 1000 bits, p ≈ 1e-6 − 499.5e-12 ≈ 9.999995e-7.
+        let ber = Ber::new(1e-9).unwrap();
+        let p = ber.frame_failure_probability(1000);
+        assert!(p > 0.0, "must not underflow to zero");
+        assert!((p - 1e-6).abs() / 1e-6 < 1e-3, "p = {p}");
+    }
+
+    #[test]
+    fn monotone_in_bits() {
+        let ber = Ber::new(1e-7).unwrap();
+        let mut prev = 0.0;
+        for bits in [1u32, 10, 100, 1000, 10_000] {
+            let p = ber.frame_failure_probability(bits);
+            assert!(p > prev);
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn display_formats() {
+        let ber = Ber::new(1e-7).unwrap();
+        assert_eq!(ber.to_string(), "BER=1e-7");
+        assert_eq!(BerOutOfRange.to_string(), "bit error rate must lie in [0, 1)");
+    }
+}

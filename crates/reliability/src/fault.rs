@@ -1,0 +1,345 @@
+//! Stochastic fault processes.
+//!
+//! The bus simulator asks a fault process, per transmitted frame, whether a
+//! transient fault corrupted it. Two models are provided:
+//!
+//! * [`BernoulliFaults`] — the paper's model: each frame of `W` bits is
+//!   corrupted independently with `p = 1 − (1 − BER)^W`;
+//! * [`GilbertElliott`] — a bursty two-state extension (good/bad channel
+//!   states with different BERs), modelling the temperature/interference
+//!   bursts the paper attributes transient faults to.
+//!
+//! Both are deterministic under a seed, via [`event_sim::rng::substream`].
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+use event_sim::rng::substream;
+
+use crate::ber::Ber;
+
+/// A source of per-frame transient faults.
+///
+/// Implementations are stateful (they own an RNG and possibly a channel
+/// state) and deterministic under their construction seed.
+pub trait FaultProcess: std::fmt::Debug + Send {
+    /// Returns `true` if a frame of `bits` bits transmitted now is
+    /// corrupted.
+    fn corrupts(&mut self, bits: u32) -> bool;
+
+    /// The long-run probability that a frame of `bits` bits is corrupted
+    /// (used by analysis code; need not be exact for bursty models).
+    fn frame_failure_probability(&self, bits: u32) -> f64;
+}
+
+/// Independent per-frame Bernoulli faults derived from a bit error rate.
+///
+/// ```
+/// use reliability::{Ber, fault::{BernoulliFaults, FaultProcess}};
+/// let mut f = BernoulliFaults::new(Ber::new(0.5).unwrap(), 42);
+/// // With BER=0.5 a long frame is corrupted essentially always.
+/// assert!(f.corrupts(1_000));
+/// ```
+#[derive(Debug)]
+pub struct BernoulliFaults {
+    ber: Ber,
+    rng: SmallRng,
+}
+
+impl BernoulliFaults {
+    /// Creates the process with the given BER and seed.
+    pub fn new(ber: Ber, seed: u64) -> Self {
+        BernoulliFaults {
+            ber,
+            rng: substream(seed, "fault/bernoulli"),
+        }
+    }
+
+    /// The underlying bit error rate.
+    pub fn ber(&self) -> Ber {
+        self.ber
+    }
+}
+
+impl FaultProcess for BernoulliFaults {
+    fn corrupts(&mut self, bits: u32) -> bool {
+        let p = self.ber.frame_failure_probability(bits);
+        p > 0.0 && self.rng.gen::<f64>() < p
+    }
+
+    fn frame_failure_probability(&self, bits: u32) -> f64 {
+        self.ber.frame_failure_probability(bits)
+    }
+}
+
+/// A two-state Gilbert–Elliott burst-fault channel.
+///
+/// The channel alternates between a *good* state (low BER) and a *bad*
+/// state (high BER). After each frame, it switches state with the
+/// configured transition probabilities. This produces the temporally
+/// correlated fault bursts seen under real EMI/temperature events, which
+/// the independent Bernoulli model cannot express.
+#[derive(Debug)]
+pub struct GilbertElliott {
+    good_ber: Ber,
+    bad_ber: Ber,
+    /// P(good → bad) after a frame.
+    p_gb: f64,
+    /// P(bad → good) after a frame.
+    p_bg: f64,
+    in_bad: bool,
+    rng: SmallRng,
+}
+
+impl GilbertElliott {
+    /// Creates the channel in the good state.
+    ///
+    /// # Panics
+    /// Panics if either transition probability is outside `[0, 1]`.
+    pub fn new(good_ber: Ber, bad_ber: Ber, p_gb: f64, p_bg: f64, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&p_gb), "p_gb out of range");
+        assert!((0.0..=1.0).contains(&p_bg), "p_bg out of range");
+        GilbertElliott {
+            good_ber,
+            bad_ber,
+            p_gb,
+            p_bg,
+            in_bad: false,
+            rng: substream(seed, "fault/gilbert-elliott"),
+        }
+    }
+
+    /// Whether the channel is currently in the bad state.
+    pub fn is_in_bad_state(&self) -> bool {
+        self.in_bad
+    }
+
+    /// Long-run fraction of time spent in the bad state:
+    /// `p_gb / (p_gb + p_bg)` (0 if both transition probabilities are 0).
+    pub fn stationary_bad_fraction(&self) -> f64 {
+        let denom = self.p_gb + self.p_bg;
+        if denom == 0.0 {
+            0.0
+        } else {
+            self.p_gb / denom
+        }
+    }
+}
+
+impl FaultProcess for GilbertElliott {
+    fn corrupts(&mut self, bits: u32) -> bool {
+        let ber = if self.in_bad { self.bad_ber } else { self.good_ber };
+        let p = ber.frame_failure_probability(bits);
+        let hit = p > 0.0 && self.rng.gen::<f64>() < p;
+        // State transition after the frame.
+        let flip = if self.in_bad { self.p_bg } else { self.p_gb };
+        if self.rng.gen::<f64>() < flip {
+            self.in_bad = !self.in_bad;
+        }
+        hit
+    }
+
+    fn frame_failure_probability(&self, bits: u32) -> f64 {
+        let pb = self.stationary_bad_fraction();
+        pb * self.bad_ber.frame_failure_probability(bits)
+            + (1.0 - pb) * self.good_ber.frame_failure_probability(bits)
+    }
+}
+
+/// A fault process that never corrupts anything (fault-free runs).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoFaults;
+
+impl FaultProcess for NoFaults {
+    fn corrupts(&mut self, _bits: u32) -> bool {
+        false
+    }
+
+    fn frame_failure_probability(&self, _bits: u32) -> f64 {
+        0.0
+    }
+}
+
+/// A *permanent* fault: the channel behaves like `base` until the
+/// `outage_after`-th frame, then corrupts everything — a severed wire or a
+/// dead driver (the paper's "physical damages generally cause the
+/// permanent faults", §I). Used to demonstrate dual-channel failover.
+#[derive(Debug)]
+pub struct ChannelOutage<P> {
+    base: P,
+    outage_after: u64,
+    frames_seen: u64,
+}
+
+impl<P: FaultProcess> ChannelOutage<P> {
+    /// Wraps `base`; frames with index ≥ `outage_after` are corrupted
+    /// unconditionally.
+    pub fn new(base: P, outage_after: u64) -> Self {
+        ChannelOutage {
+            base,
+            outage_after,
+            frames_seen: 0,
+        }
+    }
+
+    /// `true` once the permanent fault has struck.
+    pub fn is_down(&self) -> bool {
+        self.frames_seen >= self.outage_after
+    }
+}
+
+impl<P: FaultProcess> FaultProcess for ChannelOutage<P> {
+    fn corrupts(&mut self, bits: u32) -> bool {
+        let down = self.is_down();
+        self.frames_seen += 1;
+        if down {
+            true
+        } else {
+            self.base.corrupts(bits)
+        }
+    }
+
+    fn frame_failure_probability(&self, bits: u32) -> f64 {
+        if self.is_down() {
+            1.0
+        } else {
+            self.base.frame_failure_probability(bits)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bernoulli_frequency_matches_probability() {
+        let ber = Ber::new(1e-3).unwrap();
+        let mut f = BernoulliFaults::new(ber, 1);
+        let bits = 1000; // p ≈ 0.632
+        let p = f.frame_failure_probability(bits);
+        let trials = 20_000;
+        let hits = (0..trials).filter(|_| f.corrupts(bits)).count();
+        let freq = hits as f64 / trials as f64;
+        assert!((freq - p).abs() < 0.02, "freq {freq} vs p {p}");
+    }
+
+    #[test]
+    fn bernoulli_is_deterministic_under_seed() {
+        let ber = Ber::new(1e-2).unwrap();
+        let mut a = BernoulliFaults::new(ber, 9);
+        let mut b = BernoulliFaults::new(ber, 9);
+        for _ in 0..256 {
+            assert_eq!(a.corrupts(500), b.corrupts(500));
+        }
+    }
+
+    #[test]
+    fn zero_ber_never_corrupts() {
+        let mut f = BernoulliFaults::new(Ber::ZERO, 3);
+        assert!((0..1000).all(|_| !f.corrupts(10_000)));
+    }
+
+    #[test]
+    fn no_faults_process() {
+        let mut f = NoFaults;
+        assert!(!f.corrupts(u32::MAX));
+        assert_eq!(f.frame_failure_probability(123), 0.0);
+    }
+
+    #[test]
+    fn gilbert_elliott_visits_both_states() {
+        let g = Ber::new(1e-9).unwrap();
+        let b = Ber::new(1e-3).unwrap();
+        let mut ch = GilbertElliott::new(g, b, 0.1, 0.3, 5);
+        let mut saw_bad = false;
+        let mut saw_good = false;
+        for _ in 0..1000 {
+            let _ = ch.corrupts(100);
+            if ch.is_in_bad_state() {
+                saw_bad = true;
+            } else {
+                saw_good = true;
+            }
+        }
+        assert!(saw_bad && saw_good);
+    }
+
+    #[test]
+    fn gilbert_elliott_stationary_fraction() {
+        let g = Ber::ZERO;
+        let b = Ber::ZERO;
+        let ch = GilbertElliott::new(g, b, 0.1, 0.3, 0);
+        assert!((ch.stationary_bad_fraction() - 0.25).abs() < 1e-12);
+        let frozen = GilbertElliott::new(g, b, 0.0, 0.0, 0);
+        assert_eq!(frozen.stationary_bad_fraction(), 0.0);
+    }
+
+    #[test]
+    fn gilbert_elliott_bursts_are_correlated() {
+        // With sticky states, consecutive frames should correlate: count
+        // runs of faults and compare to an independent process with the
+        // same marginal probability. We just sanity-check that the bad
+        // state produces a much higher local fault rate.
+        let g = Ber::ZERO;
+        let b = Ber::new(0.01).unwrap();
+        let mut ch = GilbertElliott::new(g, b, 0.01, 0.01, 11);
+        let mut faults_in_bad = 0u32;
+        let mut frames_in_bad = 0u32;
+        let mut faults_in_good = 0u32;
+        let mut frames_in_good = 0u32;
+        for _ in 0..50_000 {
+            let in_bad = ch.is_in_bad_state();
+            let hit = ch.corrupts(200);
+            if in_bad {
+                frames_in_bad += 1;
+                faults_in_bad += u32::from(hit);
+            } else {
+                frames_in_good += 1;
+                faults_in_good += u32::from(hit);
+            }
+        }
+        assert_eq!(faults_in_good, 0, "good state has BER 0");
+        assert!(frames_in_good > 0 && frames_in_bad > 0);
+        assert!(faults_in_bad > 0, "bad state must produce faults");
+    }
+
+    #[test]
+    fn channel_outage_kills_after_threshold() {
+        let mut ch = ChannelOutage::new(NoFaults, 3);
+        assert!(!ch.is_down());
+        assert!(!ch.corrupts(100)); // frame 0
+        assert!(!ch.corrupts(100)); // frame 1
+        assert!(!ch.corrupts(100)); // frame 2
+        assert!(ch.is_down());
+        assert!(ch.corrupts(100)); // frame 3: dead
+        assert!(ch.corrupts(1));
+        assert_eq!(ch.frame_failure_probability(100), 1.0);
+    }
+
+    #[test]
+    fn channel_outage_passes_base_faults_through_before_dying() {
+        let ber = Ber::new(0.9).unwrap();
+        let mut ch = ChannelOutage::new(BernoulliFaults::new(ber, 1), 1000);
+        // Base process corrupts long frames nearly always.
+        assert!(ch.corrupts(10_000));
+        assert!(!ch.is_down());
+        assert!(
+            (ch.frame_failure_probability(100) - ber.frame_failure_probability(100)).abs()
+                < 1e-12
+        );
+    }
+
+    #[test]
+    fn outage_at_zero_is_dead_from_the_start() {
+        let mut ch = ChannelOutage::new(NoFaults, 0);
+        assert!(ch.is_down());
+        assert!(ch.corrupts(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "p_gb out of range")]
+    fn ge_rejects_bad_probability() {
+        let _ = GilbertElliott::new(Ber::ZERO, Ber::ZERO, 1.5, 0.1, 0);
+    }
+}

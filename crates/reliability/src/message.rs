@@ -1,0 +1,102 @@
+//! Per-message reliability parameters.
+
+use event_sim::SimDuration;
+
+use crate::ber::Ber;
+
+/// The reliability-relevant view of one message `M_z`: its size `W_z`,
+/// period `T_z` and per-transmission failure probability `p_z`.
+///
+/// This is the input alphabet of Theorem 1 and of the retransmission
+/// planner; the scheduling crates construct these from their own message
+/// types.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MessageReliability {
+    /// Caller-chosen identifier (FlexRay frame ID in this workspace).
+    pub id: u32,
+    /// Message size in bits (`W_z`).
+    pub size_bits: u32,
+    /// Generation period (`T_z`); for aperiodic messages, the minimum
+    /// inter-arrival time.
+    pub period: SimDuration,
+    /// Probability that a single transmission of this message is corrupted
+    /// (`p_z`).
+    pub failure_probability: f64,
+}
+
+impl MessageReliability {
+    /// Creates the reliability view with an explicit failure probability.
+    ///
+    /// # Panics
+    /// Panics if `failure_probability` is outside `[0, 1)` or `period` is
+    /// zero.
+    pub fn new(id: u32, size_bits: u32, period: SimDuration, failure_probability: f64) -> Self {
+        assert!(
+            (0.0..1.0).contains(&failure_probability),
+            "failure probability must lie in [0, 1), got {failure_probability}"
+        );
+        assert!(!period.is_zero(), "message period must be positive");
+        MessageReliability {
+            id,
+            size_bits,
+            period,
+            failure_probability,
+        }
+    }
+
+    /// Creates the reliability view deriving `p_z` from a bit error rate:
+    /// `p_z = 1 − (1 − BER)^{W_z}`.
+    ///
+    /// # Panics
+    /// Panics if `period` is zero.
+    pub fn from_ber(id: u32, size_bits: u32, period: SimDuration, ber: Ber) -> Self {
+        Self::new(id, size_bits, period, ber.frame_failure_probability(size_bits))
+    }
+
+    /// Number of instances of this message in a time unit `u` (`u / T_z`,
+    /// rounded up so reliability is never over-estimated).
+    pub fn instances_per_unit(&self, unit: SimDuration) -> u64 {
+        let t = self.period.as_nanos();
+        unit.as_nanos().div_ceil(t).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_ber_derives_pz() {
+        let ber = Ber::new(1e-7).unwrap();
+        let m = MessageReliability::from_ber(3, 1000, SimDuration::from_millis(10), ber);
+        assert!((m.failure_probability - 1e-4).abs() < 1e-8);
+        assert_eq!(m.id, 3);
+    }
+
+    #[test]
+    fn instances_round_up() {
+        let m = MessageReliability::new(0, 100, SimDuration::from_millis(8), 0.0);
+        assert_eq!(m.instances_per_unit(SimDuration::from_millis(8)), 1);
+        assert_eq!(m.instances_per_unit(SimDuration::from_millis(9)), 2);
+        assert_eq!(m.instances_per_unit(SimDuration::from_millis(16)), 2);
+        assert_eq!(m.instances_per_unit(SimDuration::from_secs(1)), 125);
+    }
+
+    #[test]
+    fn at_least_one_instance() {
+        let m = MessageReliability::new(0, 100, SimDuration::from_secs(10), 0.0);
+        assert_eq!(m.instances_per_unit(SimDuration::from_millis(1)), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "failure probability")]
+    fn rejects_invalid_probability() {
+        let _ = MessageReliability::new(0, 1, SimDuration::from_millis(1), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "period must be positive")]
+    fn rejects_zero_period() {
+        let _ = MessageReliability::new(0, 1, SimDuration::ZERO, 0.5);
+    }
+}

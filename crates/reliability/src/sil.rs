@@ -1,0 +1,119 @@
+//! IEC 61508 safety-integrity levels.
+
+use event_sim::SimDuration;
+use std::fmt;
+
+/// A safety-integrity level from IEC 61508 ("Functional safety of
+/// electrical/electronic/programmable electronic safety-related systems").
+///
+/// For continuous-mode (high-demand) operation, the standard specifies per
+/// level a band for the *probability of dangerous failure per hour* (PFH).
+/// The paper (§III-E) derives from this the maximum system failure
+/// probability γ over a time unit *u* and defines the reliability goal
+/// ρ = 1 − γ.
+///
+/// ```
+/// use reliability::SilLevel;
+/// use event_sim::SimDuration;
+/// // SIL 3 allows at most 1e-7 dangerous failures per hour.
+/// let rho = SilLevel::Sil3.reliability_goal(SimDuration::from_secs(3600));
+/// assert!((rho - (1.0 - 1e-7)).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum SilLevel {
+    /// SIL 1: PFH in `[1e-6, 1e-5)`.
+    Sil1,
+    /// SIL 2: PFH in `[1e-7, 1e-6)`.
+    Sil2,
+    /// SIL 3: PFH in `[1e-8, 1e-7)`.
+    Sil3,
+    /// SIL 4: PFH in `[1e-9, 1e-8)`.
+    Sil4,
+}
+
+impl SilLevel {
+    /// All levels, weakest first.
+    pub const ALL: [SilLevel; 4] = [SilLevel::Sil1, SilLevel::Sil2, SilLevel::Sil3, SilLevel::Sil4];
+
+    /// The upper bound of the allowed probability of dangerous failure per
+    /// hour (exclusive bound of the IEC 61508 band, used as the design
+    /// target γ per hour).
+    pub fn max_failure_probability_per_hour(self) -> f64 {
+        match self {
+            SilLevel::Sil1 => 1e-5,
+            SilLevel::Sil2 => 1e-6,
+            SilLevel::Sil3 => 1e-7,
+            SilLevel::Sil4 => 1e-8,
+        }
+    }
+
+    /// The maximum tolerated failure probability γ over an arbitrary time
+    /// unit `u`, scaling the hourly budget linearly (the standard treats
+    /// failures as a rate).
+    pub fn gamma(self, unit: SimDuration) -> f64 {
+        let hours = unit.as_nanos() as f64 / 3.6e12;
+        (self.max_failure_probability_per_hour() * hours).min(1.0)
+    }
+
+    /// The reliability goal ρ = 1 − γ over time unit `u` (§III-E).
+    pub fn reliability_goal(self, unit: SimDuration) -> f64 {
+        1.0 - self.gamma(unit)
+    }
+}
+
+impl fmt::Display for SilLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let n = match self {
+            SilLevel::Sil1 => 1,
+            SilLevel::Sil2 => 2,
+            SilLevel::Sil3 => 3,
+            SilLevel::Sil4 => 4,
+        };
+        write!(f, "SIL {n}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const HOUR: SimDuration = SimDuration::from_secs(3600);
+
+    #[test]
+    fn levels_are_ordered_by_strictness() {
+        for w in SilLevel::ALL.windows(2) {
+            assert!(w[0] < w[1]);
+            assert!(
+                w[0].max_failure_probability_per_hour()
+                    > w[1].max_failure_probability_per_hour()
+            );
+        }
+    }
+
+    #[test]
+    fn gamma_scales_with_unit() {
+        let g_hour = SilLevel::Sil2.gamma(HOUR);
+        let g_half = SilLevel::Sil2.gamma(SimDuration::from_secs(1800));
+        assert!((g_half * 2.0 - g_hour).abs() < 1e-18);
+    }
+
+    #[test]
+    fn reliability_goal_complements_gamma() {
+        for level in SilLevel::ALL {
+            let g = level.gamma(HOUR);
+            assert!((level.reliability_goal(HOUR) + g - 1.0).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn gamma_clamps_at_one_for_huge_units() {
+        // 1e12 hours at SIL1 would exceed probability 1.
+        let g = SilLevel::Sil1.gamma(SimDuration::MAX);
+        assert!(g <= 1.0);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(SilLevel::Sil4.to_string(), "SIL 4");
+    }
+}

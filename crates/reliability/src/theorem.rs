@@ -1,0 +1,137 @@
+//! Theorem 1: the probability of successful transmission.
+//!
+//! *Given a time unit `u`, the probability that all messages' deadlines are
+//! met is `∏_{z=1}^{N} (1 − p_z^{k_z+1})^{u/T_z}`, where each message has
+//! retransmission number `k_z` and failure probability `p_z`.*
+//!
+//! All computation is done in the log domain so that products of thousands
+//! of probabilities extremely close to 1 remain accurate.
+
+use event_sim::SimDuration;
+
+use crate::message::MessageReliability;
+
+/// Log-probability that **one instance** of a message with failure
+/// probability `p` survives at least one of `k + 1` transmissions:
+/// `ln(1 − p^{k+1})`.
+///
+/// Returns `0.0` (certainty) when `p == 0`, and `-inf` when `p` rounds the
+/// survival probability to zero.
+pub fn instance_success_log(p: f64, k: u32) -> f64 {
+    debug_assert!((0.0..1.0).contains(&p), "p out of range: {p}");
+    if p == 0.0 {
+        return 0.0;
+    }
+    // p^{k+1} computed in the log domain, then ln(1 - x) via ln_1p.
+    let log_fail_all = f64::from(k + 1) * p.ln();
+    f64::ln_1p(-log_fail_all.exp())
+}
+
+/// Log-probability that **all instances** of `msg` within `unit` succeed:
+/// `(u / T_z) · ln(1 − p_z^{k_z+1})`, with `u / T_z` rounded up
+/// conservatively (see [`MessageReliability::instances_per_unit`]).
+pub fn message_success_log(msg: &MessageReliability, k: u32, unit: SimDuration) -> f64 {
+    let instances = msg.instances_per_unit(unit) as f64;
+    instances * instance_success_log(msg.failure_probability, k)
+}
+
+/// Log of the Theorem-1 product over all messages with per-message
+/// retransmission counts `ks` (parallel to `msgs`).
+///
+/// # Panics
+/// Panics if `msgs` and `ks` have different lengths.
+pub fn log_success_probability(
+    msgs: &[MessageReliability],
+    ks: &[u32],
+    unit: SimDuration,
+) -> f64 {
+    assert_eq!(msgs.len(), ks.len(), "one retransmission count per message required");
+    msgs.iter()
+        .zip(ks)
+        .map(|(m, &k)| message_success_log(m, k, unit))
+        .sum()
+}
+
+/// The Theorem-1 probability itself:
+/// `∏_z (1 − p_z^{k_z+1})^{u/T_z}`.
+///
+/// # Panics
+/// Panics if `msgs` and `ks` have different lengths.
+pub fn success_probability(msgs: &[MessageReliability], ks: &[u32], unit: SimDuration) -> f64 {
+    log_success_probability(msgs, ks, unit).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ber::Ber;
+
+    const UNIT: SimDuration = SimDuration::from_secs(1);
+
+    fn msg(p: f64, period_ms: u64) -> MessageReliability {
+        MessageReliability::new(0, 100, SimDuration::from_millis(period_ms), p)
+    }
+
+    #[test]
+    fn perfect_channel_is_certain() {
+        let msgs = vec![msg(0.0, 10), msg(0.0, 20)];
+        assert_eq!(success_probability(&msgs, &[0, 0], UNIT), 1.0);
+    }
+
+    #[test]
+    fn single_instance_matches_closed_form() {
+        // One message, period equal to the unit → exactly one instance.
+        let m = msg(0.1, 1000);
+        let p = success_probability(std::slice::from_ref(&m), &[0], UNIT);
+        assert!((p - 0.9).abs() < 1e-12);
+        let p1 = success_probability(std::slice::from_ref(&m), &[1], UNIT);
+        assert!((p1 - 0.99).abs() < 1e-12);
+    }
+
+    #[test]
+    fn retransmissions_raise_reliability() {
+        let m = msg(0.05, 10); // 100 instances per second
+        let mut prev = 0.0;
+        for k in 0..5 {
+            let p = success_probability(std::slice::from_ref(&m), &[k], UNIT);
+            assert!(p > prev, "k={k}: {p} <= {prev}");
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn product_over_messages_matches_manual() {
+        let a = msg(0.1, 1000);
+        let b = msg(0.2, 500); // 2 instances
+        let p = success_probability(&[a, b], &[0, 0], UNIT);
+        let manual = 0.9 * 0.8f64.powi(2);
+        assert!((p - manual).abs() < 1e-12);
+    }
+
+    #[test]
+    fn log_domain_is_stable_for_tiny_failure_probabilities() {
+        // 10_000 instances of a message failing with 1e-12 each: the naive
+        // product would be indistinguishable from 1.0 in f64 per factor, but
+        // the aggregate log must be ≈ -1e-8.
+        let ber = Ber::new(1e-15).unwrap();
+        let m = MessageReliability::from_ber(0, 1000, SimDuration::from_micros(100), ber);
+        let lg = log_success_probability(std::slice::from_ref(&m), &[0], UNIT);
+        let expected = -(1e-12 * 1e4);
+        assert!((lg - expected).abs() / expected.abs() < 1e-2, "lg = {lg}");
+    }
+
+    #[test]
+    fn more_instances_lower_reliability() {
+        let fast = msg(0.01, 5);
+        let slow = msg(0.01, 50);
+        let pf = success_probability(std::slice::from_ref(&fast), &[0], UNIT);
+        let ps = success_probability(std::slice::from_ref(&slow), &[0], UNIT);
+        assert!(pf < ps);
+    }
+
+    #[test]
+    #[should_panic(expected = "one retransmission count per message")]
+    fn mismatched_lengths_panic() {
+        let _ = success_probability(&[msg(0.1, 10)], &[], UNIT);
+    }
+}

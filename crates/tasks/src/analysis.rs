@@ -1,0 +1,170 @@
+//! Schedulability bounds and busy-period analysis.
+//!
+//! Complements the exact response-time analysis in
+//! [`crate::response_time`] with the classic closed-form sufficient tests
+//! (Liu–Layland lives there; the tighter hyperbolic bound here) and with
+//! **level-i busy period** computation — the quantity the paper's slack
+//! derivations (§III-C, `w_{i,t}` in Table I) are built on.
+
+use event_sim::SimDuration;
+
+use crate::taskset::TaskSet;
+
+/// The hyperbolic (Bini–Buttazzo) sufficient schedulability test for
+/// rate-monotonic priorities on implicit-deadline tasks:
+/// `∏ (U_i + 1) ≤ 2`. Strictly dominates the Liu–Layland bound.
+pub fn hyperbolic_bound_holds(set: &TaskSet) -> bool {
+    let product: f64 = set.iter().map(|t| t.utilization() + 1.0).product();
+    product <= 2.0
+}
+
+/// The length of the **level-i busy period** starting at a synchronous
+/// release: the smallest fixed point of
+/// `L = Σ_{j ≤ i} ⌈L / T_j⌉ · C_j`
+/// over the tasks with priority level ≤ `level` — the paper's `w_{i,t}`
+/// at the critical instant. `None` if it does not converge within
+/// `max(1000 periods)` (utilization at that level ≥ 1).
+///
+/// # Panics
+/// Panics if `level` is out of range.
+pub fn level_busy_period(set: &TaskSet, level: usize) -> Option<SimDuration> {
+    assert!(level < set.len(), "priority level out of range");
+    let tasks = &set.tasks()[..=level];
+    let mut l: u64 = tasks.iter().map(|t| t.wcet().as_nanos()).sum();
+    let limit = tasks
+        .iter()
+        .map(|t| t.period().as_nanos())
+        .max()
+        .expect("non-empty")
+        .saturating_mul(1000);
+    loop {
+        let next: u64 = tasks
+            .iter()
+            .map(|t| l.div_ceil(t.period().as_nanos()) * t.wcet().as_nanos())
+            .sum();
+        if next == l {
+            return Some(SimDuration::from_nanos(l));
+        }
+        if next > limit {
+            return None;
+        }
+        l = next;
+    }
+}
+
+/// The number of jobs of the level-`level` task inside its own level
+/// busy period (each needs a response-time check under arbitrary
+/// deadlines); `None` if the busy period diverges.
+///
+/// # Panics
+/// Panics if `level` is out of range.
+pub fn jobs_in_busy_period(set: &TaskSet, level: usize) -> Option<u64> {
+    let l = level_busy_period(set, level)?;
+    let t = set.task_at_level(level).period();
+    Some(l.as_nanos().div_ceil(t.as_nanos()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::PeriodicTask;
+
+    fn ms(v: u64) -> SimDuration {
+        SimDuration::from_millis(v)
+    }
+
+    fn t(id: u32, wcet_ms: u64, period_ms: u64) -> PeriodicTask {
+        PeriodicTask::new(id, ms(wcet_ms), ms(period_ms), ms(period_ms))
+    }
+
+    #[test]
+    fn hyperbolic_dominates_liu_layland() {
+        // U = (0.5, 0.318): LL bound for n=2 is 0.828 < 0.818 total — LL
+        // passes; hyperbolic must also pass: 1.5 × 1.318 = 1.977 ≤ 2.
+        let set = TaskSet::rate_monotonic(vec![t(1, 1, 2), t(2, 7, 22)]).unwrap();
+        assert!(set.utilization() < crate::response_time::liu_layland_bound(2));
+        assert!(hyperbolic_bound_holds(&set));
+
+        // A set that fails LL but passes hyperbolic: harmonic-ish
+        // utilizations U1 = 0.5, U2 = 0.3: product 1.95 ≤ 2 but sum 0.8
+        // < LL(2)=0.828... craft a genuine separator: U = (0.6, 0.25):
+        // sum 0.85 > 0.828 (LL fails), product 1.6 × 1.25 = 2.0 ≤ 2 ✓.
+        let set = TaskSet::rate_monotonic(vec![t(1, 3, 5), t(2, 5, 20)]).unwrap();
+        assert!(set.utilization() > crate::response_time::liu_layland_bound(2));
+        assert!(hyperbolic_bound_holds(&set));
+    }
+
+    #[test]
+    fn hyperbolic_rejects_overload() {
+        let set = TaskSet::rate_monotonic(vec![t(1, 1, 2), t(2, 1, 2)]).unwrap();
+        assert!(!hyperbolic_bound_holds(&set));
+    }
+
+    #[test]
+    fn busy_period_single_task_is_its_wcet() {
+        let set = TaskSet::rate_monotonic(vec![t(1, 3, 10)]).unwrap();
+        assert_eq!(level_busy_period(&set, 0), Some(ms(3)));
+        assert_eq!(jobs_in_busy_period(&set, 0), Some(1));
+    }
+
+    #[test]
+    fn busy_period_textbook() {
+        // C = (1, 2, 3), T = (4, 6, 12): L2 fixed point:
+        // L = ⌈L/4⌉ + 2⌈L/6⌉ + 3⌈L/12⌉ → start 6: 2+4+3=9; 9: 3+4+3=10;
+        // 10: 3+4+3=10 ✓.
+        let set =
+            TaskSet::rate_monotonic(vec![t(1, 1, 4), t(2, 2, 6), t(3, 3, 12)]).unwrap();
+        assert_eq!(level_busy_period(&set, 2), Some(ms(10)));
+        assert_eq!(jobs_in_busy_period(&set, 2), Some(1));
+        // Level 0 alone: just the 1 ms job.
+        assert_eq!(level_busy_period(&set, 0), Some(ms(1)));
+    }
+
+    #[test]
+    fn busy_period_spans_multiple_jobs_under_pressure() {
+        // Lehoczky's classic arbitrary-deadline example: C = (26, 62),
+        // T = (70, 100), U ≈ 0.991 — the level-2 busy period closes at
+        // 492 and contains 5 jobs of the low task.
+        let set = TaskSet::rate_monotonic(vec![t(1, 26, 70), t(2, 62, 100)]).unwrap();
+        // Fixed point: W(694) = ⌈694/70⌉·26 + ⌈694/100⌉·62 = 260 + 434 = 694.
+        assert_eq!(level_busy_period(&set, 1), Some(ms(694)));
+        assert_eq!(jobs_in_busy_period(&set, 1), Some(7));
+    }
+
+    #[test]
+    fn full_utilization_busy_period_closes_at_the_hyperperiod() {
+        // U = 1.0 exactly: the processor never idles, and the busy period
+        // closes at the hyperperiod (12 ms for T = 4, 6).
+        let set =
+            TaskSet::with_explicit_priorities(vec![t(1, 2, 4), t(2, 3, 6)]).unwrap();
+        assert_eq!(level_busy_period(&set, 1), Some(ms(12)));
+    }
+
+    #[test]
+    fn overloaded_level_diverges() {
+        // U = 0.75 + 0.5 = 1.25 > 1: no fixed point exists.
+        let set =
+            TaskSet::with_explicit_priorities(vec![t(1, 3, 4), t(2, 3, 6)]).unwrap();
+        assert_eq!(level_busy_period(&set, 1), None);
+        assert_eq!(jobs_in_busy_period(&set, 1), None);
+    }
+
+    #[test]
+    fn busy_period_grows_with_level() {
+        let set =
+            TaskSet::rate_monotonic(vec![t(1, 1, 4), t(2, 2, 6), t(3, 3, 12)]).unwrap();
+        let mut prev = SimDuration::ZERO;
+        for level in 0..set.len() {
+            let l = level_busy_period(&set, level).unwrap();
+            assert!(l >= prev);
+            prev = l;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "level out of range")]
+    fn bad_level_panics() {
+        let set = TaskSet::rate_monotonic(vec![t(1, 1, 4)]).unwrap();
+        let _ = level_busy_period(&set, 3);
+    }
+}

@@ -1,0 +1,135 @@
+//! Aperiodic job model.
+
+use event_sim::{SimDuration, SimTime};
+
+/// An aperiodic job `J_k = (α_k, p_k, D_k)` (§III-A.2): arrival time,
+/// processing requirement and an optional hard deadline.
+///
+/// Per the paper, retransmitted segments are *hard-deadline* aperiodics
+/// (`deadline = Some(..)`) and dynamic-segment messages are *soft-deadline*
+/// aperiodics (`deadline = None`, response time to be minimized).
+///
+/// ```
+/// use tasks::AperiodicJob;
+/// use event_sim::{SimTime, SimDuration};
+/// let hard = AperiodicJob::hard(1, SimTime::from_millis(2),
+///     SimDuration::from_micros(300), SimDuration::from_millis(5));
+/// assert_eq!(hard.absolute_deadline(), Some(SimTime::from_millis(7)));
+/// let soft = AperiodicJob::soft(2, SimTime::ZERO, SimDuration::from_micros(100));
+/// assert!(soft.absolute_deadline().is_none());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct AperiodicJob {
+    id: u64,
+    arrival: SimTime,
+    work: SimDuration,
+    relative_deadline: Option<SimDuration>,
+}
+
+impl AperiodicJob {
+    /// Creates a hard-deadline aperiodic job (a retransmitted segment in
+    /// the paper's model).
+    ///
+    /// # Panics
+    /// Panics if `work` is zero or exceeds `relative_deadline`.
+    pub fn hard(id: u64, arrival: SimTime, work: SimDuration, relative_deadline: SimDuration) -> Self {
+        assert!(!work.is_zero(), "aperiodic work must be positive");
+        assert!(
+            work <= relative_deadline,
+            "work exceeds the relative deadline; the job can never complete in time"
+        );
+        AperiodicJob {
+            id,
+            arrival,
+            work,
+            relative_deadline: Some(relative_deadline),
+        }
+    }
+
+    /// Creates a soft-deadline aperiodic job (`D_k = ∞`; a dynamic-segment
+    /// message in the paper's model).
+    ///
+    /// # Panics
+    /// Panics if `work` is zero.
+    pub fn soft(id: u64, arrival: SimTime, work: SimDuration) -> Self {
+        assert!(!work.is_zero(), "aperiodic work must be positive");
+        AperiodicJob {
+            id,
+            arrival,
+            work,
+            relative_deadline: None,
+        }
+    }
+
+    /// Caller-chosen identifier.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Arrival time `α_k`.
+    pub fn arrival(&self) -> SimTime {
+        self.arrival
+    }
+
+    /// Processing requirement `p_k`.
+    pub fn work(&self) -> SimDuration {
+        self.work
+    }
+
+    /// Relative deadline `D_k`, `None` for soft jobs.
+    pub fn relative_deadline(&self) -> Option<SimDuration> {
+        self.relative_deadline
+    }
+
+    /// Absolute deadline `α_k + D_k`, `None` for soft jobs.
+    pub fn absolute_deadline(&self) -> Option<SimTime> {
+        self.relative_deadline.map(|d| self.arrival + d)
+    }
+
+    /// `true` if this job carries a hard deadline.
+    pub fn is_hard(&self) -> bool {
+        self.relative_deadline.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hard_job_deadline_is_absolute() {
+        let j = AperiodicJob::hard(
+            9,
+            SimTime::from_millis(10),
+            SimDuration::from_millis(1),
+            SimDuration::from_millis(4),
+        );
+        assert!(j.is_hard());
+        assert_eq!(j.absolute_deadline(), Some(SimTime::from_millis(14)));
+        assert_eq!(j.id(), 9);
+    }
+
+    #[test]
+    fn soft_job_has_no_deadline() {
+        let j = AperiodicJob::soft(1, SimTime::ZERO, SimDuration::from_micros(5));
+        assert!(!j.is_hard());
+        assert_eq!(j.relative_deadline(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "work must be positive")]
+    fn zero_work_rejected() {
+        let _ = AperiodicJob::soft(0, SimTime::ZERO, SimDuration::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "can never complete")]
+    fn infeasible_hard_job_rejected() {
+        let _ = AperiodicJob::hard(
+            0,
+            SimTime::ZERO,
+            SimDuration::from_millis(2),
+            SimDuration::from_millis(1),
+        );
+    }
+}

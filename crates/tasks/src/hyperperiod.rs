@@ -1,0 +1,97 @@
+//! Hyperperiod arithmetic.
+
+use event_sim::SimDuration;
+
+use crate::task::PeriodicTask;
+
+/// Greatest common divisor of two nanosecond counts.
+pub fn gcd(a: u64, b: u64) -> u64 {
+    let (mut a, mut b) = (a, b);
+    while b != 0 {
+        let t = b;
+        b = a % b;
+        a = t;
+    }
+    a
+}
+
+/// Least common multiple; `None` on overflow.
+pub fn lcm(a: u64, b: u64) -> Option<u64> {
+    if a == 0 || b == 0 {
+        return Some(0);
+    }
+    (a / gcd(a, b)).checked_mul(b)
+}
+
+/// The hyperperiod (LCM of all periods) of a set of tasks; `None` on
+/// overflow or when the set is empty.
+///
+/// ```
+/// use tasks::{PeriodicTask, hyperperiod::hyperperiod};
+/// use event_sim::SimDuration;
+/// let tasks = vec![
+///     PeriodicTask::new(0, SimDuration::from_micros(100), SimDuration::from_millis(8), SimDuration::from_millis(8)),
+///     PeriodicTask::new(1, SimDuration::from_micros(100), SimDuration::from_millis(1), SimDuration::from_millis(1)),
+/// ];
+/// assert_eq!(hyperperiod(&tasks), Some(SimDuration::from_millis(8)));
+/// ```
+pub fn hyperperiod(tasks: &[PeriodicTask]) -> Option<SimDuration> {
+    let mut acc: Option<u64> = None;
+    for t in tasks {
+        let p = t.period().as_nanos();
+        acc = Some(match acc {
+            None => p,
+            Some(a) => lcm(a, p)?,
+        });
+    }
+    acc.map(SimDuration::from_nanos)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use event_sim::SimDuration;
+
+    fn task(period_ms: u64) -> PeriodicTask {
+        PeriodicTask::new(
+            period_ms as u32,
+            SimDuration::from_micros(10),
+            SimDuration::from_millis(period_ms),
+            SimDuration::from_millis(period_ms),
+        )
+    }
+
+    #[test]
+    fn gcd_basic() {
+        assert_eq!(gcd(12, 18), 6);
+        assert_eq!(gcd(7, 13), 1);
+        assert_eq!(gcd(0, 5), 5);
+        assert_eq!(gcd(5, 0), 5);
+    }
+
+    #[test]
+    fn lcm_basic() {
+        assert_eq!(lcm(4, 6), Some(12));
+        assert_eq!(lcm(0, 6), Some(0));
+        assert_eq!(lcm(u64::MAX, 2), None);
+    }
+
+    #[test]
+    fn hyperperiod_of_paper_periods() {
+        // BBW periods: 1 ms and 8 ms → hyperperiod 8 ms.
+        assert_eq!(
+            hyperperiod(&[task(1), task(8)]),
+            Some(SimDuration::from_millis(8))
+        );
+        // ACC periods: 16, 24, 32 → 96 ms.
+        assert_eq!(
+            hyperperiod(&[task(16), task(24), task(32)]),
+            Some(SimDuration::from_millis(96))
+        );
+    }
+
+    #[test]
+    fn empty_set_has_no_hyperperiod() {
+        assert_eq!(hyperperiod(&[]), None);
+    }
+}

@@ -1,0 +1,59 @@
+//! Fixed-priority real-time scheduling theory.
+//!
+//! This crate implements the scheduling substrate the CoEfficient paper
+//! builds on (§III-A…§III-C): hard-deadline periodic tasks, hard- and
+//! soft-deadline aperiodic tasks, and the slack-stealing machinery of
+//! Davis et al. (RTSS'93) and Thuel & Lehoczky (RTSS'94) that CoEfficient's
+//! *selective* slack stealing specializes.
+//!
+//! Contents:
+//!
+//! * [`PeriodicTask`], [`AperiodicJob`] — task models (§III-A);
+//! * [`TaskSet`] — a priority-ordered set with deadline-monotonic
+//!   assignment;
+//! * [`response_time`] — exact worst-case response-time analysis for
+//!   constrained-deadline fixed-priority task sets;
+//! * [`analysis`] — the hyperbolic schedulability bound and level-i busy
+//!   periods (the paper's `w_{i,t}`);
+//! * [`simulate`] — an exact preemptive fixed-priority schedule simulator
+//!   producing an [`ExecutionTrace`];
+//! * [`SlackTable`] — per-priority-level idle ("slack") accounting over the
+//!   hyperperiod of a pure periodic schedule;
+//! * [`SlackStealer`] — an online dispatcher that serves aperiodic jobs at
+//!   top priority whenever doing so cannot cause any periodic deadline miss.
+//!
+//! # Example
+//!
+//! ```
+//! use tasks::{PeriodicTask, TaskSet, response_time};
+//! use event_sim::SimDuration;
+//!
+//! let set = TaskSet::deadline_monotonic(vec![
+//!     PeriodicTask::new(0, SimDuration::from_millis(1), SimDuration::from_millis(4), SimDuration::from_millis(4)),
+//!     PeriodicTask::new(1, SimDuration::from_millis(2), SimDuration::from_millis(8), SimDuration::from_millis(8)),
+//! ]).unwrap();
+//! let rta = response_time::analyze(&set).unwrap();
+//! assert!(rta.schedulable());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod aperiodic;
+pub mod analysis;
+pub mod hyperperiod;
+pub mod response_time;
+mod simulator;
+mod slack;
+mod stealer;
+mod task;
+mod taskset;
+mod trace;
+
+pub use aperiodic::AperiodicJob;
+pub use simulator::{simulate, SimulateOptions};
+pub use slack::SlackTable;
+pub use stealer::{SlackStealer, StealerOutcome};
+pub use task::{PeriodicTask, TaskError, TaskId};
+pub use taskset::TaskSet;
+pub use trace::{ExecutionTrace, JobCompletion, JobSource, Slice, SliceKind, TraceError};

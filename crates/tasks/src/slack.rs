@@ -1,0 +1,244 @@
+//! Level-i slack accounting over a pure periodic schedule.
+//!
+//! Following §III-B/§III-F of the paper (and Davis RTSS'93): the slack
+//! available for aperiodic processing at priority level `i` at time `t` is
+//! the **level-i idle time** in the window `[t, d_{i,t})`, where `d_{i,t}`
+//! is the next deadline of task `i` at or after `t`; aperiodic work served
+//! at the top priority may consume `min_i S_{i,t}` time units without
+//! causing any periodic deadline miss.
+//!
+//! A [`SlackTable`] is precomputed from the exact trace of the *pure
+//! periodic* schedule over one hyperperiod (plus the largest offset) and
+//! answers slack queries at any time within its horizon.
+
+use event_sim::{SimDuration, SimTime};
+
+use crate::simulator::{simulate, SimulateOptions};
+use crate::taskset::TaskSet;
+use crate::trace::ExecutionTrace;
+
+/// Precomputed slack information for a task set.
+///
+/// ```
+/// use tasks::{PeriodicTask, TaskSet, SlackTable};
+/// use event_sim::{SimDuration, SimTime};
+/// let set = TaskSet::deadline_monotonic(vec![
+///     PeriodicTask::new(0, SimDuration::from_millis(1), SimDuration::from_millis(4), SimDuration::from_millis(4)),
+/// ]).unwrap();
+/// let table = SlackTable::compute(&set, SimTime::from_millis(8));
+/// // At t=0 the 1 ms job must run before its 4 ms deadline: 3 ms slack.
+/// assert_eq!(table.slack_at(SimTime::ZERO), SimDuration::from_millis(3));
+/// ```
+#[derive(Debug, Clone)]
+pub struct SlackTable {
+    set: TaskSet,
+    trace: ExecutionTrace,
+    /// Per priority level, the completion instants of its jobs in job-index
+    /// order (pure periodic schedules complete jobs in order).
+    completions_by_level: Vec<Vec<SimTime>>,
+}
+
+impl SlackTable {
+    /// Simulates the pure periodic schedule of `set` over `[0, horizon)`
+    /// and builds the table.
+    ///
+    /// For exact cyclic coverage choose `horizon ≥ max_offset +
+    /// hyperperiod`; queries beyond `horizon` are rejected.
+    ///
+    /// # Panics
+    /// Panics if `horizon` is zero.
+    pub fn compute(set: &TaskSet, horizon: SimTime) -> Self {
+        let trace = simulate(set, &[], SimulateOptions::new(horizon));
+        let mut completions_by_level = vec![Vec::new(); set.len()];
+        for c in trace.completions() {
+            if let crate::trace::JobSource::Periodic { task, .. } = c.source {
+                let level = set.level_of(task).expect("completion of unknown task");
+                completions_by_level[level].push(c.completion);
+            }
+        }
+        SlackTable {
+            set: set.clone(),
+            trace,
+            completions_by_level,
+        }
+    }
+
+    /// The deadline bounding level-`level`'s slack window at `t`: the
+    /// absolute deadline of the earliest job of that task still incomplete
+    /// at `t` (§III-F: once the current job completes, the window extends
+    /// to the deadline following the next release).
+    fn window_deadline(&self, level: usize, t: SimTime) -> SimTime {
+        let done = self.completions_by_level[level].partition_point(|&c| c <= t) as u64;
+        self.set.task_at_level(level).deadline_of_job(done)
+    }
+
+    /// The underlying pure-periodic trace.
+    pub fn trace(&self) -> &ExecutionTrace {
+        &self.trace
+    }
+
+    /// End of the precomputed window.
+    pub fn horizon(&self) -> SimTime {
+        self.trace.horizon()
+    }
+
+    /// `S_{i,t}`: the maximum aperiodic processing insertable at the top
+    /// priority at time `t` without making **task `level`** miss its next
+    /// deadline — the level-`level` idle time in `[t, d_{level,t})`.
+    ///
+    /// # Panics
+    /// Panics if `level` is out of range or `t` beyond the horizon.
+    pub fn slack_at_level(&self, level: usize, t: SimTime) -> SimDuration {
+        assert!(level < self.set.len(), "priority level out of range");
+        assert!(t <= self.horizon(), "query beyond the precomputed horizon");
+        let deadline = self.window_deadline(level, t);
+        let window_end = if deadline < self.horizon() {
+            deadline
+        } else {
+            self.horizon()
+        };
+        self.trace.level_idle_between(level, t, window_end)
+    }
+
+    /// `S*_{k,t} = min_{k ≤ i ≤ n} S_{i,t}`: the largest aperiodic load
+    /// insertable at priority `k` at time `t` without missing any deadline
+    /// at level `k` or below (§III-B).
+    ///
+    /// # Panics
+    /// Panics if `k` is out of range or `t` beyond the horizon.
+    pub fn slack_at_priority(&self, k: usize, t: SimTime) -> SimDuration {
+        assert!(k < self.set.len(), "priority level out of range");
+        (k..self.set.len())
+            .map(|i| self.slack_at_level(i, t))
+            .min()
+            .expect("at least one level")
+    }
+
+    /// Slack available at the **top** priority at `t` (the quantity the
+    /// slack stealer consumes): `slack_at_priority(0, t)`.
+    pub fn slack_at(&self, t: SimTime) -> SimDuration {
+        self.slack_at_priority(0, t)
+    }
+
+    /// The *selective* slack query of CoEfficient (§III-F): the idle slack
+    /// at `t` only if it is large enough to hold a segment of `required`
+    /// length, else zero. Selecting by length lets the caller skip slacks
+    /// that cannot fit the frame to be retransmitted, saving the
+    /// computation on "the limited, not all, idle slacks".
+    pub fn selective_slack_at(&self, t: SimTime, required: SimDuration) -> SimDuration {
+        let s = self.slack_at(t);
+        if s >= required {
+            s
+        } else {
+            SimDuration::ZERO
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::PeriodicTask;
+
+    fn ms(v: u64) -> SimDuration {
+        SimDuration::from_millis(v)
+    }
+
+    fn t_at(ms_: u64) -> SimTime {
+        SimTime::from_millis(ms_)
+    }
+
+    fn task(id: u32, wcet_ms: u64, period_ms: u64) -> PeriodicTask {
+        PeriodicTask::new(id, ms(wcet_ms), ms(period_ms), ms(period_ms))
+    }
+
+    #[test]
+    fn single_task_slack_is_deadline_minus_wcet() {
+        let set = TaskSet::rate_monotonic(vec![task(1, 1, 4)]).unwrap();
+        let table = SlackTable::compute(&set, t_at(8));
+        assert_eq!(table.slack_at(SimTime::ZERO), ms(3));
+        // Job 0 completes at t=1, so the window extends to job 1's deadline
+        // (t=8): idle in [1,8) = [1,4) ∪ [5,8) = 6 ms.
+        assert_eq!(table.slack_at(t_at(1)), ms(6));
+        // At t=2: idle in [2,8) = 2 + 3 = 5 ms.
+        assert_eq!(table.slack_at(t_at(2)), ms(5));
+    }
+
+    #[test]
+    fn two_task_slack_is_minimum_over_levels() {
+        // hi: 1 ms / 4 ms; lo: 2 ms / 8 ms.
+        let set = TaskSet::rate_monotonic(vec![task(1, 1, 4), task(2, 2, 8)]).unwrap();
+        let table = SlackTable::compute(&set, t_at(8));
+        // Schedule: hi [0,1), lo [1,3), idle [3,4), hi [4,5), idle [5,8).
+        // Level 0 (hi): window [0,4): level-0 idle = 3 (lo's run counts as idle for level 0).
+        assert_eq!(table.slack_at_level(0, SimTime::ZERO), ms(3));
+        // Level 1 (lo): window [0,8): idle = 8 - 1 - 2 - 1 = 4.
+        assert_eq!(table.slack_at_level(1, SimTime::ZERO), ms(4));
+        // Stealable at top priority: min(3, 4) = 3.
+        assert_eq!(table.slack_at(SimTime::ZERO), ms(3));
+        // At priority 1 (only constraining level 1): 4 ms.
+        assert_eq!(table.slack_at_priority(1, SimTime::ZERO), ms(4));
+    }
+
+    #[test]
+    fn slack_shrinks_as_deadline_approaches_then_resets() {
+        let set = TaskSet::rate_monotonic(vec![task(1, 2, 10)]).unwrap();
+        let table = SlackTable::compute(&set, t_at(20));
+        // Job 0 runs [0,2), deadline 10: slack at 0 = 8.
+        assert_eq!(table.slack_at(SimTime::ZERO), ms(8));
+        // Job 0 completed by t=5 → window is job 1's deadline (t=20):
+        // idle in [5, 20) = [5,10) ∪ [12,20) = 13 ms.
+        assert_eq!(table.slack_at(t_at(5)), ms(13));
+        assert_eq!(table.slack_at(t_at(9)), ms(9));
+        // At t=10 job 1 is the earliest incomplete: window [10, 20),
+        // idle [12,20) = 8 ms.
+        assert_eq!(table.slack_at(t_at(10)), ms(8));
+    }
+
+    #[test]
+    fn zero_slack_in_fully_loaded_window() {
+        // wcet == deadline: no slack at release time.
+        let tight = PeriodicTask::new(1, ms(4), ms(8), ms(4));
+        let set = TaskSet::with_explicit_priorities(vec![tight]).unwrap();
+        let table = SlackTable::compute(&set, t_at(16));
+        assert_eq!(table.slack_at(SimTime::ZERO), SimDuration::ZERO);
+        // But between the deadline and the next release there is slack
+        // relative to the *next* deadline: window [4, 12) has idle [4,8) = 4.
+        assert_eq!(table.slack_at(t_at(4)), ms(4));
+    }
+
+    #[test]
+    fn selective_slack_filters_by_length() {
+        let set = TaskSet::rate_monotonic(vec![task(1, 1, 4)]).unwrap();
+        let table = SlackTable::compute(&set, t_at(8));
+        assert_eq!(table.selective_slack_at(SimTime::ZERO, ms(2)), ms(3));
+        assert_eq!(table.selective_slack_at(SimTime::ZERO, ms(3)), ms(3));
+        assert_eq!(table.selective_slack_at(SimTime::ZERO, ms(4)), SimDuration::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond the precomputed horizon")]
+    fn query_beyond_horizon_panics() {
+        let set = TaskSet::rate_monotonic(vec![task(1, 1, 4)]).unwrap();
+        let table = SlackTable::compute(&set, t_at(8));
+        let _ = table.slack_at(t_at(9));
+    }
+
+    #[test]
+    #[should_panic(expected = "level out of range")]
+    fn bad_level_panics() {
+        let set = TaskSet::rate_monotonic(vec![task(1, 1, 4)]).unwrap();
+        let table = SlackTable::compute(&set, t_at(8));
+        let _ = table.slack_at_level(5, SimTime::ZERO);
+    }
+
+    #[test]
+    fn windows_clamp_at_horizon() {
+        // Horizon shorter than the next deadline: the window clamps, making
+        // the estimate conservative (never over-reports slack).
+        let set = TaskSet::rate_monotonic(vec![task(1, 1, 10)]).unwrap();
+        let table = SlackTable::compute(&set, t_at(5));
+        // Window [0, min(10, 5)) = [0,5): idle = 4.
+        assert_eq!(table.slack_at(SimTime::ZERO), ms(4));
+    }
+}

@@ -1,0 +1,471 @@
+//! Online slack-stealing dispatcher.
+//!
+//! The [`SlackStealer`] jointly schedules hard periodic tasks and aperiodic
+//! jobs: aperiodics are served **at the top priority, in FIFO order**
+//! (§III-F), but only while doing so provably cannot cause any periodic
+//! deadline miss — the exact condition being that the consumed time never
+//! exceeds the current slack `min_i S_{i,t}`. When no slack is available,
+//! aperiodics fall back to background service (running only while the
+//! processor would otherwise idle), which is always safe.
+//!
+//! Slack is recomputed exactly at every decision point by simulating the
+//! remaining periodic workload forward from the live state (ready queue +
+//! future releases) to each task's earliest-incomplete-job deadline. This
+//! is the reference ("oracle") implementation the table-driven scheduler in
+//! the `coefficient` crate is validated against.
+
+use std::collections::VecDeque;
+
+use event_sim::{SimDuration, SimTime};
+
+use crate::aperiodic::AperiodicJob;
+use crate::taskset::TaskSet;
+use crate::trace::{ExecutionTrace, JobCompletion, JobSource, Slice, SliceKind};
+
+/// Result of a slack-stealing run.
+#[derive(Debug, Clone)]
+pub struct StealerOutcome {
+    trace: ExecutionTrace,
+}
+
+impl StealerOutcome {
+    /// The full execution trace.
+    pub fn trace(&self) -> &ExecutionTrace {
+        &self.trace
+    }
+
+    /// `true` if no periodic job missed its deadline — the stealer's core
+    /// guarantee; exposed so tests and callers can assert it.
+    pub fn no_periodic_miss(&self) -> bool {
+        self.trace.periodic_misses().next().is_none()
+    }
+
+    /// Completions of aperiodic jobs, in completion order.
+    pub fn aperiodic_completions(&self) -> impl Iterator<Item = &JobCompletion> {
+        self.trace
+            .completions()
+            .iter()
+            .filter(|c| matches!(c.source, JobSource::Aperiodic { .. }))
+    }
+
+    /// Hard aperiodic jobs that completed after their deadline.
+    pub fn aperiodic_misses(&self) -> impl Iterator<Item = &JobCompletion> {
+        self.aperiodic_completions().filter(|c| c.missed_deadline())
+    }
+}
+
+#[derive(Debug, Clone)]
+struct PJob {
+    level: usize,
+    job_index: u64,
+    release: SimTime,
+    deadline: SimTime,
+    remaining: SimDuration,
+}
+
+#[derive(Debug, Clone)]
+struct AJob {
+    id: u64,
+    arrival: SimTime,
+    deadline: Option<SimTime>,
+    remaining: SimDuration,
+}
+
+/// The slack-stealing scheduler; see the module documentation for the
+/// service policy and the slack-computation strategy.
+#[derive(Debug, Clone)]
+pub struct SlackStealer {
+    set: TaskSet,
+    horizon: SimTime,
+}
+
+impl SlackStealer {
+    /// Creates a stealer for `set` over `[0, horizon)`.
+    ///
+    /// # Panics
+    /// Panics if `horizon` is zero.
+    pub fn new(set: TaskSet, horizon: SimTime) -> Self {
+        assert!(horizon > SimTime::ZERO, "horizon must be positive");
+        SlackStealer { set, horizon }
+    }
+
+    /// Runs the joint schedule with the given aperiodic jobs.
+    pub fn run(&self, aperiodics: &[AperiodicJob]) -> StealerOutcome {
+        let mut st = StealState::new(&self.set, aperiodics, self.horizon);
+        st.run();
+        StealerOutcome {
+            trace: ExecutionTrace::new(st.slices, st.completions, self.horizon),
+        }
+    }
+}
+
+struct StealState<'a> {
+    set: &'a TaskSet,
+    horizon: SimTime,
+    next_release: Vec<u64>,
+    ready: Vec<PJob>,
+    future_aperiodics: VecDeque<AJob>,
+    aperiodic_queue: VecDeque<AJob>,
+    now: SimTime,
+    slices: Vec<Slice>,
+    completions: Vec<JobCompletion>,
+}
+
+impl<'a> StealState<'a> {
+    fn new(set: &'a TaskSet, aperiodics: &[AperiodicJob], horizon: SimTime) -> Self {
+        let mut sorted: Vec<AJob> = aperiodics
+            .iter()
+            .map(|j| AJob {
+                id: j.id(),
+                arrival: j.arrival(),
+                deadline: j.absolute_deadline(),
+                remaining: j.work(),
+            })
+            .collect();
+        sorted.sort_by_key(|j| (j.arrival, j.id));
+        StealState {
+            set,
+            horizon,
+            next_release: vec![0; set.len()],
+            ready: Vec::new(),
+            future_aperiodics: sorted.into(),
+            aperiodic_queue: VecDeque::new(),
+            now: SimTime::ZERO,
+            slices: Vec::new(),
+            completions: Vec::new(),
+        }
+    }
+
+    fn admit_arrivals(&mut self) {
+        for (level, task) in self.set.iter().enumerate() {
+            loop {
+                let k = self.next_release[level];
+                let rel = task.release_of_job(k);
+                if rel > self.now || rel >= self.horizon {
+                    break;
+                }
+                self.ready.push(PJob {
+                    level,
+                    job_index: k,
+                    release: rel,
+                    deadline: task.deadline_of_job(k),
+                    remaining: task.wcet(),
+                });
+                self.next_release[level] = k + 1;
+            }
+        }
+        self.ready.sort_by_key(|j| (j.level, j.release, j.job_index));
+        while let Some(front) = self.future_aperiodics.front() {
+            if front.arrival > self.now {
+                break;
+            }
+            let j = self.future_aperiodics.pop_front().expect("front exists");
+            self.aperiodic_queue.push_back(j);
+        }
+    }
+
+    fn next_arrival_after(&self, t: SimTime) -> SimTime {
+        let mut next = self.horizon;
+        for (level, task) in self.set.iter().enumerate() {
+            let rel = task.release_of_job(self.next_release[level]);
+            if rel > t && rel < next {
+                next = rel;
+            }
+        }
+        if let Some(front) = self.future_aperiodics.front() {
+            if front.arrival > t && front.arrival < next {
+                next = front.arrival;
+            }
+        }
+        next
+    }
+
+    fn emit(&mut self, start: SimTime, end: SimTime, kind: SliceKind) {
+        if end <= start {
+            return;
+        }
+        if let Some(last) = self.slices.last_mut() {
+            if last.end == start && last.kind == kind {
+                last.end = end;
+                return;
+            }
+        }
+        self.slices.push(Slice { start, end, kind });
+    }
+
+    /// Exact slack at the top priority from the live state: for each level
+    /// `i`, the level-`i` idle time the pure-periodic future would exhibit
+    /// in `[now, d_i)` where `d_i` is the earliest incomplete job's
+    /// deadline at that level; the result is the minimum over levels.
+    fn lookahead_slack(&self) -> SimDuration {
+        let n = self.set.len();
+        // Deadline bounding each level's window.
+        let mut window_end = vec![SimTime::ZERO; n];
+        for (level, task) in self.set.iter().enumerate() {
+            let earliest_ready = self
+                .ready
+                .iter()
+                .filter(|j| j.level == level)
+                .map(|j| j.deadline)
+                .next(); // ready is sorted; first match is earliest
+            window_end[level] =
+                earliest_ready.unwrap_or_else(|| task.deadline_of_job(self.next_release[level]));
+        }
+        let dmax = window_end.iter().copied().max().expect("non-empty set");
+
+        // Forward-simulate periodics only from `now` to `dmax`.
+        let mut ready: Vec<PJob> = self.ready.clone();
+        let mut next_release = self.next_release.clone();
+        let mut idle = vec![SimDuration::ZERO; n];
+        let mut t = self.now;
+        while t < dmax {
+            // Admit releases due at t (ignore the horizon here: deadlines
+            // past the run horizon still constrain slack).
+            for (level, task) in self.set.iter().enumerate() {
+                loop {
+                    let k = next_release[level];
+                    let rel = task.release_of_job(k);
+                    if rel > t {
+                        break;
+                    }
+                    ready.push(PJob {
+                        level,
+                        job_index: k,
+                        release: rel,
+                        deadline: task.deadline_of_job(k),
+                        remaining: task.wcet(),
+                    });
+                    next_release[level] = k + 1;
+                }
+            }
+            ready.sort_by_key(|j| (j.level, j.release, j.job_index));
+            // Next change: earliest future release (within dmax).
+            let mut next_change = dmax;
+            for (level, task) in self.set.iter().enumerate() {
+                let rel = task.release_of_job(next_release[level]);
+                if rel > t && rel < next_change {
+                    next_change = rel;
+                }
+            }
+            let (seg_end, busy_level) = if let Some(job) = ready.first_mut() {
+                let len = job.remaining.min(next_change - t);
+                let end = t + len;
+                job.remaining -= len;
+                let lvl = job.level;
+                if job.remaining.is_zero() {
+                    ready.remove(0);
+                }
+                (end, Some(lvl))
+            } else {
+                (next_change, None)
+            };
+            // Credit idle to every level whose window covers this segment
+            // and for which the running level (if any) is lower-priority.
+            for i in 0..n {
+                let wi = window_end[i];
+                if wi <= t {
+                    continue;
+                }
+                let covered_end = if seg_end < wi { seg_end } else { wi };
+                if covered_end > t && busy_level.is_none_or(|l| l > i) {
+                    idle[i] += covered_end - t;
+                }
+            }
+            t = seg_end;
+        }
+        idle.into_iter().min().expect("non-empty set")
+    }
+
+    fn run(&mut self) {
+        while self.now < self.horizon {
+            self.admit_arrivals();
+            let next_change = self.next_arrival_after(self.now);
+            if !self.aperiodic_queue.is_empty() {
+                if self.ready.is_empty() {
+                    // Background service: always safe (re-evaluated at the
+                    // next release).
+                    self.run_aperiodic(next_change - self.now);
+                    continue;
+                }
+                let slack = self.lookahead_slack();
+                if !slack.is_zero() {
+                    let budget = slack.min(next_change - self.now);
+                    self.run_aperiodic(budget);
+                    continue;
+                }
+            }
+            if !self.ready.is_empty() {
+                self.run_periodic(next_change);
+            } else {
+                self.emit(self.now, next_change, SliceKind::Idle);
+                self.now = next_change;
+            }
+        }
+    }
+
+    fn run_aperiodic(&mut self, budget: SimDuration) {
+        let job = self.aperiodic_queue.front_mut().expect("aperiodic pending");
+        let len = job.remaining.min(budget);
+        let end = self.now + len;
+        let id = job.id;
+        job.remaining -= len;
+        let finished = job.remaining.is_zero();
+        let (arrival, deadline) = (job.arrival, job.deadline);
+        self.emit(self.now, end, SliceKind::Aperiodic { job: id });
+        self.now = end;
+        if finished {
+            self.aperiodic_queue.pop_front();
+            self.completions.push(JobCompletion {
+                source: JobSource::Aperiodic { job: id },
+                release: arrival,
+                completion: end,
+                deadline,
+            });
+        }
+    }
+
+    fn run_periodic(&mut self, next_change: SimTime) {
+        let job = &mut self.ready[0];
+        let len = job.remaining.min(next_change - self.now);
+        let end = self.now + len;
+        let kind = SliceKind::Periodic {
+            task: self.set.task_at_level(job.level).id(),
+            job: job.job_index,
+            level: job.level,
+        };
+        job.remaining -= len;
+        let finished = job.remaining.is_zero();
+        let (release, deadline) = (job.release, job.deadline);
+        let source = JobSource::Periodic {
+            task: self.set.task_at_level(job.level).id(),
+            job: job.job_index,
+        };
+        self.emit(self.now, end, kind);
+        self.now = end;
+        if finished {
+            self.ready.remove(0);
+            self.completions.push(JobCompletion {
+                source,
+                release,
+                completion: end,
+                deadline: Some(deadline),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::PeriodicTask;
+
+    fn ms(v: u64) -> SimDuration {
+        SimDuration::from_millis(v)
+    }
+
+    fn task(id: u32, wcet_ms: u64, period_ms: u64) -> PeriodicTask {
+        PeriodicTask::new(id, ms(wcet_ms), ms(period_ms), ms(period_ms))
+    }
+
+    fn set(tasks: Vec<PeriodicTask>) -> TaskSet {
+        TaskSet::deadline_monotonic(tasks).unwrap()
+    }
+
+    #[test]
+    fn aperiodic_served_immediately_when_slack_exists() {
+        // Task: 1 ms / 4 ms → 3 ms slack at t=0. The aperiodic preempts.
+        let stealer = SlackStealer::new(set(vec![task(1, 1, 4)]), SimTime::from_millis(8));
+        let ap = AperiodicJob::soft(50, SimTime::ZERO, ms(2));
+        let out = stealer.run(std::slice::from_ref(&ap));
+        assert!(out.no_periodic_miss());
+        let done = out.aperiodic_completions().next().unwrap();
+        assert_eq!(done.completion, SimTime::from_millis(2));
+    }
+
+    #[test]
+    fn aperiodic_waits_when_no_slack() {
+        // Tight task (wcet == deadline < period): zero slack at release.
+        let tight = PeriodicTask::new(1, ms(4), ms(8), ms(4));
+        let s = TaskSet::with_explicit_priorities(vec![tight]).unwrap();
+        let stealer = SlackStealer::new(s, SimTime::from_millis(16));
+        let ap = AperiodicJob::soft(50, SimTime::ZERO, ms(2));
+        let out = stealer.run(std::slice::from_ref(&ap));
+        assert!(out.no_periodic_miss());
+        // The periodic job occupies [0,4); the aperiodic runs [4,6).
+        let done = out.aperiodic_completions().next().unwrap();
+        assert_eq!(done.completion, SimTime::from_millis(6));
+    }
+
+    #[test]
+    fn periodic_deadlines_never_missed_under_aperiodic_pressure() {
+        // Heavy aperiodic load against a two-task set; invariant must hold.
+        let s = set(vec![task(1, 1, 4), task(2, 2, 8)]);
+        let stealer = SlackStealer::new(s, SimTime::from_millis(64));
+        let aps: Vec<AperiodicJob> = (0..10)
+            .map(|i| AperiodicJob::soft(i, SimTime::from_millis(i * 3), ms(2)))
+            .collect();
+        let out = stealer.run(&aps);
+        assert!(out.no_periodic_miss());
+        // All aperiodic work must eventually complete (utilization 3/8 + 10·2/64 < 1).
+        assert_eq!(out.aperiodic_completions().count(), 10);
+    }
+
+    #[test]
+    fn stealing_beats_background_service() {
+        use crate::simulator::{simulate, SimulateOptions};
+        let s = set(vec![task(1, 2, 8), task(2, 2, 16)]);
+        let aps = vec![AperiodicJob::soft(7, SimTime::ZERO, ms(1))];
+        let horizon = SimTime::from_millis(32);
+        let stolen = SlackStealer::new(s.clone(), horizon).run(&aps);
+        let background = simulate(&s, &aps, SimulateOptions::new(horizon));
+        let steal_done = stolen.aperiodic_completions().next().unwrap().completion;
+        let bg_done = background
+            .completions()
+            .iter()
+            .find(|c| matches!(c.source, JobSource::Aperiodic { .. }))
+            .unwrap()
+            .completion;
+        assert!(steal_done < bg_done, "{steal_done} !< {bg_done}");
+        assert!(stolen.no_periodic_miss());
+    }
+
+    #[test]
+    fn hard_aperiodic_deadline_tracked() {
+        let s = set(vec![task(1, 1, 4)]);
+        let stealer = SlackStealer::new(s, SimTime::from_millis(8));
+        let ok = AperiodicJob::hard(1, SimTime::ZERO, ms(1), ms(4));
+        let out = stealer.run(std::slice::from_ref(&ok));
+        assert_eq!(out.aperiodic_misses().count(), 0);
+        assert!(out.no_periodic_miss());
+    }
+
+    #[test]
+    fn fifo_order_among_aperiodics() {
+        let s = set(vec![task(1, 1, 8)]);
+        let stealer = SlackStealer::new(s, SimTime::from_millis(16));
+        let aps = vec![
+            AperiodicJob::soft(10, SimTime::ZERO, ms(2)),
+            AperiodicJob::soft(11, SimTime::ZERO, ms(2)),
+        ];
+        let out = stealer.run(&aps);
+        let order: Vec<u64> = out
+            .aperiodic_completions()
+            .map(|c| match c.source {
+                JobSource::Aperiodic { job } => job,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(order, vec![10, 11]);
+    }
+
+    #[test]
+    fn trace_is_structurally_valid() {
+        let s = set(vec![task(1, 1, 4), task(2, 3, 12)]);
+        let stealer = SlackStealer::new(s, SimTime::from_millis(48));
+        let aps: Vec<AperiodicJob> = (0..5)
+            .map(|i| AperiodicJob::soft(i, SimTime::from_millis(i * 7), ms(1)))
+            .collect();
+        let out = stealer.run(&aps);
+        out.trace().validate().unwrap();
+    }
+}

@@ -1,0 +1,401 @@
+//! Execution traces of simulated schedules.
+
+use std::fmt;
+
+use event_sim::{SimDuration, SimTime};
+
+use crate::task::TaskId;
+
+/// What the processor (or bus) was doing during a slice of a schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SliceKind {
+    /// Executing job `job` (0-based) of the periodic task at priority
+    /// `level`, with the task's caller-chosen id `task`.
+    Periodic {
+        /// Task id.
+        task: TaskId,
+        /// 0-based job index.
+        job: u64,
+        /// Priority level in the owning [`crate::TaskSet`] (0 = highest).
+        level: usize,
+    },
+    /// Executing the aperiodic job with the given id.
+    Aperiodic {
+        /// Aperiodic job id.
+        job: u64,
+    },
+    /// Nothing to execute.
+    Idle,
+}
+
+/// A half-open interval `[start, end)` of uniform activity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Slice {
+    /// Inclusive start.
+    pub start: SimTime,
+    /// Exclusive end.
+    pub end: SimTime,
+    /// Activity during the interval.
+    pub kind: SliceKind,
+}
+
+impl Slice {
+    /// Length of the slice.
+    pub fn len(&self) -> SimDuration {
+        self.end - self.start
+    }
+
+    /// `true` if the slice is degenerate (zero length).
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+}
+
+/// Whose completion a [`JobCompletion`] records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum JobSource {
+    /// Job `job` of periodic task `task`.
+    Periodic {
+        /// Task id.
+        task: TaskId,
+        /// 0-based job index.
+        job: u64,
+    },
+    /// The aperiodic job with the given id.
+    Aperiodic {
+        /// Aperiodic job id.
+        job: u64,
+    },
+}
+
+/// A completed job with its timing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JobCompletion {
+    /// Which job completed.
+    pub source: JobSource,
+    /// When it was released / arrived.
+    pub release: SimTime,
+    /// When its last unit of work finished.
+    pub completion: SimTime,
+    /// Its absolute deadline, if it had one.
+    pub deadline: Option<SimTime>,
+}
+
+impl JobCompletion {
+    /// Response time (completion − release).
+    pub fn response_time(&self) -> SimDuration {
+        self.completion - self.release
+    }
+
+    /// `true` if the job had a deadline and missed it.
+    pub fn missed_deadline(&self) -> bool {
+        matches!(self.deadline, Some(d) if self.completion > d)
+    }
+}
+
+/// Structural defects [`ExecutionTrace::validate`] can detect.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceError {
+    /// A slice has `end ≤ start`.
+    EmptySlice(usize),
+    /// Slice `i` overlaps or precedes slice `i − 1`.
+    OutOfOrder(usize),
+    /// A slice extends beyond the trace horizon.
+    BeyondHorizon(usize),
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::EmptySlice(i) => write!(f, "slice {i} is empty or inverted"),
+            TraceError::OutOfOrder(i) => write!(f, "slice {i} overlaps its predecessor"),
+            TraceError::BeyondHorizon(i) => write!(f, "slice {i} extends beyond the horizon"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+/// The complete record of a simulated schedule over `[0, horizon)`.
+///
+/// Invariants (checked by [`validate`](Self::validate), and by
+/// construction in [`crate::simulate`]): slices are non-empty,
+/// non-overlapping, sorted by start time, and contained in the horizon.
+/// Gaps between slices are implicit idle time only if the producer chose
+/// not to emit idle slices; [`crate::simulate`] always emits explicit
+/// idle slices, so its traces have no gaps.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecutionTrace {
+    slices: Vec<Slice>,
+    completions: Vec<JobCompletion>,
+    horizon: SimTime,
+}
+
+impl ExecutionTrace {
+    /// Assembles a trace; intended for schedule producers.
+    pub fn new(slices: Vec<Slice>, completions: Vec<JobCompletion>, horizon: SimTime) -> Self {
+        ExecutionTrace {
+            slices,
+            completions,
+            horizon,
+        }
+    }
+
+    /// The recorded slices in time order.
+    pub fn slices(&self) -> &[Slice] {
+        &self.slices
+    }
+
+    /// All recorded job completions, in completion order.
+    pub fn completions(&self) -> &[JobCompletion] {
+        &self.completions
+    }
+
+    /// The end of the observation window.
+    pub fn horizon(&self) -> SimTime {
+        self.horizon
+    }
+
+    /// Checks the structural invariants.
+    ///
+    /// # Errors
+    /// The first defect found, as a [`TraceError`].
+    pub fn validate(&self) -> Result<(), TraceError> {
+        let mut prev_end = SimTime::ZERO;
+        for (i, s) in self.slices.iter().enumerate() {
+            if s.end <= s.start {
+                return Err(TraceError::EmptySlice(i));
+            }
+            if s.start < prev_end {
+                return Err(TraceError::OutOfOrder(i));
+            }
+            if s.end > self.horizon {
+                return Err(TraceError::BeyondHorizon(i));
+            }
+            prev_end = s.end;
+        }
+        Ok(())
+    }
+
+    /// Total time spent executing any work (periodic or aperiodic).
+    pub fn busy_time(&self) -> SimDuration {
+        self.slices
+            .iter()
+            .filter(|s| !matches!(s.kind, SliceKind::Idle))
+            .map(Slice::len)
+            .fold(SimDuration::ZERO, |a, b| a + b)
+    }
+
+    /// Total time spent executing a specific periodic task.
+    pub fn task_time(&self, task: TaskId) -> SimDuration {
+        self.slices
+            .iter()
+            .filter(|s| matches!(s.kind, SliceKind::Periodic { task: t, .. } if t == task))
+            .map(Slice::len)
+            .fold(SimDuration::ZERO, |a, b| a + b)
+    }
+
+    /// Total time spent executing aperiodic jobs.
+    pub fn aperiodic_time(&self) -> SimDuration {
+        self.slices
+            .iter()
+            .filter(|s| matches!(s.kind, SliceKind::Aperiodic { .. }))
+            .map(Slice::len)
+            .fold(SimDuration::ZERO, |a, b| a + b)
+    }
+
+    /// **Level-i idle time** in `[from, to)`: the time during which no
+    /// periodic work of priority level ≤ `level` and no aperiodic work was
+    /// executing. This is the quantity `I_i(t)` of the paper's §III-B used
+    /// by slack computation.
+    ///
+    /// Aperiodic slices count as *busy* at every level (aperiodics are
+    /// served at the top priority in the slack-stealing model).
+    pub fn level_idle_between(&self, level: usize, from: SimTime, to: SimTime) -> SimDuration {
+        if to <= from {
+            return SimDuration::ZERO;
+        }
+        let mut idle = SimDuration::ZERO;
+        // Account for a possible gap before the first slice / after the
+        // last: simulate() leaves none, but hand-built traces might.
+        let mut cursor = from;
+        for s in &self.slices {
+            if s.end <= from {
+                continue;
+            }
+            if s.start >= to {
+                break;
+            }
+            let seg_start = if s.start > cursor { s.start } else { cursor };
+            // A gap before this slice is idle at every level.
+            if s.start > cursor {
+                let gap_end = if s.start < to { s.start } else { to };
+                if gap_end > cursor {
+                    idle += gap_end - cursor;
+                }
+            }
+            let seg_end = if s.end < to { s.end } else { to };
+            if seg_end > seg_start && slice_is_level_idle(&s.kind, level) {
+                idle += seg_end - seg_start;
+            }
+            cursor = seg_end;
+            if cursor >= to {
+                return idle;
+            }
+        }
+        if cursor < to {
+            idle += to - cursor; // trailing gap
+        }
+        idle
+    }
+
+    /// The completions of periodic jobs that missed their deadline.
+    pub fn periodic_misses(&self) -> impl Iterator<Item = &JobCompletion> {
+        self.completions
+            .iter()
+            .filter(|c| matches!(c.source, JobSource::Periodic { .. }) && c.missed_deadline())
+    }
+}
+
+/// Is this slice idle from the point of view of priority level `level`?
+fn slice_is_level_idle(kind: &SliceKind, level: usize) -> bool {
+    match kind {
+        SliceKind::Idle => true,
+        SliceKind::Periodic { level: l, .. } => *l > level,
+        SliceKind::Aperiodic { .. } => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    fn slice(start_ms: u64, end_ms: u64, kind: SliceKind) -> Slice {
+        Slice {
+            start: t(start_ms),
+            end: t(end_ms),
+            kind,
+        }
+    }
+
+    fn periodic(level: usize) -> SliceKind {
+        SliceKind::Periodic {
+            task: level as TaskId,
+            job: 0,
+            level,
+        }
+    }
+
+    #[test]
+    fn validate_accepts_well_formed() {
+        let tr = ExecutionTrace::new(
+            vec![slice(0, 2, periodic(0)), slice(2, 3, SliceKind::Idle), slice(5, 6, periodic(1))],
+            vec![],
+            t(10),
+        );
+        assert!(tr.validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_defects() {
+        let empty = ExecutionTrace::new(vec![slice(2, 2, SliceKind::Idle)], vec![], t(10));
+        assert_eq!(empty.validate(), Err(TraceError::EmptySlice(0)));
+
+        let overlap = ExecutionTrace::new(
+            vec![slice(0, 3, periodic(0)), slice(2, 4, periodic(1))],
+            vec![],
+            t(10),
+        );
+        assert_eq!(overlap.validate(), Err(TraceError::OutOfOrder(1)));
+
+        let beyond = ExecutionTrace::new(vec![slice(8, 12, SliceKind::Idle)], vec![], t(10));
+        assert_eq!(beyond.validate(), Err(TraceError::BeyondHorizon(0)));
+    }
+
+    #[test]
+    fn busy_and_task_times() {
+        let tr = ExecutionTrace::new(
+            vec![
+                slice(0, 2, periodic(0)),
+                slice(2, 3, SliceKind::Aperiodic { job: 7 }),
+                slice(3, 5, SliceKind::Idle),
+                slice(5, 6, periodic(0)),
+            ],
+            vec![],
+            t(6),
+        );
+        assert_eq!(tr.busy_time(), SimDuration::from_millis(4));
+        assert_eq!(tr.task_time(0), SimDuration::from_millis(3));
+        assert_eq!(tr.aperiodic_time(), SimDuration::from_millis(1));
+    }
+
+    #[test]
+    fn level_idle_counts_lower_priority_and_idle() {
+        // Level 0 busy [0,2), level 1 busy [2,4), idle [4,6).
+        let tr = ExecutionTrace::new(
+            vec![slice(0, 2, periodic(0)), slice(2, 4, periodic(1)), slice(4, 6, SliceKind::Idle)],
+            vec![],
+            t(6),
+        );
+        // From level 0's view, the level-1 slice is idle.
+        assert_eq!(tr.level_idle_between(0, t(0), t(6)), SimDuration::from_millis(4));
+        // From level 1's view, both periodic slices are busy.
+        assert_eq!(tr.level_idle_between(1, t(0), t(6)), SimDuration::from_millis(2));
+    }
+
+    #[test]
+    fn level_idle_respects_window_boundaries() {
+        let tr = ExecutionTrace::new(
+            vec![slice(0, 4, SliceKind::Idle), slice(4, 8, periodic(0))],
+            vec![],
+            t(8),
+        );
+        assert_eq!(tr.level_idle_between(0, t(2), t(6)), SimDuration::from_millis(2));
+        assert_eq!(tr.level_idle_between(0, t(6), t(6)), SimDuration::ZERO);
+        assert_eq!(tr.level_idle_between(0, t(7), t(3)), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn gaps_count_as_idle() {
+        // Hand-built trace with a gap [2, 5).
+        let tr = ExecutionTrace::new(
+            vec![slice(0, 2, periodic(0)), slice(5, 6, periodic(0))],
+            vec![],
+            t(8),
+        );
+        assert_eq!(tr.level_idle_between(0, t(0), t(8)), SimDuration::from_millis(5));
+    }
+
+    #[test]
+    fn aperiodic_blocks_every_level() {
+        let tr = ExecutionTrace::new(
+            vec![slice(0, 3, SliceKind::Aperiodic { job: 1 })],
+            vec![],
+            t(3),
+        );
+        assert_eq!(tr.level_idle_between(5, t(0), t(3)), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn completion_helpers() {
+        let c = JobCompletion {
+            source: JobSource::Periodic { task: 1, job: 0 },
+            release: t(0),
+            completion: t(5),
+            deadline: Some(t(4)),
+        };
+        assert_eq!(c.response_time(), SimDuration::from_millis(5));
+        assert!(c.missed_deadline());
+        let soft = JobCompletion {
+            source: JobSource::Aperiodic { job: 2 },
+            release: t(0),
+            completion: t(50),
+            deadline: None,
+        };
+        assert!(!soft.missed_deadline());
+    }
+}

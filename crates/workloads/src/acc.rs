@@ -1,0 +1,119 @@
+//! The Adaptive Cruise Controller message set — the paper's **Table III**,
+//! verbatim.
+
+use event_sim::SimDuration;
+use flexray::signal::Signal;
+
+/// `(offset µs, period ms, deadline ms, size bits)` rows of Table III, in
+/// message order 1–20.
+const TABLE_III: [(u64, u64, u64, u32); 20] = [
+    (420, 16, 16, 1024),
+    (620, 16, 16, 1024),
+    (580, 16, 16, 1024),
+    (250, 16, 16, 1024),
+    (390, 16, 16, 1024),
+    (480, 24, 24, 1024),
+    (220, 24, 24, 1024),
+    (510, 24, 24, 1024),
+    (320, 24, 24, 1024),
+    (470, 24, 24, 1024),
+    (650, 24, 24, 1024),
+    (420, 24, 24, 1024),
+    (310, 32, 32, 1280),
+    (560, 32, 32, 1280),
+    (480, 32, 32, 1280),
+    (320, 32, 32, 256),
+    (660, 32, 32, 256),
+    (420, 32, 32, 256),
+    (260, 32, 32, 1280),
+    (350, 32, 32, 256),
+];
+
+/// Id offset added so ACC ids don't collide with BBW's 1–20 when both
+/// workloads share a cluster (as in the paper's combined runs).
+pub const ID_BASE: u32 = 20;
+
+/// The 20 ACC messages, ids 21–40 in table order.
+pub fn message_set() -> Vec<Signal> {
+    TABLE_III
+        .iter()
+        .enumerate()
+        .map(|(i, &(offset_us, period_ms, deadline_ms, bits))| {
+            Signal::new(
+                ID_BASE + (i + 1) as u32,
+                SimDuration::from_millis(period_ms),
+                SimDuration::from_micros(offset_us),
+                SimDuration::from_millis(deadline_ms),
+                bits,
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twenty_messages_with_table_values() {
+        let set = message_set();
+        assert_eq!(set.len(), 20);
+        assert_eq!(set[0].offset, SimDuration::from_micros(420));
+        assert_eq!(set[0].period, SimDuration::from_millis(16));
+        assert_eq!(set[0].size_bits, 1024);
+        assert_eq!(set[5].period, SimDuration::from_millis(24));
+        assert_eq!(set[12].size_bits, 1280);
+        assert_eq!(set[15].size_bits, 256);
+        assert_eq!(set[19].offset, SimDuration::from_micros(350));
+    }
+
+    #[test]
+    fn ids_follow_bbw() {
+        let set = message_set();
+        assert_eq!(set[0].id, 21);
+        assert_eq!(set[19].id, 40);
+    }
+
+    #[test]
+    fn period_classes_match_table() {
+        let set = message_set();
+        assert_eq!(
+            set.iter().filter(|s| s.period.as_millis() == 16).count(),
+            5
+        );
+        assert_eq!(
+            set.iter().filter(|s| s.period.as_millis() == 24).count(),
+            7
+        );
+        assert_eq!(
+            set.iter().filter(|s| s.period.as_millis() == 32).count(),
+            8
+        );
+    }
+
+    #[test]
+    fn sizes_are_the_three_table_values() {
+        for s in message_set() {
+            assert!(matches!(s.size_bits, 256 | 1024 | 1280));
+        }
+    }
+
+    #[test]
+    fn hyperperiod_is_96ms() {
+        // lcm(16, 24, 32) = 96 — used by the static schedule builder.
+        let set = message_set();
+        let lcm = set
+            .iter()
+            .map(|s| s.period.as_millis())
+            .fold(1u64, |a, b| a * b / gcd(a, b));
+        assert_eq!(lcm, 96);
+    }
+
+    fn gcd(a: u64, b: u64) -> u64 {
+        if b == 0 {
+            a
+        } else {
+            gcd(b, a % b)
+        }
+    }
+}

@@ -1,0 +1,96 @@
+//! The Brake-By-Wire message set — the paper's **Table II**, verbatim.
+
+use event_sim::SimDuration;
+use flexray::signal::Signal;
+
+/// `(offset µs, period ms, deadline ms, size bits)` rows of Table II, in
+/// message order 1–20.
+const TABLE_II: [(u64, u64, u64, u32); 20] = [
+    (280, 8, 8, 1292),
+    (760, 8, 8, 285),
+    (580, 1, 1, 1574),
+    (720, 1, 1, 552),
+    (870, 1, 1, 348),
+    (920, 1, 1, 469),
+    (340, 1, 1, 1184),
+    (280, 8, 8, 875),
+    (750, 8, 8, 759),
+    (520, 8, 8, 932),
+    (950, 8, 8, 1261),
+    (620, 8, 8, 633),
+    (720, 8, 8, 452),
+    (850, 8, 8, 342),
+    (910, 8, 8, 856),
+    (470, 8, 8, 1578),
+    (560, 1, 1, 1742),
+    (580, 1, 1, 553),
+    (920, 1, 1, 1172),
+    (680, 1, 1, 878),
+];
+
+/// The 20 BBW messages, ids 1–20 in table order.
+pub fn message_set() -> Vec<Signal> {
+    TABLE_II
+        .iter()
+        .enumerate()
+        .map(|(i, &(offset_us, period_ms, deadline_ms, bits))| {
+            Signal::new(
+                (i + 1) as u32,
+                SimDuration::from_millis(period_ms),
+                SimDuration::from_micros(offset_us),
+                SimDuration::from_millis(deadline_ms),
+                bits,
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twenty_messages_with_table_values() {
+        let set = message_set();
+        assert_eq!(set.len(), 20);
+        // Spot-check rows 1, 3, 17, 20 against the paper's table.
+        assert_eq!(set[0].offset, SimDuration::from_micros(280));
+        assert_eq!(set[0].period, SimDuration::from_millis(8));
+        assert_eq!(set[0].size_bits, 1292);
+        assert_eq!(set[2].period, SimDuration::from_millis(1));
+        assert_eq!(set[2].size_bits, 1574);
+        assert_eq!(set[16].size_bits, 1742);
+        assert_eq!(set[19].offset, SimDuration::from_micros(680));
+        assert_eq!(set[19].size_bits, 878);
+    }
+
+    #[test]
+    fn ids_are_one_based_table_order() {
+        let set = message_set();
+        for (i, s) in set.iter().enumerate() {
+            assert_eq!(s.id, (i + 1) as u32);
+        }
+    }
+
+    #[test]
+    fn periods_are_one_or_eight_ms() {
+        for s in message_set() {
+            let p = s.period.as_millis();
+            assert!(p == 1 || p == 8, "unexpected period {p}");
+            assert_eq!(s.deadline, s.period, "Table II deadlines equal periods");
+        }
+    }
+
+    #[test]
+    fn largest_message_is_1742_bits() {
+        let max = message_set().iter().map(|s| s.size_bits).max().unwrap();
+        assert_eq!(max, 1742);
+    }
+
+    #[test]
+    fn offsets_are_below_one_period() {
+        for s in message_set() {
+            assert!(s.offset < s.period);
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! Automotive message sets from the CoEfficient paper (§IV-A).
+//!
+//! * [`bbw`] — Brake-By-Wire, the paper's Table II, transcribed verbatim;
+//! * [`acc`] — Adaptive Cruise Controller, the paper's Table III;
+//! * [`sae`] — the SAE J2056/1-style aperiodic set: 30 event-triggered
+//!   messages with 50 ms period and deadline, frame IDs 81–110 (80-slot
+//!   configuration) or 121–150 (120-slot configuration);
+//! * [`synthetic`] — the seeded synthetic generator: periods 5–50 ms,
+//!   deadlines 1–20 ms, random sizes.
+//!
+//! Periodic messages reuse [`flexray::signal::Signal`] (§II-A's signal
+//! model); aperiodic messages are [`AperiodicMessage`]s.
+//!
+//! ```
+//! let bbw = workloads::bbw::message_set();
+//! assert_eq!(bbw.len(), 20);
+//! let aps = workloads::sae::message_set(workloads::sae::IdRange::For80Slots, 7);
+//! assert_eq!(aps.len(), 30);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod acc;
+pub mod bbw;
+pub mod sae;
+pub mod synthetic;
+
+use event_sim::SimDuration;
+
+/// An event-triggered (dynamic-segment) message specification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AperiodicMessage {
+    /// The FlexRay frame id used for dynamic arbitration (doubles as the
+    /// priority: lower wins).
+    pub frame_id: u16,
+    /// Minimum inter-arrival time (the "period" of §IV-A's aperiodic
+    /// configuration).
+    pub min_interarrival: SimDuration,
+    /// Relative deadline.
+    pub deadline: SimDuration,
+    /// Message size in bits.
+    pub size_bits: u32,
+}
+
+impl AperiodicMessage {
+    /// Creates a validated aperiodic message.
+    ///
+    /// # Panics
+    /// Panics if the inter-arrival, deadline or size is zero.
+    pub fn new(
+        frame_id: u16,
+        min_interarrival: SimDuration,
+        deadline: SimDuration,
+        size_bits: u32,
+    ) -> Self {
+        assert!(!min_interarrival.is_zero(), "inter-arrival must be positive");
+        assert!(!deadline.is_zero(), "deadline must be positive");
+        assert!(size_bits > 0, "size must be positive");
+        AperiodicMessage {
+            frame_id,
+            min_interarrival,
+            deadline,
+            size_bits,
+        }
+    }
+}

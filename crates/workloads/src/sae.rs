@@ -1,0 +1,114 @@
+//! The SAE-style aperiodic message set.
+//!
+//! §IV-A: "we set aperiodic messages to be a period and a deadline to be
+//! 50ms. Moreover, we use 30 aperiodic messages with the IDs 81 to 110 or
+//! 121 to 150, respectively corresponding to the number of 80 and 120
+//! slots." Message sizes follow SAE J2056/1 class-C practice (short
+//! event-triggered payloads); the exact sizes are not printed in the
+//! paper, so they are drawn deterministically from a seed (see DESIGN.md
+//! §5).
+
+use event_sim::rng::substream;
+use event_sim::SimDuration;
+use rand::Rng;
+
+use crate::AperiodicMessage;
+
+/// Which frame-id range the aperiodic set uses. Dynamic frame ids must be
+/// *reachable*: the dynamic slot counter starts at `static slots + 1` and
+/// advances once per dynamic slot, so an id can only transmit if the
+/// counter reaches it before the minislots run out. The paper's ranges
+/// pair with its 80- and 120-slot configurations; for other geometries use
+/// [`IdRange::StartingAt`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IdRange {
+    /// IDs 81–110, for the 80-static-slot configuration.
+    For80Slots,
+    /// IDs 121–150, for the 120-static-slot configuration.
+    For120Slots,
+    /// IDs `first..first+30`, for custom geometries.
+    StartingAt(u16),
+}
+
+impl IdRange {
+    /// First frame id of the range.
+    pub fn first_id(self) -> u16 {
+        match self {
+            IdRange::For80Slots => 81,
+            IdRange::For120Slots => 121,
+            IdRange::StartingAt(first) => first,
+        }
+    }
+
+    /// The static slot count the range sits directly above.
+    pub fn static_slots(self) -> u64 {
+        match self {
+            IdRange::For80Slots => 80,
+            IdRange::For120Slots => 120,
+            IdRange::StartingAt(first) => u64::from(first.saturating_sub(1)),
+        }
+    }
+}
+
+/// Number of aperiodic messages in the set.
+pub const MESSAGE_COUNT: u16 = 30;
+
+/// The period (= deadline) of every message in the set.
+pub const PERIOD: SimDuration = SimDuration::from_millis(50);
+
+/// Builds the 30-message aperiodic set with sizes seeded by `seed`
+/// (8–64 bits, CAN-class short payloads).
+pub fn message_set(range: IdRange, seed: u64) -> Vec<AperiodicMessage> {
+    let mut rng = substream(seed, "workload/sae");
+    (0..MESSAGE_COUNT)
+        .map(|i| {
+            let bits = rng.gen_range(1..=8) * 8;
+            AperiodicMessage::new(range.first_id() + i, PERIOD, PERIOD, bits)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thirty_messages_in_each_range() {
+        for range in [IdRange::For80Slots, IdRange::For120Slots] {
+            let set = message_set(range, 1);
+            assert_eq!(set.len(), 30);
+            assert_eq!(set[0].frame_id, range.first_id());
+            assert_eq!(set[29].frame_id, range.first_id() + 29);
+        }
+    }
+
+    #[test]
+    fn ids_are_above_the_static_range() {
+        for range in [IdRange::For80Slots, IdRange::For120Slots] {
+            for m in message_set(range, 1) {
+                assert!(u64::from(m.frame_id) > range.static_slots());
+            }
+        }
+    }
+
+    #[test]
+    fn period_and_deadline_are_50ms() {
+        for m in message_set(IdRange::For80Slots, 1) {
+            assert_eq!(m.min_interarrival, SimDuration::from_millis(50));
+            assert_eq!(m.deadline, SimDuration::from_millis(50));
+        }
+    }
+
+    #[test]
+    fn sizes_are_can_class_and_seeded() {
+        let a = message_set(IdRange::For80Slots, 42);
+        let b = message_set(IdRange::For80Slots, 42);
+        assert_eq!(a, b, "same seed, same sizes");
+        let c = message_set(IdRange::For80Slots, 43);
+        assert_ne!(a, c, "different seed, different sizes");
+        for m in a {
+            assert!(m.size_bits >= 8 && m.size_bits <= 64);
+            assert_eq!(m.size_bits % 8, 0);
+        }
+    }
+}

@@ -1,0 +1,109 @@
+//! A tour of the FlexRay protocol substrate: frames and CRCs, the POC
+//! state machine, clock synchronization, node-level traffic through the
+//! bus engine, and topology timing budgets.
+//!
+//! ```text
+//! cargo run --example protocol_tour
+//! ```
+
+use event_sim::{SimDuration, SimTime};
+use flexray::bus::{BusEngine, NodeCluster};
+use flexray::config::ClusterConfig;
+use flexray::node::{Node, NodeId};
+use flexray::poc::{Poc, PocEvent};
+use flexray::schedule::{ScheduleEntry, ScheduleTable};
+use flexray::sync::{ftm_midpoint, ClockCorrection};
+use flexray::topology::Topology;
+use flexray::{ChannelId, ChannelSet, Frame, FrameId};
+
+fn main() {
+    // --- Frames and CRCs ----------------------------------------------------
+    let frame = Frame::new(FrameId::new(42), vec![0xDE, 0xAD, 0xBE, 0xEF], 7);
+    let crc_a = frame.frame_crc(ChannelId::A);
+    let crc_b = frame.frame_crc(ChannelId::B);
+    println!("Frame {}:", frame.id());
+    println!("  header CRC valid: {}", frame.header().crc_valid());
+    println!("  frame CRC (A): 0x{crc_a:06X}  (B): 0x{crc_b:06X}  — channel-specific init vectors");
+    assert!(frame.verify(crc_a, ChannelId::A));
+    assert!(!frame.verify(crc_a, ChannelId::B));
+
+    // --- POC state machine ---------------------------------------------------
+    let mut poc = Poc::new();
+    for ev in [PocEvent::ConfigComplete, PocEvent::RunRequest, PocEvent::StartupComplete] {
+        poc.apply(ev).expect("valid startup path");
+    }
+    println!("\nPOC after startup: {} (may transmit: {})", poc.state(), poc.may_transmit());
+
+    // --- Clock synchronization ------------------------------------------------
+    println!("\nFault-tolerant midpoint over deviations [-3, -1, 2, 4, 1000] (one faulty clock):");
+    println!("  k=0 (no tolerance): {} microticks", ftm_midpoint(&[-3, -1, 2, 4, 1000], 0).unwrap());
+    println!("  k=1 (tolerant):     {} microticks", ftm_midpoint(&[-3, -1, 2, 4, 1000], 1).unwrap());
+    let mut corr = ClockCorrection::new();
+    corr.apply_round(&[6, 6, 6], 1).unwrap();
+    corr.apply_round(&[9, 9, 9], 1).unwrap();
+    println!(
+        "  after two rounds of growing offsets: offset corr {} / rate corr {}",
+        corr.offset_correction(),
+        corr.rate_correction()
+    );
+
+    // --- Nodes on the bus ------------------------------------------------------
+    let cluster_cfg = ClusterConfig::builder()
+        .macroticks_per_cycle(1000)
+        .static_slots(4, 60)
+        .minislots(100, 2)
+        .build()
+        .expect("valid config");
+    let table = ScheduleTable::new(
+        4,
+        vec![
+            ScheduleEntry {
+                slot: 1,
+                base_cycle: 0,
+                repetition: 1,
+                node: NodeId::new(0),
+                channels: ChannelSet::Both,
+                message: 100,
+            },
+            ScheduleEntry {
+                slot: 2,
+                base_cycle: 0,
+                repetition: 2,
+                node: NodeId::new(1),
+                channels: ChannelSet::AOnly,
+                message: 101,
+            },
+        ],
+    )
+    .expect("conflict-free schedule");
+    let mut n0 = Node::new(NodeId::new(0), table.clone());
+    let mut n1 = Node::new(NodeId::new(1), table);
+    n0.produce_static(1, 100, 8, SimTime::ZERO);
+    n1.produce_static(2, 101, 4, SimTime::ZERO);
+    n1.produce_dynamic(ChannelId::A, FrameId::new(7), 200, 6, SimTime::ZERO);
+    let mut cluster = NodeCluster::new(vec![n0, n1]);
+    let mut engine = BusEngine::new(cluster_cfg);
+    engine.record_outcomes(true);
+    engine.run_cycle(0, &mut cluster);
+    println!("\nOne communication cycle with two nodes:");
+    for o in engine.outcomes() {
+        println!(
+            "  message {:>3} on {} at {:>7} ({:?}, {} wire bits)",
+            o.message, o.channel, o.start, o.location, o.wire_bits
+        );
+    }
+
+    // --- Topology budgets ---------------------------------------------------
+    let topo = Topology::Star {
+        arms: vec![
+            (NodeId::new(0), 3.5),
+            (NodeId::new(1), 6.0),
+            (NodeId::new(2), 12.0),
+        ],
+        coupler_delay: SimDuration::from_nanos(150),
+    };
+    println!(
+        "\nStar topology worst-case propagation: {} (action point budget: 1 macrotick = 1 µs)",
+        topo.max_propagation_delay().expect("multi-node topology")
+    );
+}

@@ -1,0 +1,72 @@
+//! Quickstart: schedule a small FlexRay cluster with CoEfficient and
+//! compare it against the FSPEC baseline.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use coefficient::{Policy, RunConfig, Runner, Scenario, StopCondition};
+use event_sim::SimDuration;
+use flexray::config::ClusterConfig;
+use flexray::signal::Signal;
+use workloads::AperiodicMessage;
+
+fn main() {
+    // A compact 1 ms-cycle cluster: 18 static slots + 50 minislots.
+    let cluster = ClusterConfig::paper_dynamic(50);
+
+    // Three periodic control messages...
+    let statics = vec![
+        Signal::new(
+            1,
+            SimDuration::from_millis(1),
+            SimDuration::ZERO,
+            SimDuration::from_millis(1),
+            400,
+        ),
+        Signal::new(
+            2,
+            SimDuration::from_millis(4),
+            SimDuration::from_micros(300),
+            SimDuration::from_millis(4),
+            800,
+        ),
+        Signal::new(
+            3,
+            SimDuration::from_millis(8),
+            SimDuration::from_micros(500),
+            SimDuration::from_millis(8),
+            1200,
+        ),
+    ];
+    // ...and two event-triggered ones (frame ids above the 18 static slots).
+    let dynamics = vec![
+        AperiodicMessage::new(20, SimDuration::from_millis(10), SimDuration::from_millis(10), 64),
+        AperiodicMessage::new(21, SimDuration::from_millis(20), SimDuration::from_millis(20), 128),
+    ];
+
+    println!("policy        delivered  static-lat  dynamic-lat  utilization  miss-ratio");
+    for policy in [Policy::CoEfficient, Policy::Fspec] {
+        let report = Runner::new(RunConfig {
+            cluster: cluster.clone(),
+            scenario: Scenario::ber7(),
+            static_messages: statics.clone(),
+            dynamic_messages: dynamics.clone(),
+            policy,
+            stop: StopCondition::Horizon(SimDuration::from_millis(500)),
+            seed: 7,
+        })
+        .expect("valid configuration")
+        .run();
+        println!(
+            "{:<12}  {:>5}/{:<5}  {:>7.3}ms  {:>8.3}ms  {:>9.1}%  {:>8.2}%",
+            format!("{:?}", report.policy),
+            report.delivered,
+            report.produced,
+            report.static_latency.mean_millis_f64(),
+            report.dynamic_latency.mean_millis_f64(),
+            report.utilization * 100.0,
+            report.miss_ratio() * 100.0,
+        );
+    }
+}

@@ -1,0 +1,18 @@
+//! Umbrella crate for the CoEfficient reproduction workspace.
+//!
+//! This crate exists to host the repository-level `examples/` and `tests/`
+//! directories required by the project layout. It re-exports the member
+//! crates so examples can use a single import root.
+//!
+//! ```
+//! use coefficient_suite::coefficient::{Policy, Scheduler};
+//! let _ = (std::any::type_name::<Scheduler>(), Policy::CoEfficient);
+//! ```
+
+pub use coefficient;
+pub use event_sim;
+pub use flexray;
+pub use metrics;
+pub use reliability;
+pub use tasks;
+pub use workloads;

@@ -1,0 +1,175 @@
+//! Protocol-level integration: nodes, controllers, CHI buffers and the bus
+//! engine working together over multiple cycles.
+
+use event_sim::SimTime;
+use flexray::bus::{BusEngine, NodeCluster, SlotLocation};
+use flexray::config::ClusterConfig;
+use flexray::node::{Node, NodeId};
+use flexray::schedule::{ScheduleEntry, ScheduleTable};
+use flexray::{ChannelId, ChannelSet, Frame, FrameId};
+use reliability::fault::BernoulliFaults;
+use reliability::Ber;
+
+fn config() -> ClusterConfig {
+    ClusterConfig::builder()
+        .macroticks_per_cycle(1000)
+        .static_slots(4, 60)
+        .minislots(100, 2)
+        .build()
+        .unwrap()
+}
+
+fn two_node_table() -> ScheduleTable {
+    ScheduleTable::new(
+        4,
+        vec![
+            ScheduleEntry {
+                slot: 1,
+                base_cycle: 0,
+                repetition: 1,
+                node: NodeId::new(0),
+                channels: ChannelSet::Both,
+                message: 100,
+            },
+            ScheduleEntry {
+                slot: 2,
+                base_cycle: 0,
+                repetition: 2,
+                node: NodeId::new(1),
+                channels: ChannelSet::AOnly,
+                message: 101,
+            },
+            ScheduleEntry {
+                slot: 2,
+                base_cycle: 1,
+                repetition: 2,
+                node: NodeId::new(0),
+                channels: ChannelSet::AOnly,
+                message: 102,
+            },
+        ],
+    )
+    .unwrap()
+}
+
+#[test]
+fn cycle_multiplexed_slots_alternate_between_nodes() {
+    let table = two_node_table();
+    let mut n0 = Node::new(NodeId::new(0), table.clone());
+    let mut n1 = Node::new(NodeId::new(1), table);
+    // Stage messages for four cycles' worth of slots.
+    let mut engine = BusEngine::new(config());
+    engine.record_outcomes(true);
+    let mut cluster;
+    {
+        n0.produce_static(2, 102, 4, SimTime::ZERO);
+        n1.produce_static(2, 101, 4, SimTime::ZERO);
+        cluster = NodeCluster::new(vec![n0, n1]);
+    }
+    engine.run_cycle(0, &mut cluster);
+    engine.run_cycle(1, &mut cluster);
+    let slot2: Vec<u32> = engine
+        .outcomes()
+        .iter()
+        .filter(|o| matches!(o.location, SlotLocation::Static { slot: 2 }))
+        .map(|o| o.message)
+        .collect();
+    // Cycle 0 (counter 0): node 1's message 101; cycle 1: node 0's 102.
+    assert_eq!(slot2, vec![101, 102]);
+}
+
+#[test]
+fn dual_channel_staging_transmits_on_both_channels() {
+    let table = two_node_table();
+    let mut n0 = Node::new(NodeId::new(0), table.clone());
+    n0.produce_static(1, 100, 8, SimTime::ZERO);
+    let mut cluster = NodeCluster::new(vec![n0, Node::new(NodeId::new(1), table)]);
+    let mut engine = BusEngine::new(config());
+    engine.record_outcomes(true);
+    engine.run_cycle(0, &mut cluster);
+    let channels: Vec<ChannelId> = engine
+        .outcomes()
+        .iter()
+        .filter(|o| o.message == 100)
+        .map(|o| o.channel)
+        .collect();
+    assert_eq!(channels, vec![ChannelId::A, ChannelId::B]);
+}
+
+#[test]
+fn dynamic_priority_arbitration_across_nodes() {
+    let table = two_node_table();
+    let mut n0 = Node::new(NodeId::new(0), table.clone());
+    let mut n1 = Node::new(NodeId::new(1), table);
+    // Node 1 holds the lower frame id → wins the earlier dynamic slot.
+    n0.produce_dynamic(ChannelId::A, FrameId::new(9), 200, 4, SimTime::ZERO);
+    n1.produce_dynamic(ChannelId::A, FrameId::new(6), 201, 4, SimTime::ZERO);
+    let mut cluster = NodeCluster::new(vec![n0, n1]);
+    let mut engine = BusEngine::new(config());
+    engine.record_outcomes(true);
+    engine.run_cycle(0, &mut cluster);
+    let order: Vec<u32> = engine
+        .outcomes()
+        .iter()
+        .filter(|o| matches!(o.location, SlotLocation::Dynamic { .. }))
+        .map(|o| o.message)
+        .collect();
+    assert_eq!(order, vec![201, 200], "lower frame id transmits first");
+}
+
+#[test]
+fn corrupted_frames_are_flagged_but_still_occupy_the_bus() {
+    let table = two_node_table();
+    let mut n0 = Node::new(NodeId::new(0), table.clone());
+    n0.produce_static(1, 100, 8, SimTime::ZERO);
+    let mut cluster = NodeCluster::new(vec![n0, Node::new(NodeId::new(1), table)]);
+    // BER high enough that the frame is corrupted with near certainty.
+    let ber = Ber::new(0.1).unwrap();
+    let mut engine = BusEngine::new(config()).with_faults(
+        Box::new(BernoulliFaults::new(ber, 1)),
+        Box::new(BernoulliFaults::new(ber, 2)),
+    );
+    engine.record_outcomes(true);
+    engine.run_cycle(0, &mut cluster);
+    assert_eq!(engine.outcomes().len(), 2, "A and B copies both transmitted");
+    assert!(engine.outcomes().iter().all(|o| o.corrupted));
+    assert!(engine.stats(ChannelId::A).busy > event_sim::SimDuration::ZERO);
+}
+
+#[test]
+fn frame_crc_detects_what_the_injector_corrupts() {
+    // End-to-end CRC story: a receiver that recomputes the frame CRC over
+    // tampered payload bits must reject the frame.
+    let frame = Frame::new(FrameId::new(30), vec![1, 2, 3, 4, 5, 6], 0);
+    let crc = frame.frame_crc(ChannelId::A);
+    assert!(frame.verify(crc, ChannelId::A));
+
+    let tampered = Frame::new(FrameId::new(30), vec![1, 2, 3, 4, 5, 7], 0);
+    assert!(
+        !tampered.verify(crc, ChannelId::A),
+        "payload tampering must break CRC verification"
+    );
+    // Cross-channel confusion is detected by the init-vector split.
+    assert!(!frame.verify(crc, ChannelId::B));
+}
+
+#[test]
+fn engine_statistics_are_internally_consistent() {
+    let table = two_node_table();
+    let mut cluster = NodeCluster::new(vec![
+        Node::new(NodeId::new(0), table.clone()),
+        Node::new(NodeId::new(1), table),
+    ]);
+    let cfg = config();
+    let slots_per_cycle = cfg.static_slot_count();
+    let mut engine = BusEngine::new(cfg);
+    for c in 0..8 {
+        // Stage fresh data each cycle for slot 1.
+        cluster.nodes_mut()[0].produce_static(1, 100, 8, engine.elapsed());
+        engine.run_cycle(c, &mut cluster);
+    }
+    let a = engine.stats(ChannelId::A);
+    // Every static slot is either a frame or idle.
+    assert_eq!(a.frames + a.idle_static_slots, 8 * slots_per_cycle);
+    assert!(a.occupied >= a.busy, "slot-granular time includes the wire time");
+}

@@ -1,0 +1,111 @@
+//! Consistency between the analytical reliability machinery (Theorem 1,
+//! the planner, the SIL goals) and the simulated fault injection.
+
+use event_sim::SimDuration;
+use reliability::fault::{BernoulliFaults, FaultProcess};
+use reliability::{
+    success_probability, Ber, MessageReliability, RetransmissionPlanner, SilLevel,
+};
+
+#[test]
+fn injected_fault_rate_matches_analytical_probability() {
+    // The Bernoulli injector and Theorem 1's p_z must agree: observe the
+    // empirical corruption frequency of a realistic frame size.
+    let ber = Ber::new(1e-4).unwrap();
+    let bits = 2268; // largest BBW frame on the wire
+    let p = ber.frame_failure_probability(bits);
+    let mut inj = BernoulliFaults::new(ber, 42);
+    let trials = 200_000;
+    let hits = (0..trials).filter(|_| inj.corrupts(bits)).count();
+    let freq = hits as f64 / trials as f64;
+    assert!(
+        (freq - p).abs() < 0.01 * p.max(0.01),
+        "empirical {freq} vs analytical {p}"
+    );
+}
+
+#[test]
+fn planner_goal_is_confirmed_by_monte_carlo() {
+    // Plan for a goal, then simulate per-instance success with k_z + 1
+    // independent transmissions and check the aggregate failure rate is
+    // consistent with 1 − ρ (within Monte-Carlo error).
+    let ber = Ber::new(1e-4).unwrap();
+    let unit = SimDuration::from_millis(100);
+    let msgs = vec![
+        MessageReliability::from_ber(1, 1000, SimDuration::from_millis(10), ber),
+        MessageReliability::from_ber(2, 2000, SimDuration::from_millis(20), ber),
+        MessageReliability::from_ber(3, 500, SimDuration::from_millis(50), ber),
+    ];
+    let goal = 0.99;
+    let plan = RetransmissionPlanner::new(msgs.clone())
+        .unit(unit)
+        .plan_for_goal(goal)
+        .unwrap();
+    assert!(plan.success_probability() >= goal);
+
+    // Monte Carlo: one "unit" trial = every instance of every message must
+    // have at least one clean transmission among k_z + 1 tries.
+    let mut inj = BernoulliFaults::new(ber, 7);
+    let trials = 20_000u32;
+    let mut unit_failures = 0u32;
+    for _ in 0..trials {
+        let mut unit_ok = true;
+        for (m, &k) in msgs.iter().zip(plan.retransmission_counts()) {
+            let instances = m.instances_per_unit(unit);
+            for _ in 0..instances {
+                let ok = (0..=k).any(|_| !inj.corrupts(m.size_bits));
+                if !ok {
+                    unit_ok = false;
+                }
+            }
+        }
+        unit_failures += u32::from(!unit_ok);
+    }
+    let observed_failure = f64::from(unit_failures) / f64::from(trials);
+    let bound = 1.0 - goal;
+    // Allow generous Monte-Carlo slack (3σ on a small probability).
+    let sigma = (bound * (1.0 - bound) / f64::from(trials)).sqrt();
+    assert!(
+        observed_failure <= bound + 5.0 * sigma + 5e-3,
+        "observed unit failure rate {observed_failure} exceeds planned bound {bound}"
+    );
+}
+
+#[test]
+fn sil_goals_order_the_required_redundancy() {
+    let ber = Ber::new(1e-5).unwrap();
+    let unit = SimDuration::from_secs(3600);
+    let msgs: Vec<MessageReliability> = (0..5)
+        .map(|i| MessageReliability::from_ber(i, 1500, SimDuration::from_millis(10), ber))
+        .collect();
+    let planner = RetransmissionPlanner::new(msgs).unit(unit).max_retransmissions(12);
+    let mut prev_cost = 0u64;
+    for level in SilLevel::ALL {
+        let goal = level.reliability_goal(unit);
+        let plan = planner.plan_for_goal(goal).unwrap();
+        let cost = plan.bandwidth_cost_bits();
+        assert!(
+            cost >= prev_cost,
+            "{level}: cost {cost} dropped below previous {prev_cost}"
+        );
+        assert!(plan.success_probability() >= goal);
+        prev_cost = cost;
+    }
+}
+
+#[test]
+fn theorem_matches_brute_force_enumeration() {
+    // For a tiny system, compare Theorem 1 against exhaustive enumeration
+    // of all corruption patterns of one instance window.
+    let p1 = 0.3f64;
+    let p2 = 0.2f64;
+    let unit = SimDuration::from_millis(10);
+    let msgs = vec![
+        MessageReliability::new(1, 8, SimDuration::from_millis(10), p1),
+        MessageReliability::new(2, 8, SimDuration::from_millis(10), p2),
+    ];
+    // k = (1, 0): message 1 has two tries, message 2 one.
+    let analytical = success_probability(&msgs, &[1, 0], unit);
+    let brute = (1.0 - p1 * p1) * (1.0 - p2);
+    assert!((analytical - brute).abs() < 1e-12);
+}

@@ -1,0 +1,144 @@
+//! Cross-validation of the scheduling-theory crate: the analytical results
+//! (RTA, slack tables) against the exact schedule simulator.
+
+use event_sim::{SimDuration, SimTime};
+use tasks::{
+    response_time, simulate, AperiodicJob, JobSource, PeriodicTask, SimulateOptions,
+    SlackStealer, SlackTable, TaskSet,
+};
+
+fn ms(v: u64) -> SimDuration {
+    SimDuration::from_millis(v)
+}
+
+/// A deterministic family of schedulable task sets with varying shapes.
+fn task_set_family() -> Vec<TaskSet> {
+    let mut sets = Vec::new();
+    for (i, params) in [
+        vec![(1u32, 1u64, 4u64), (2, 2, 8)],
+        vec![(1, 1, 5), (2, 1, 10), (3, 2, 20)],
+        vec![(1, 2, 10), (2, 3, 15), (3, 1, 30)],
+        vec![(1, 1, 8), (2, 2, 8), (3, 3, 16)],
+        vec![(1, 1, 3), (2, 1, 6), (3, 1, 12), (4, 1, 24)],
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let tasks: Vec<PeriodicTask> = params
+            .iter()
+            .map(|&(id, c, t)| PeriodicTask::new(id + 10 * i as u32, ms(c), ms(t), ms(t)))
+            .collect();
+        sets.push(TaskSet::rate_monotonic(tasks).unwrap());
+    }
+    sets
+}
+
+#[test]
+fn first_job_response_times_equal_rta_bounds() {
+    // With synchronous release (zero offsets), the first job of each task
+    // suffers the critical instant: simulation must match RTA exactly.
+    for set in task_set_family() {
+        let rta = response_time::analyze(&set).unwrap();
+        assert!(rta.schedulable(), "family sets must be schedulable");
+        let horizon = SimTime::ZERO + set.hyperperiod().unwrap() * 2;
+        let trace = simulate(&set, &[], SimulateOptions::new(horizon));
+        for task in set.iter() {
+            let first = trace
+                .completions()
+                .iter()
+                .find(|c| {
+                    matches!(c.source, JobSource::Periodic { task: t, job: 0 } if t == task.id())
+                })
+                .expect("first job completes");
+            let bound = rta.response_for(task.id()).unwrap().wcrt.unwrap();
+            assert_eq!(first.response_time(), bound, "task {}", task.id());
+        }
+    }
+}
+
+#[test]
+fn no_deadline_misses_in_schedulable_sets() {
+    for set in task_set_family() {
+        let horizon = SimTime::ZERO + set.hyperperiod().unwrap() * 3;
+        let trace = simulate(&set, &[], SimulateOptions::new(horizon));
+        assert_eq!(trace.periodic_misses().count(), 0);
+    }
+}
+
+#[test]
+fn slack_table_never_overestimates_what_the_stealer_can_use() {
+    // Inject an aperiodic job of exactly the advertised slack at t = 0;
+    // the stealer must serve it at top priority without any periodic miss.
+    for set in task_set_family() {
+        let horizon = SimTime::ZERO + set.hyperperiod().unwrap() * 2;
+        let table = SlackTable::compute(&set, horizon);
+        let slack = table.slack_at(SimTime::ZERO);
+        if slack.is_zero() {
+            continue;
+        }
+        let job = AperiodicJob::soft(999, SimTime::ZERO, slack);
+        let out = SlackStealer::new(set.clone(), horizon).run(std::slice::from_ref(&job));
+        assert!(
+            out.no_periodic_miss(),
+            "stealing the advertised slack caused a miss"
+        );
+        let done = out
+            .aperiodic_completions()
+            .next()
+            .expect("slack-sized job completes");
+        assert_eq!(
+            done.completion,
+            SimTime::ZERO + slack,
+            "a slack-sized job at t=0 runs contiguously at top priority"
+        );
+    }
+}
+
+#[test]
+fn stealer_response_dominates_background_service() {
+    // Foreground (slack-stealing) service must never be slower than
+    // background service for any job, on any family set.
+    for set in task_set_family() {
+        let horizon = SimTime::ZERO + set.hyperperiod().unwrap() * 3;
+        let jobs: Vec<AperiodicJob> = (0..4)
+            .map(|i| AperiodicJob::soft(i, SimTime::from_millis(1 + 3 * i), ms(1)))
+            .collect();
+        let stolen = SlackStealer::new(set.clone(), horizon).run(&jobs);
+        assert!(stolen.no_periodic_miss());
+        let background = simulate(&set, &jobs, SimulateOptions::new(horizon));
+        for id in 0..4u64 {
+            let find = |cs: &[tasks::JobCompletion]| {
+                cs.iter()
+                    .find(|c| matches!(c.source, JobSource::Aperiodic { job } if job == id))
+                    .map(|c| c.completion)
+            };
+            let (s, b) = (
+                find(stolen.trace().completions()),
+                find(background.completions()),
+            );
+            if let (Some(s), Some(b)) = (s, b) {
+                assert!(s <= b, "job {id}: stolen {s} slower than background {b}");
+            }
+        }
+    }
+}
+
+#[test]
+fn trace_work_conservation() {
+    // Over an exact number of hyperperiods with synchronous release, the
+    // busy time equals the sum of all released jobs' WCETs.
+    for set in task_set_family() {
+        let hp = set.hyperperiod().unwrap();
+        let horizon = SimTime::ZERO + hp * 2;
+        let trace = simulate(&set, &[], SimulateOptions::new(horizon));
+        trace.validate().unwrap();
+        let expected: u64 = set
+            .iter()
+            .map(|t| {
+                let jobs = (hp * 2).div_duration(t.period());
+                t.wcet().as_nanos() * jobs
+            })
+            .sum();
+        assert_eq!(trace.busy_time().as_nanos(), expected);
+    }
+}
