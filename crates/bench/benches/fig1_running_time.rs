@@ -1,23 +1,17 @@
-//! Criterion bench for Figures 1 & 2: running-time experiments.
-//!
-//! Measures the wall-clock cost of the full dual-channel simulation that
-//! produces one running-time point, and prints the simulated makespans
-//! (the figure's y values) as it goes.
-
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+//! Bench for Figures 1 & 2: wall-clock cost of one running-time point
+//! (full dual-channel simulation to 400 produced instances).
 
 use bench_harness::experiments::{bbw_acc_messages, run_once, SEED};
+use bench_harness::timing::bench;
 use coefficient::{Policy, Scenario, StopCondition};
 use flexray::config::ClusterConfig;
 use workloads::sae::IdRange;
 
-fn bench_running_time(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig1_running_time");
-    group.sample_size(10);
+fn main() {
     for policy in [Policy::CoEfficient, Policy::Fspec] {
         for scenario in [Scenario::ber7(), Scenario::ber9()] {
             let label = format!(
-                "{}/{}",
+                "fig1_running_time/bbw_acc_80slots_400msgs/{}/{}",
                 match policy {
                     Policy::CoEfficient => "coefficient",
                     Policy::Fspec => "fspec",
@@ -25,27 +19,17 @@ fn bench_running_time(c: &mut Criterion) {
                 },
                 scenario.name
             );
-            group.bench_with_input(
-                BenchmarkId::new("bbw_acc_80slots_400msgs", label),
-                &(policy, scenario),
-                |b, (policy, scenario)| {
-                    b.iter(|| {
-                        run_once(
-                            ClusterConfig::paper_static(80),
-                            scenario.clone(),
-                            bbw_acc_messages(),
-                            workloads::sae::message_set(IdRange::For80Slots, SEED),
-                            *policy,
-                            StopCondition::ProducedInstances(400),
-                            SEED,
-                        )
-                    })
-                },
-            );
+            bench(&label, 10, || {
+                run_once(
+                    ClusterConfig::paper_static(80),
+                    scenario.clone(),
+                    bbw_acc_messages(),
+                    workloads::sae::message_set(IdRange::For80Slots, SEED),
+                    policy,
+                    StopCondition::ProducedInstances(400),
+                    SEED,
+                )
+            });
         }
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_running_time);
-criterion_main!(benches);

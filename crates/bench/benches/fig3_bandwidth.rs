@@ -1,20 +1,18 @@
-//! Criterion bench for Figure 3: bandwidth-utilization experiments.
-
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use event_sim::SimDuration;
+//! Bench for Figure 3: wall-clock cost of one bandwidth-utilization run
+//! (1 s simulated horizon on the mixed geometry).
 
 use bench_harness::experiments::{dynamic_experiment_statics, run_once, SEED};
+use bench_harness::timing::bench;
 use coefficient::{Policy, Scenario, StopCondition};
+use event_sim::SimDuration;
 use flexray::config::ClusterConfig;
 use workloads::sae::IdRange;
 
-fn bench_bandwidth(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig3_bandwidth");
-    group.sample_size(10);
+fn main() {
     for &ms in &[25u64, 100] {
         for policy in [Policy::CoEfficient, Policy::Fspec] {
             let label = format!(
-                "{}minislots/{}",
+                "fig3_bandwidth/utilization_1s/{}minislots/{}",
                 ms,
                 match policy {
                     Policy::CoEfficient => "coefficient",
@@ -22,27 +20,17 @@ fn bench_bandwidth(c: &mut Criterion) {
                     Policy::Hosa => "hosa",
                 }
             );
-            group.bench_with_input(
-                BenchmarkId::new("utilization_1s", label),
-                &(ms, policy),
-                |b, &(ms, policy)| {
-                    b.iter(|| {
-                        run_once(
-                            ClusterConfig::paper_mixed(ms),
-                            Scenario::ber7(),
-                            dynamic_experiment_statics(),
-                            workloads::sae::message_set(IdRange::For80Slots, SEED),
-                            policy,
-                            StopCondition::Horizon(SimDuration::from_secs(1)),
-                            SEED,
-                        )
-                    })
-                },
-            );
+            bench(&label, 10, || {
+                run_once(
+                    ClusterConfig::paper_mixed(ms),
+                    Scenario::ber7(),
+                    dynamic_experiment_statics(),
+                    workloads::sae::message_set(IdRange::For80Slots, SEED),
+                    policy,
+                    StopCondition::Horizon(SimDuration::from_secs(1)),
+                    SEED,
+                )
+            });
         }
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_bandwidth);
-criterion_main!(benches);

@@ -1,50 +1,39 @@
-//! Criterion bench for Figure 4: transmission-latency experiments.
-
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use event_sim::SimDuration;
+//! Bench for Figure 4: wall-clock cost of one transmission-latency run
+//! (2 s simulated horizon, 50 minislots).
 
 use bench_harness::experiments::{bbw_acc_messages, dynamic_experiment_statics, run_once, SEED};
+use bench_harness::timing::bench;
 use coefficient::{Policy, Scenario, StopCondition};
+use event_sim::SimDuration;
 use flexray::config::ClusterConfig;
 use workloads::sae::IdRange;
 
-fn bench_latency(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig4_latency");
-    group.sample_size(10);
+fn main() {
     for (workload, statics) in [
         ("synthetic", dynamic_experiment_statics()),
         ("bbw_acc", bbw_acc_messages()),
     ] {
         for policy in [Policy::CoEfficient, Policy::Fspec] {
             let label = format!(
-                "{workload}/{}",
+                "fig4_latency/latency_50minislots_2s/{workload}/{}",
                 match policy {
                     Policy::CoEfficient => "coefficient",
                     Policy::Fspec => "fspec",
                     Policy::Hosa => "hosa",
                 }
             );
-            group.bench_with_input(
-                BenchmarkId::new("latency_50minislots_2s", label),
-                &policy,
-                |b, &policy| {
-                    b.iter(|| {
-                        run_once(
-                            ClusterConfig::paper_mixed(50),
-                            Scenario::ber7(),
-                            statics.clone(),
-                            workloads::sae::message_set(IdRange::For80Slots, SEED),
-                            policy,
-                            StopCondition::Horizon(SimDuration::from_secs(2)),
-                            SEED,
-                        )
-                    })
-                },
-            );
+            let statics = statics.clone();
+            bench(&label, 10, move || {
+                run_once(
+                    ClusterConfig::paper_mixed(50),
+                    Scenario::ber7(),
+                    statics.clone(),
+                    workloads::sae::message_set(IdRange::For80Slots, SEED),
+                    policy,
+                    StopCondition::Horizon(SimDuration::from_secs(2)),
+                    SEED,
+                )
+            });
         }
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_latency);
-criterion_main!(benches);

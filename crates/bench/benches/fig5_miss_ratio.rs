@@ -1,20 +1,18 @@
-//! Criterion bench for Figure 5: deadline-miss-ratio experiments.
-
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use event_sim::SimDuration;
+//! Bench for Figure 5: wall-clock cost of one deadline-miss-ratio run
+//! (1 s simulated horizon, 50 minislots).
 
 use bench_harness::experiments::{dynamic_experiment_statics, run_once, SEED};
+use bench_harness::timing::bench;
 use coefficient::{Policy, Scenario, StopCondition};
+use event_sim::SimDuration;
 use flexray::config::ClusterConfig;
 use workloads::sae::IdRange;
 
-fn bench_miss_ratio(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig5_miss_ratio");
-    group.sample_size(10);
+fn main() {
     for scenario in [Scenario::ber7(), Scenario::ber9()] {
         for policy in [Policy::CoEfficient, Policy::Fspec] {
             let label = format!(
-                "{}/{}",
+                "fig5_miss_ratio/miss_ratio_50minislots_1s/{}/{}",
                 scenario.name,
                 match policy {
                     Policy::CoEfficient => "coefficient",
@@ -22,27 +20,17 @@ fn bench_miss_ratio(c: &mut Criterion) {
                     Policy::Hosa => "hosa",
                 }
             );
-            group.bench_with_input(
-                BenchmarkId::new("miss_ratio_50minislots_1s", label),
-                &(scenario.clone(), policy),
-                |b, (scenario, policy)| {
-                    b.iter(|| {
-                        run_once(
-                            ClusterConfig::paper_mixed(50),
-                            scenario.clone(),
-                            dynamic_experiment_statics(),
-                            workloads::sae::message_set(IdRange::For80Slots, SEED),
-                            *policy,
-                            StopCondition::Horizon(SimDuration::from_secs(1)),
-                            SEED,
-                        )
-                    })
-                },
-            );
+            bench(&label, 10, || {
+                run_once(
+                    ClusterConfig::paper_mixed(50),
+                    scenario.clone(),
+                    dynamic_experiment_statics(),
+                    workloads::sae::message_set(IdRange::For80Slots, SEED),
+                    policy,
+                    StopCondition::Horizon(SimDuration::from_secs(1)),
+                    SEED,
+                )
+            });
         }
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_miss_ratio);
-criterion_main!(benches);

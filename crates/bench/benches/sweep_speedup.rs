@@ -1,0 +1,40 @@
+//! Acceptance benchmark of the parallel sweep harness: a 32-cell
+//! `{2 policies × 2 scenarios × 8 seeds}` matrix, run serially and with
+//! up to 4 worker threads.
+//!
+//! Prints the `coefficient-sweep-speedup/1` JSON record and exits
+//! non-zero if the determinism contract is violated (serial and parallel
+//! fingerprints must be byte-identical) or if parallel execution is not
+//! actually faster.
+
+use bench_harness::sweep::{measure_speedup, speedup_benchmark_spec, speedup_benchmark_threads};
+use coefficient::sweep::default_threads;
+
+fn main() {
+    let spec = speedup_benchmark_spec();
+    let threads = speedup_benchmark_threads();
+    let report = measure_speedup(&spec, threads).expect("benchmark matrix is schedulable");
+    println!(
+        "sweep_speedup: {} cells, serial {:.0} ms vs {} threads {:.0} ms -> {:.2}x",
+        report.cells,
+        report.serial.as_secs_f64() * 1e3,
+        report.threads,
+        report.parallel.as_secs_f64() * 1e3,
+        report.speedup,
+    );
+    println!("{}", report.to_json());
+    if !report.fingerprints_equal {
+        eprintln!("FAIL: serial and parallel sweep fingerprints differ");
+        std::process::exit(1);
+    }
+    // The speedup claim only makes sense where parallel hardware exists:
+    // on a single-core machine the extra workers can't beat serial, and
+    // only the determinism contract above is load-bearing.
+    if report.speedup < 1.0 {
+        if default_threads() >= 2 {
+            eprintln!("FAIL: parallel sweep slower than serial on a multi-core machine");
+            std::process::exit(1);
+        }
+        eprintln!("note: single-core machine, speedup not expected");
+    }
+}

@@ -1,24 +1,232 @@
-//! Regenerates every figure of the CoEfficient paper's evaluation.
+//! Regenerates every figure of the CoEfficient paper's evaluation, and
+//! runs multi-seed sweeps on the same machinery.
 //!
 //! ```text
 //! experiments [fig1|fig2|fig3|fig4a..fig4d|fig5|ablation|faults|verify|all] [--json]
+//! experiments sweep  [--seeds N] [--master-seed X] [--minislots M]
+//!                    [--horizon-ms H] [--threads T] [--policy P]...
+//!                    [--scenario S]... [--shared-seeds] [--json] [--pretty]
+//! experiments replay --cell POLICY,SCENARIO,SEED [sweep flags]
 //! ```
 //!
 //! `verify` re-runs the paper's headline claims and exits non-zero if any
-//! fails — the one-command reproduction check.
+//! fails — the one-command reproduction check. `sweep` executes a
+//! `{policy × scenario × seed}` matrix in parallel and prints per-group
+//! distribution summaries (schema `coefficient-sweep/1` with `--json`).
+//! `replay` re-runs one cell of that matrix from its coordinates and
+//! prints its fingerprint — it must match the cell in any sweep of the
+//! same flags, at any thread count.
 //!
-//! Without arguments, runs everything. `--json` additionally dumps the raw
-//! rows as JSON to stdout (for plotting).
+//! Without arguments, runs every figure. `--json` additionally dumps the
+//! raw rows as JSON to stdout (for plotting).
 
 use bench_harness::experiments::{
     ablation, fault_model_ablation, fig3_bandwidth, fig4_latency, fig5_miss_ratio,
     fig_running_time, verify_reproduction, Segment,
 };
+use bench_harness::json::Json;
+use bench_harness::sweep::{
+    cell_json, parse_policy, parse_scenario, policy_label, sweep_report_json, SweepSpec,
+};
 use bench_harness::table::print_table;
-use coefficient::Scenario;
+use coefficient::{CellCoord, Scenario, SeedStrategy, SweepRunner};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("sweep") => run_sweep(&args[1..]),
+        Some("replay") => run_replay(&args[1..]),
+        _ => run_figures(&args),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// sweep / replay
+// ---------------------------------------------------------------------------
+
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn parse_number<T: std::str::FromStr>(args: &[String], flag: &str) -> Option<T> {
+    flag_value(args, flag).map(|v| {
+        v.parse().unwrap_or_else(|_| {
+            eprintln!("invalid value for {flag}: {v}");
+            std::process::exit(2);
+        })
+    })
+}
+
+fn flag_values<'a>(args: &'a [String], flag: &str) -> Vec<&'a str> {
+    args.iter()
+        .enumerate()
+        .filter(|(_, a)| *a == flag)
+        .filter_map(|(i, _)| args.get(i + 1))
+        .map(String::as_str)
+        .collect()
+}
+
+fn parse_spec(args: &[String]) -> SweepSpec {
+    let mut spec = SweepSpec::default();
+    if let Some(v) = parse_number(args, "--seeds") {
+        spec.seeds = v;
+    }
+    if let Some(v) = parse_number(args, "--master-seed") {
+        spec.master_seed = v;
+    }
+    if let Some(v) = parse_number(args, "--minislots") {
+        spec.minislots = v;
+    }
+    if let Some(v) = parse_number(args, "--horizon-ms") {
+        spec.horizon_ms = v;
+    }
+    if let Some(v) = parse_number(args, "--threads") {
+        spec.threads = Some(v);
+    }
+    let policies: Vec<_> = flag_values(args, "--policy")
+        .into_iter()
+        .map(|v| {
+            parse_policy(v).unwrap_or_else(|| {
+                eprintln!("unknown policy: {v} (expected coefficient|fspec|hosa)");
+                std::process::exit(2);
+            })
+        })
+        .collect();
+    if !policies.is_empty() {
+        spec.policies = policies;
+    }
+    let scenarios: Vec<_> = flag_values(args, "--scenario")
+        .into_iter()
+        .map(|v| {
+            parse_scenario(v).unwrap_or_else(|| {
+                eprintln!("unknown scenario: {v} (expected ber7|ber9|fault-free[-bursty])");
+                std::process::exit(2);
+            })
+        })
+        .collect();
+    if !scenarios.is_empty() {
+        spec.scenarios = scenarios;
+    }
+    if args.iter().any(|a| a == "--shared-seeds") {
+        spec.strategy = SeedStrategy::Shared;
+    }
+    spec
+}
+
+fn run_sweep(args: &[String]) {
+    let spec = parse_spec(args);
+    let report = spec.run().unwrap_or_else(|e| {
+        eprintln!("sweep configuration is unschedulable: {e:?}");
+        std::process::exit(1);
+    });
+    if args.iter().any(|a| a == "--json" || a == "--pretty") {
+        let doc = sweep_report_json(&report);
+        if args.iter().any(|a| a == "--pretty") {
+            println!("{}", doc.pretty());
+        } else {
+            println!("{doc}");
+        }
+        return;
+    }
+    print_table(
+        &format!(
+            "Sweep — {} cells on {} threads in {:.0} ms (fingerprint {:016x})",
+            report.cells.len(),
+            report.threads,
+            report.wall_clock.as_secs_f64() * 1e3,
+            report.fingerprint(),
+        ),
+        &[
+            "policy",
+            "scenario",
+            "seeds",
+            "util mean±sd",
+            "miss mean±sd",
+            "dyn lat p90 [ms]",
+        ],
+        &report
+            .groups
+            .iter()
+            .map(|g| {
+                vec![
+                    policy_label(g.policy).to_string(),
+                    g.scenario.to_string(),
+                    g.cells.to_string(),
+                    format!("{:.3}±{:.3}", g.utilization.mean, g.utilization.std_dev),
+                    format!("{:.4}±{:.4}", g.miss_ratio.mean, g.miss_ratio.std_dev),
+                    format!("{:.3}", g.dynamic_latency_ms.p90),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+}
+
+fn run_replay(args: &[String]) {
+    let spec = parse_spec(args);
+    let Some(cell) = flag_value(args, "--cell") else {
+        eprintln!("replay requires --cell POLICY_INDEX,SCENARIO_INDEX,SEED_INDEX");
+        std::process::exit(2);
+    };
+    let indices: Vec<usize> = cell
+        .split(',')
+        .map(|p| {
+            p.trim().parse().unwrap_or_else(|_| {
+                eprintln!("invalid --cell component: {p}");
+                std::process::exit(2);
+            })
+        })
+        .collect();
+    let [policy, scenario, seed] = indices[..] else {
+        eprintln!("--cell needs exactly three comma-separated indices");
+        std::process::exit(2);
+    };
+    let coord = CellCoord {
+        policy,
+        scenario,
+        seed,
+    };
+    let runner = SweepRunner::new(spec.build_matrix());
+    let matrix = runner.matrix();
+    if coord.policy >= matrix.policies.len()
+        || coord.scenario >= matrix.scenarios.len()
+        || coord.seed >= matrix.seeds.len()
+    {
+        eprintln!(
+            "--cell {cell} out of range for a {}x{}x{} matrix",
+            matrix.policies.len(),
+            matrix.scenarios.len(),
+            matrix.seeds.len()
+        );
+        std::process::exit(2);
+    }
+    let outcome = runner.replay(coord).unwrap_or_else(|e| {
+        eprintln!("replayed cell is unschedulable: {e:?}");
+        std::process::exit(1);
+    });
+    println!("{}", cell_json(&outcome).pretty());
+}
+
+// ---------------------------------------------------------------------------
+// figures
+// ---------------------------------------------------------------------------
+
+fn running_time_json(rows: &[bench_harness::RunningTimeRow]) -> Json {
+    Json::array(rows.iter().map(|r| {
+        Json::object([
+            ("workload", Json::str(r.workload)),
+            ("slots", Json::from(r.slots)),
+            ("policy", Json::str(r.policy)),
+            ("scenario", Json::str(r.scenario)),
+            ("messages", Json::from(r.messages)),
+            ("running_time_s", Json::from(r.running_time_s)),
+        ])
+    }))
+}
+
+fn run_figures(args: &[String]) {
     let json = args.iter().any(|a| a == "--json");
     let which: Vec<&str> = args
         .iter()
@@ -34,7 +242,13 @@ fn main() {
         let rows = fig_running_time(&Scenario::ber7(), &counts);
         print_table(
             "Figure 1 — running time, BER-7 (seconds of simulated bus time)",
-            &["workload", "slots", "policy", "messages", "running time [s]"],
+            &[
+                "workload",
+                "slots",
+                "policy",
+                "messages",
+                "running time [s]",
+            ],
             &rows
                 .iter()
                 .map(|r| {
@@ -49,7 +263,7 @@ fn main() {
                 .collect::<Vec<_>>(),
         );
         if json {
-            println!("{}", serde_json::to_string(&rows).expect("serializable"));
+            println!("{}", running_time_json(&rows));
         }
     }
 
@@ -57,7 +271,13 @@ fn main() {
         let rows = fig_running_time(&Scenario::ber9(), &counts);
         print_table(
             "Figure 2 — running time, BER-9 (seconds of simulated bus time)",
-            &["workload", "slots", "policy", "messages", "running time [s]"],
+            &[
+                "workload",
+                "slots",
+                "policy",
+                "messages",
+                "running time [s]",
+            ],
             &rows
                 .iter()
                 .map(|r| {
@@ -72,7 +292,7 @@ fn main() {
                 .collect::<Vec<_>>(),
         );
         if json {
-            println!("{}", serde_json::to_string(&rows).expect("serializable"));
+            println!("{}", running_time_json(&rows));
         }
     }
 
@@ -93,7 +313,14 @@ fn main() {
                 .collect::<Vec<_>>(),
         );
         if json {
-            println!("{}", serde_json::to_string(&rows).expect("serializable"));
+            let doc = Json::array(rows.iter().map(|r| {
+                Json::object([
+                    ("minislots", Json::from(r.minislots)),
+                    ("policy", Json::str(r.policy)),
+                    ("utilization_pct", Json::from(r.utilization_pct)),
+                ])
+            }));
+            println!("{doc}");
         }
     }
 
@@ -114,7 +341,11 @@ fn main() {
             &format!(
                 "Figure 4({}) — average {} -segment latency, {workload} (ms)",
                 &fig[4..],
-                if segment == Segment::Static { "static" } else { "dynamic" },
+                if segment == Segment::Static {
+                    "static"
+                } else {
+                    "dynamic"
+                },
             ),
             &["minislots", "scenario", "policy", "mean latency [ms]"],
             &rows
@@ -130,7 +361,24 @@ fn main() {
                 .collect::<Vec<_>>(),
         );
         if json {
-            println!("{}", serde_json::to_string(&rows).expect("serializable"));
+            let doc = Json::array(rows.iter().map(|r| {
+                Json::object([
+                    ("workload", Json::str(r.workload)),
+                    (
+                        "segment",
+                        Json::str(if r.segment == Segment::Static {
+                            "static"
+                        } else {
+                            "dynamic"
+                        }),
+                    ),
+                    ("minislots", Json::from(r.minislots)),
+                    ("scenario", Json::str(r.scenario)),
+                    ("policy", Json::str(r.policy)),
+                    ("mean_latency_ms", Json::from(r.mean_latency_ms)),
+                ])
+            }));
+            println!("{doc}");
         }
     }
 
@@ -151,7 +399,14 @@ fn main() {
                 .collect::<Vec<_>>(),
         );
         if json {
-            println!("{}", serde_json::to_string(&verdicts).expect("serializable"));
+            let doc = Json::array(verdicts.iter().map(|v| {
+                Json::object([
+                    ("claim", Json::str(v.claim)),
+                    ("pass", Json::from(v.pass)),
+                    ("evidence", Json::str(v.evidence.clone())),
+                ])
+            }));
+            println!("{doc}");
         }
         if verdicts.iter().any(|v| !v.pass) {
             std::process::exit(1);
@@ -162,7 +417,14 @@ fn main() {
         let rows = ablation();
         print_table(
             "Ablation — each CoEfficient mechanism isolated (BBW+ACC + SAE, 1 s)",
-            &["variant", "delivered", "static lat [ms]", "dynamic lat [ms]", "util [%]", "miss [%]"],
+            &[
+                "variant",
+                "delivered",
+                "static lat [ms]",
+                "dynamic lat [ms]",
+                "util [%]",
+                "miss [%]",
+            ],
             &rows
                 .iter()
                 .map(|r| {
@@ -178,7 +440,17 @@ fn main() {
                 .collect::<Vec<_>>(),
         );
         if json {
-            println!("{}", serde_json::to_string(&rows).expect("serializable"));
+            let doc = Json::array(rows.iter().map(|r| {
+                Json::object([
+                    ("variant", Json::str(r.variant)),
+                    ("delivered", Json::from(r.delivered)),
+                    ("static_latency_ms", Json::from(r.static_latency_ms)),
+                    ("dynamic_latency_ms", Json::from(r.dynamic_latency_ms)),
+                    ("utilization_pct", Json::from(r.utilization_pct)),
+                    ("miss_pct", Json::from(r.miss_pct)),
+                ])
+            }));
+            println!("{doc}");
         }
     }
 
@@ -201,7 +473,16 @@ fn main() {
                 .collect::<Vec<_>>(),
         );
         if json {
-            println!("{}", serde_json::to_string(&rows).expect("serializable"));
+            let doc = Json::array(rows.iter().map(|r| {
+                Json::object([
+                    ("model", Json::str(r.model)),
+                    ("policy", Json::str(r.policy)),
+                    ("delivered", Json::from(r.delivered)),
+                    ("corrupted", Json::from(r.corrupted)),
+                    ("miss_pct", Json::from(r.miss_pct)),
+                ])
+            }));
+            println!("{doc}");
         }
     }
 
@@ -223,7 +504,15 @@ fn main() {
                 .collect::<Vec<_>>(),
         );
         if json {
-            println!("{}", serde_json::to_string(&rows).expect("serializable"));
+            let doc = Json::array(rows.iter().map(|r| {
+                Json::object([
+                    ("minislots", Json::from(r.minislots)),
+                    ("scenario", Json::str(r.scenario)),
+                    ("policy", Json::str(r.policy)),
+                    ("miss_pct", Json::from(r.miss_pct)),
+                ])
+            }));
+            println!("{doc}");
         }
     }
 }

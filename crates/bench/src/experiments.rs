@@ -12,9 +12,12 @@
 //!   fault processes.
 
 use event_sim::SimDuration;
-use serde::Serialize;
 
-use coefficient::{Policy, RunConfig, RunReport, Runner, Scenario, StopCondition};
+use coefficient::sweep::default_threads;
+use coefficient::{
+    run_parallel, run_parallel_with_options, Policy, RunConfig, RunReport, Runner, Scenario,
+    StopCondition,
+};
 use flexray::config::ClusterConfig;
 use flexray::signal::Signal;
 use workloads::sae::IdRange;
@@ -60,7 +63,7 @@ pub fn run_once(
 // ---------------------------------------------------------------------------
 
 /// One point of Figures 1/2.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct RunningTimeRow {
     /// `"BBW+ACC"` or `"synthetic"`.
     pub workload: &'static str,
@@ -95,7 +98,12 @@ fn id_range_for(slots: u64) -> IdRange {
 /// of the BBW+ACC and synthetic workloads for 80- and 120-slot
 /// configurations, sweeping the produced-instance count.
 pub fn fig_running_time(scenario: &Scenario, message_counts: &[u64]) -> Vec<RunningTimeRow> {
-    let mut rows = Vec::new();
+    // Build every cell first, then execute the whole figure through the
+    // parallel sweep primitive. Each cell keeps the exact serial-era
+    // RunConfig (same SEED for both policies of a comparison), so the rows
+    // are bit-identical to the old one-at-a-time loop.
+    let mut meta = Vec::new();
+    let mut configs = Vec::new();
     for &slots in &[80u64, 120] {
         let cluster = ClusterConfig::paper_static(slots);
         let sae = workloads::sae::message_set(id_range_for(slots), SEED);
@@ -114,28 +122,33 @@ pub fn fig_running_time(scenario: &Scenario, message_counts: &[u64]) -> Vec<Runn
         ] {
             for policy in [Policy::CoEfficient, Policy::Fspec] {
                 for &n in message_counts {
-                    let report = run_once(
-                        cluster.clone(),
-                        scenario.clone(),
-                        statics.clone(),
-                        sae.clone(),
+                    meta.push((workload, slots, policy, n));
+                    configs.push(RunConfig {
+                        cluster: cluster.clone(),
+                        scenario: scenario.clone(),
+                        static_messages: statics.clone(),
+                        dynamic_messages: sae.clone(),
                         policy,
-                        StopCondition::DeliveredInstances(n),
-                        SEED,
-                    );
-                    rows.push(RunningTimeRow {
-                        workload,
-                        slots,
-                        policy: policy_name(policy),
-                        scenario: scenario.name,
-                        messages: n,
-                        running_time_s: report.running_time.as_secs_f64(),
+                        stop: StopCondition::DeliveredInstances(n),
+                        seed: SEED,
                     });
                 }
             }
         }
     }
-    rows
+    let reports = run_parallel(configs, default_threads())
+        .expect("experiment configuration must be schedulable");
+    meta.into_iter()
+        .zip(reports)
+        .map(|((workload, slots, policy, n), report)| RunningTimeRow {
+            workload,
+            slots,
+            policy: policy_name(policy),
+            scenario: scenario.name,
+            messages: n,
+            running_time_s: report.running_time.as_secs_f64(),
+        })
+        .collect()
 }
 
 // ---------------------------------------------------------------------------
@@ -143,7 +156,7 @@ pub fn fig_running_time(scenario: &Scenario, message_counts: &[u64]) -> Vec<Runn
 // ---------------------------------------------------------------------------
 
 /// One bar of Figure 3.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct BandwidthRow {
     /// Number of minislots (25/50/75/100).
     pub minislots: u64,
@@ -168,27 +181,33 @@ pub fn dynamic_experiment_statics() -> Vec<Signal> {
 /// Figure 3: bandwidth utilization for 25–100 minislots, CoEfficient vs
 /// FSPEC (scenario `BER-7`, 1 s horizon).
 pub fn fig3_bandwidth() -> Vec<BandwidthRow> {
-    let mut rows = Vec::new();
+    let mut meta = Vec::new();
+    let mut configs = Vec::new();
     for &ms in &[25u64, 50, 75, 100] {
         let cluster = ClusterConfig::paper_mixed(ms);
         for policy in [Policy::CoEfficient, Policy::Fspec] {
-            let report = run_once(
-                cluster.clone(),
-                Scenario::ber7(),
-                dynamic_experiment_statics(),
-                workloads::sae::message_set(IdRange::For80Slots, SEED),
+            meta.push((ms, policy));
+            configs.push(RunConfig {
+                cluster: cluster.clone(),
+                scenario: Scenario::ber7(),
+                static_messages: dynamic_experiment_statics(),
+                dynamic_messages: workloads::sae::message_set(IdRange::For80Slots, SEED),
                 policy,
-                StopCondition::Horizon(SimDuration::from_secs(1)),
-                SEED,
-            );
-            rows.push(BandwidthRow {
-                minislots: ms,
-                policy: policy_name(policy),
-                utilization_pct: report.utilization * 100.0,
+                stop: StopCondition::Horizon(SimDuration::from_secs(1)),
+                seed: SEED,
             });
         }
     }
-    rows
+    let reports = run_parallel(configs, default_threads())
+        .expect("experiment configuration must be schedulable");
+    meta.into_iter()
+        .zip(reports)
+        .map(|((ms, policy), report)| BandwidthRow {
+            minislots: ms,
+            policy: policy_name(policy),
+            utilization_pct: report.utilization * 100.0,
+        })
+        .collect()
 }
 
 // ---------------------------------------------------------------------------
@@ -196,7 +215,7 @@ pub fn fig3_bandwidth() -> Vec<BandwidthRow> {
 // ---------------------------------------------------------------------------
 
 /// Which traffic class a latency row reports.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Segment {
     /// Static-segment (time-triggered) messages — Fig 4(a)/(b).
     Static,
@@ -205,7 +224,7 @@ pub enum Segment {
 }
 
 /// One point of Figure 4.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct LatencyRow {
     /// `"synthetic"` or `"BBW+ACC"`.
     pub workload: &'static str,
@@ -228,34 +247,41 @@ pub fn fig4_latency(workload: &'static str) -> Vec<LatencyRow> {
         "BBW+ACC" => bbw_acc_messages(),
         _ => dynamic_experiment_statics(),
     };
-    let mut rows = Vec::new();
+    let mut meta = Vec::new();
+    let mut configs = Vec::new();
     for &ms in &[50u64, 100] {
         let cluster = ClusterConfig::paper_mixed(ms);
         for scenario in [Scenario::ber7(), Scenario::ber9()] {
             for policy in [Policy::CoEfficient, Policy::Fspec] {
-                let report = run_once(
-                    cluster.clone(),
-                    scenario.clone(),
-                    statics.clone(),
-                    workloads::sae::message_set(IdRange::For80Slots, SEED),
+                meta.push((ms, scenario.name, policy));
+                configs.push(RunConfig {
+                    cluster: cluster.clone(),
+                    scenario: scenario.clone(),
+                    static_messages: statics.clone(),
+                    dynamic_messages: workloads::sae::message_set(IdRange::For80Slots, SEED),
                     policy,
-                    StopCondition::Horizon(SimDuration::from_secs(2)),
-                    SEED,
-                );
-                for (segment, summary) in [
-                    (Segment::Static, &report.static_latency),
-                    (Segment::Dynamic, &report.dynamic_latency),
-                ] {
-                    rows.push(LatencyRow {
-                        workload,
-                        segment,
-                        minislots: ms,
-                        scenario: scenario.name,
-                        policy: policy_name(policy),
-                        mean_latency_ms: summary.mean_millis_f64(),
-                    });
-                }
+                    stop: StopCondition::Horizon(SimDuration::from_secs(2)),
+                    seed: SEED,
+                });
             }
+        }
+    }
+    let reports = run_parallel(configs, default_threads())
+        .expect("experiment configuration must be schedulable");
+    let mut rows = Vec::new();
+    for ((ms, scenario, policy), report) in meta.into_iter().zip(reports) {
+        for (segment, summary) in [
+            (Segment::Static, &report.static_latency),
+            (Segment::Dynamic, &report.dynamic_latency),
+        ] {
+            rows.push(LatencyRow {
+                workload,
+                segment,
+                minislots: ms,
+                scenario,
+                policy: policy_name(policy),
+                mean_latency_ms: summary.mean_millis_f64(),
+            });
         }
     }
     rows
@@ -266,7 +292,7 @@ pub fn fig4_latency(workload: &'static str) -> Vec<LatencyRow> {
 // ---------------------------------------------------------------------------
 
 /// One point of Figure 5.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct MissRatioRow {
     /// Number of minislots (25–100).
     pub minislots: u64,
@@ -281,30 +307,36 @@ pub struct MissRatioRow {
 /// Figure 5: deadline miss ratio for 25–100 minislots under both
 /// scenarios.
 pub fn fig5_miss_ratio() -> Vec<MissRatioRow> {
-    let mut rows = Vec::new();
+    let mut meta = Vec::new();
+    let mut configs = Vec::new();
     for &ms in &[25u64, 50, 75, 100] {
         let cluster = ClusterConfig::paper_mixed(ms);
         for scenario in [Scenario::ber7(), Scenario::ber9()] {
             for policy in [Policy::CoEfficient, Policy::Fspec] {
-                let report = run_once(
-                    cluster.clone(),
-                    scenario.clone(),
-                    dynamic_experiment_statics(),
-                    workloads::sae::message_set(IdRange::For80Slots, SEED),
+                meta.push((ms, scenario.name, policy));
+                configs.push(RunConfig {
+                    cluster: cluster.clone(),
+                    scenario: scenario.clone(),
+                    static_messages: dynamic_experiment_statics(),
+                    dynamic_messages: workloads::sae::message_set(IdRange::For80Slots, SEED),
                     policy,
-                    StopCondition::Horizon(SimDuration::from_secs(1)),
-                    SEED,
-                );
-                rows.push(MissRatioRow {
-                    minislots: ms,
-                    scenario: scenario.name,
-                    policy: policy_name(policy),
-                    miss_pct: report.miss_ratio() * 100.0,
+                    stop: StopCondition::Horizon(SimDuration::from_secs(1)),
+                    seed: SEED,
                 });
             }
         }
     }
-    rows
+    let reports = run_parallel(configs, default_threads())
+        .expect("experiment configuration must be schedulable");
+    meta.into_iter()
+        .zip(reports)
+        .map(|((ms, scenario, policy), report)| MissRatioRow {
+            minislots: ms,
+            scenario,
+            policy: policy_name(policy),
+            miss_pct: report.miss_ratio() * 100.0,
+        })
+        .collect()
 }
 
 // ---------------------------------------------------------------------------
@@ -312,7 +344,7 @@ pub fn fig5_miss_ratio() -> Vec<MissRatioRow> {
 // ---------------------------------------------------------------------------
 
 /// One checked claim of the paper, with the measured values behind it.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Verdict {
     /// The claim, as the paper states it.
     pub claim: &'static str,
@@ -349,7 +381,9 @@ pub fn verify_reproduction() -> Vec<Verdict> {
     verdicts.push(Verdict {
         claim: "running time: CoEfficient completes the message set first (Figs 1-2)",
         pass: all_faster,
-        evidence: format!("FSPEC/CoEfficient makespan ratio >= {worst_ratio:.2} on every sweep point"),
+        evidence: format!(
+            "FSPEC/CoEfficient makespan ratio >= {worst_ratio:.2} on every sweep point"
+        ),
     });
 
     // Claim 2 (Fig 2 vs 1): the stricter reliability goal costs CoEfficient
@@ -372,8 +406,14 @@ pub fn verify_reproduction() -> Vec<Verdict> {
     let rows = fig3_bandwidth();
     let mut min_gain = f64::INFINITY;
     for ms in [25, 50, 75, 100] {
-        let co = rows.iter().find(|r| r.minislots == ms && r.policy == "CoEfficient").expect("row");
-        let fs = rows.iter().find(|r| r.minislots == ms && r.policy == "FSPEC").expect("row");
+        let co = rows
+            .iter()
+            .find(|r| r.minislots == ms && r.policy == "CoEfficient")
+            .expect("row");
+        let fs = rows
+            .iter()
+            .find(|r| r.minislots == ms && r.policy == "FSPEC")
+            .expect("row");
         min_gain = min_gain.min(co.utilization_pct - fs.utilization_pct);
     }
     verdicts.push(Verdict {
@@ -399,7 +439,10 @@ pub fn verify_reproduction() -> Vec<Verdict> {
                 .map(|r| r.mean_latency_ms)
                 .sum();
             all_lower &= co < fs;
-            evidence.push_str(&format!("{workload}/{segment:?}: -{:.0}% ", (1.0 - co / fs) * 100.0));
+            evidence.push_str(&format!(
+                "{workload}/{segment:?}: -{:.0}% ",
+                (1.0 - co / fs) * 100.0
+            ));
         }
     }
     verdicts.push(Verdict {
@@ -441,7 +484,9 @@ mod tests {
             for slots in [80, 120] {
                 let co = rows
                     .iter()
-                    .find(|r| r.workload == workload && r.slots == slots && r.policy == "CoEfficient")
+                    .find(|r| {
+                        r.workload == workload && r.slots == slots && r.policy == "CoEfficient"
+                    })
                     .unwrap();
                 let fs = rows
                     .iter()
@@ -491,9 +536,7 @@ mod tests {
             );
         }
         // Cooperative dynamic service is what keeps dynamic latency low.
-        assert!(
-            full.dynamic_latency_ms < find("– cooperative dynamic").dynamic_latency_ms,
-        );
+        assert!(full.dynamic_latency_ms < find("– cooperative dynamic").dynamic_latency_ms,);
         // Early copies are what rescue tight static deadlines.
         assert!(full.miss_pct < find("– early copies").miss_pct);
         // The dual channel carries a large share of the throughput.
@@ -512,8 +555,14 @@ mod tests {
         // CoEfficient's redundancy keeps its miss ratio far below FSPEC's
         // under either fault process.
         for model in ["bernoulli", "gilbert-elliott"] {
-            let co = rows.iter().find(|r| r.model == model && r.policy == "CoEfficient").unwrap();
-            let fs = rows.iter().find(|r| r.model == model && r.policy == "FSPEC").unwrap();
+            let co = rows
+                .iter()
+                .find(|r| r.model == model && r.policy == "CoEfficient")
+                .unwrap();
+            let fs = rows
+                .iter()
+                .find(|r| r.model == model && r.policy == "FSPEC")
+                .unwrap();
             assert!(co.miss_pct < fs.miss_pct, "{model}: {co:?} vs {fs:?}");
         }
     }
@@ -537,7 +586,10 @@ mod tests {
                 .iter()
                 .find(|r| r.minislots == ms && r.scenario == "BER-7" && r.policy == "FSPEC")
                 .unwrap();
-            assert!(co.miss_pct <= fs.miss_pct, "{ms} minislots: {co:?} vs {fs:?}");
+            assert!(
+                co.miss_pct <= fs.miss_pct,
+                "{ms} minislots: {co:?} vs {fs:?}"
+            );
         }
     }
 }
@@ -547,7 +599,7 @@ mod tests {
 // ---------------------------------------------------------------------------
 
 /// One row of the mechanism ablation.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct AblationRow {
     /// Variant label.
     pub variant: &'static str,
@@ -569,32 +621,50 @@ pub struct AblationRow {
 pub fn ablation() -> Vec<AblationRow> {
     use coefficient::CoefficientOptions;
     let variants: Vec<(&'static str, Policy, CoefficientOptions)> = vec![
-        ("CoEfficient (full)", Policy::CoEfficient, CoefficientOptions::default()),
+        (
+            "CoEfficient (full)",
+            Policy::CoEfficient,
+            CoefficientOptions::default(),
+        ),
         (
             "– early copies",
             Policy::CoEfficient,
-            CoefficientOptions { early_copies: false, ..CoefficientOptions::default() },
+            CoefficientOptions {
+                early_copies: false,
+                ..CoefficientOptions::default()
+            },
         ),
         (
             "– cooperative dynamic",
             Policy::CoEfficient,
-            CoefficientOptions { cooperative_dynamic: false, ..CoefficientOptions::default() },
+            CoefficientOptions {
+                cooperative_dynamic: false,
+                ..CoefficientOptions::default()
+            },
         ),
         (
             "– channel B (single)",
             Policy::CoEfficient,
-            CoefficientOptions { dual_channel: false, ..CoefficientOptions::default() },
+            CoefficientOptions {
+                dual_channel: false,
+                ..CoefficientOptions::default()
+            },
         ),
-        ("HOSA (dual-channel)", Policy::Hosa, CoefficientOptions::default()),
+        (
+            "HOSA (dual-channel)",
+            Policy::Hosa,
+            CoefficientOptions::default(),
+        ),
         ("FSPEC", Policy::Fspec, CoefficientOptions::default()),
     ];
     let mut statics = bbw_acc_messages();
     statics.truncate(40);
     let sae = workloads::sae::message_set(IdRange::For80Slots, SEED);
-    variants
+    let labels: Vec<&'static str> = variants.iter().map(|&(v, ..)| v).collect();
+    let cells: Vec<(RunConfig, CoefficientOptions)> = variants
         .into_iter()
-        .map(|(variant, policy, options)| {
-            let report = coefficient::Runner::new_with_options(
+        .map(|(_, policy, options)| {
+            (
                 RunConfig {
                     cluster: ClusterConfig::paper_mixed(50),
                     scenario: Scenario::ber7(),
@@ -606,22 +676,26 @@ pub fn ablation() -> Vec<AblationRow> {
                 },
                 options,
             )
-            .expect("ablation configuration must be schedulable")
-            .run();
-            AblationRow {
-                variant,
-                delivered: report.delivered,
-                static_latency_ms: report.static_latency.mean_millis_f64(),
-                dynamic_latency_ms: report.dynamic_latency.mean_millis_f64(),
-                utilization_pct: report.utilization * 100.0,
-                miss_pct: report.miss_ratio() * 100.0,
-            }
+        })
+        .collect();
+    let reports = run_parallel_with_options(cells, default_threads())
+        .expect("ablation configuration must be schedulable");
+    labels
+        .into_iter()
+        .zip(reports)
+        .map(|(variant, report)| AblationRow {
+            variant,
+            delivered: report.delivered,
+            static_latency_ms: report.static_latency.mean_millis_f64(),
+            dynamic_latency_ms: report.dynamic_latency.mean_millis_f64(),
+            utilization_pct: report.utilization * 100.0,
+            miss_pct: report.miss_ratio() * 100.0,
         })
         .collect()
 }
 
 /// One row of the fault-model ablation.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct FaultModelRow {
     /// Fault process label.
     pub model: &'static str,
@@ -647,27 +721,36 @@ pub fn fault_model_ablation() -> Vec<FaultModelRow> {
         unit: SimDuration::from_secs(3600),
         fault_model: coefficient::FaultModel::Bernoulli,
     };
-    let scenarios = [("bernoulli", base.clone()), ("gilbert-elliott", base.bursty())];
-    let mut rows = Vec::new();
+    let scenarios = [
+        ("bernoulli", base.clone()),
+        ("gilbert-elliott", base.bursty()),
+    ];
+    let mut meta = Vec::new();
+    let mut configs = Vec::new();
     for (model, scenario) in scenarios {
         for policy in [Policy::CoEfficient, Policy::Fspec] {
-            let report = run_once(
-                ClusterConfig::paper_mixed(50),
-                scenario.clone(),
-                dynamic_experiment_statics(),
-                workloads::sae::message_set(IdRange::For80Slots, SEED),
+            meta.push((model, policy));
+            configs.push(RunConfig {
+                cluster: ClusterConfig::paper_mixed(50),
+                scenario: scenario.clone(),
+                static_messages: dynamic_experiment_statics(),
+                dynamic_messages: workloads::sae::message_set(IdRange::For80Slots, SEED),
                 policy,
-                StopCondition::Horizon(SimDuration::from_secs(1)),
-                SEED,
-            );
-            rows.push(FaultModelRow {
-                model,
-                policy: policy_name(policy),
-                delivered: report.delivered,
-                corrupted: report.corrupted,
-                miss_pct: report.miss_ratio() * 100.0,
+                stop: StopCondition::Horizon(SimDuration::from_secs(1)),
+                seed: SEED,
             });
         }
     }
-    rows
+    let reports = run_parallel(configs, default_threads())
+        .expect("experiment configuration must be schedulable");
+    meta.into_iter()
+        .zip(reports)
+        .map(|((model, policy), report)| FaultModelRow {
+            model,
+            policy: policy_name(policy),
+            delivered: report.delivered,
+            corrupted: report.corrupted,
+            miss_pct: report.miss_ratio() * 100.0,
+        })
+        .collect()
 }

@@ -1,0 +1,239 @@
+//! Minimal JSON document model and writer.
+//!
+//! The bench binaries emit machine-readable reports (`--json`, sweep
+//! output). The workspace is built to compile with no external crates, so
+//! this module provides the small subset of a JSON serializer the reports
+//! need: objects with insertion-ordered keys, arrays, strings with full
+//! escaping, and numbers that round-trip (`u64` exactly, `f64` via Rust's
+//! shortest-representation formatter).
+//!
+//! ```
+//! use bench_harness::json::Json;
+//! let doc = Json::object([
+//!     ("policy", Json::str("CoEfficient")),
+//!     ("seeds", Json::array([Json::from(1u64), Json::from(2u64)])),
+//! ]);
+//! assert_eq!(doc.to_string(), r#"{"policy":"CoEfficient","seeds":[1,2]}"#);
+//! ```
+
+use std::fmt;
+
+/// A JSON value. Object keys keep insertion order, so emitted documents
+/// are stable across runs (a requirement for diffing sweep reports).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An unsigned integer, emitted exactly (no float rounding at 2^53).
+    UInt(u64),
+    /// A float, emitted with Rust's shortest round-trip formatting.
+    /// Non-finite values serialize as `null` (JSON has no NaN/Infinity).
+    Float(f64),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Json>),
+    /// An object with insertion-ordered keys.
+    Object(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Builds an object from `(key, value)` pairs.
+    pub fn object<K: Into<String>>(pairs: impl IntoIterator<Item = (K, Json)>) -> Json {
+        Json::Object(pairs.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// Builds an array from values.
+    pub fn array(values: impl IntoIterator<Item = Json>) -> Json {
+        Json::Array(values.into_iter().collect())
+    }
+
+    /// Builds a string value.
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::String(s.into())
+    }
+
+    /// Pretty-prints with two-space indentation.
+    pub fn pretty(&self) -> String {
+        let mut out = String::new();
+        self.write_pretty(&mut out, 0);
+        out
+    }
+
+    fn write_pretty(&self, out: &mut String, indent: usize) {
+        match self {
+            Json::Array(items) if !items.is_empty() => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    out.push_str(if i == 0 { "\n" } else { ",\n" });
+                    out.push_str(&"  ".repeat(indent + 1));
+                    item.write_pretty(out, indent + 1);
+                }
+                out.push('\n');
+                out.push_str(&"  ".repeat(indent));
+                out.push(']');
+            }
+            Json::Object(pairs) if !pairs.is_empty() => {
+                out.push('{');
+                for (i, (key, value)) in pairs.iter().enumerate() {
+                    out.push_str(if i == 0 { "\n" } else { ",\n" });
+                    out.push_str(&"  ".repeat(indent + 1));
+                    write_escaped(out, key);
+                    out.push_str(": ");
+                    value.write_pretty(out, indent + 1);
+                }
+                out.push('\n');
+                out.push_str(&"  ".repeat(indent));
+                out.push('}');
+            }
+            other => out.push_str(&other.to_string()),
+        }
+    }
+}
+
+impl From<bool> for Json {
+    fn from(v: bool) -> Json {
+        Json::Bool(v)
+    }
+}
+impl From<u64> for Json {
+    fn from(v: u64) -> Json {
+        Json::UInt(v)
+    }
+}
+impl From<usize> for Json {
+    fn from(v: usize) -> Json {
+        Json::UInt(v as u64)
+    }
+}
+impl From<f64> for Json {
+    fn from(v: f64) -> Json {
+        Json::Float(v)
+    }
+}
+impl From<&str> for Json {
+    fn from(v: &str) -> Json {
+        Json::String(v.to_owned())
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Json::Null => f.write_str("null"),
+            Json::Bool(b) => write!(f, "{b}"),
+            Json::UInt(v) => write!(f, "{v}"),
+            Json::Float(v) if v.is_finite() => {
+                // Guarantee a float-typed literal: `1.0` rather than `1`.
+                if v.fract() == 0.0 && v.abs() < 1e15 {
+                    write!(f, "{v:.1}")
+                } else {
+                    write!(f, "{v}")
+                }
+            }
+            Json::Float(_) => f.write_str("null"),
+            Json::String(s) => {
+                let mut out = String::new();
+                write_escaped(&mut out, s);
+                f.write_str(&out)
+            }
+            Json::Array(items) => {
+                f.write_str("[")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                f.write_str("]")
+            }
+            Json::Object(pairs) => {
+                f.write_str("{")?;
+                for (i, (key, value)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    let mut out = String::new();
+                    write_escaped(&mut out, key);
+                    write!(f, "{out}:{value}")?;
+                }
+                f.write_str("}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_serialize() {
+        assert_eq!(Json::Null.to_string(), "null");
+        assert_eq!(Json::Bool(true).to_string(), "true");
+        assert_eq!(Json::UInt(u64::MAX).to_string(), "18446744073709551615");
+        assert_eq!(Json::Float(0.25).to_string(), "0.25");
+        assert_eq!(Json::Float(3.0).to_string(), "3.0");
+        assert_eq!(Json::Float(f64::NAN).to_string(), "null");
+        assert_eq!(Json::Float(f64::INFINITY).to_string(), "null");
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        assert_eq!(Json::str("a\"b\\c\nd").to_string(), r#""a\"b\\c\nd""#);
+        assert_eq!(Json::str("\u{1}").to_string(), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn nested_documents() {
+        let doc = Json::object([
+            ("name", Json::str("sweep")),
+            ("cells", Json::array([Json::from(1u64), Json::Null])),
+            ("nested", Json::object([("ok", Json::from(true))])),
+        ]);
+        assert_eq!(
+            doc.to_string(),
+            r#"{"name":"sweep","cells":[1,null],"nested":{"ok":true}}"#
+        );
+    }
+
+    #[test]
+    fn object_keys_keep_insertion_order() {
+        let doc = Json::object([("z", Json::UInt(1)), ("a", Json::UInt(2))]);
+        assert_eq!(doc.to_string(), r#"{"z":1,"a":2}"#);
+    }
+
+    #[test]
+    fn pretty_round_trips_structure() {
+        let doc = Json::object([("xs", Json::array([Json::UInt(1), Json::UInt(2)]))]);
+        let pretty = doc.pretty();
+        assert!(pretty.contains("\"xs\": [\n"));
+        assert!(pretty.ends_with('}'));
+    }
+
+    #[test]
+    fn empty_containers_stay_compact_in_pretty() {
+        let doc = Json::object([("a", Json::Array(vec![])), ("o", Json::Object(vec![]))]);
+        assert_eq!(doc.pretty(), "{\n  \"a\": [],\n  \"o\": {}\n}");
+    }
+}

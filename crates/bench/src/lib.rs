@@ -3,12 +3,17 @@
 //!
 //! Each `figN_*` function runs the full dual-channel bus simulation for
 //! every parameter combination of the corresponding figure and returns
-//! typed rows; the `experiments` binary prints them as tables, and the
-//! Criterion benches time representative configurations. Paper-reported
-//! values and our measured shapes are recorded side by side in
-//! `EXPERIMENTS.md`.
+//! typed rows; the `experiments` binary prints them as tables (or JSON),
+//! and the bench binaries time representative configurations. The figure
+//! cells execute through the parallel sweep harness
+//! ([`coefficient::sweep`], with the bench-side layer in [`sweep`]).
+//! Paper-reported values and our measured shapes are recorded side by
+//! side in `EXPERIMENTS.md`.
 
 pub mod experiments;
+pub mod json;
+pub mod sweep;
 pub mod table;
+pub mod timing;
 
 pub use experiments::*;

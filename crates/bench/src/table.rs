@@ -17,7 +17,14 @@ pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
         .map(|(i, h)| format!("{:width$}", h, width = widths[i]))
         .collect();
     println!("{}", line.join("  "));
-    println!("{}", widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>().join("  "));
+    println!(
+        "{}",
+        widths
+            .iter()
+            .map(|w| "-".repeat(*w))
+            .collect::<Vec<_>>()
+            .join("  ")
+    );
     for row in rows {
         let line: Vec<String> = row
             .iter()

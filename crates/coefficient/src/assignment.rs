@@ -20,8 +20,8 @@
 
 use std::fmt;
 
-use flexray::config::{ClusterConfig, CYCLE_COUNT_MAX};
 use flexray::codec::FrameCoding;
+use flexray::config::{ClusterConfig, CYCLE_COUNT_MAX};
 use flexray::schedule::MessageId;
 use flexray::signal::Signal;
 use flexray::ChannelId;
@@ -90,12 +90,19 @@ pub enum AllocationError {
 impl fmt::Display for AllocationError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            AllocationError::FrameTooLarge { message, wire_bits, capacity } => write!(
+            AllocationError::FrameTooLarge {
+                message,
+                wire_bits,
+                capacity,
+            } => write!(
                 f,
                 "message {message}: frame of {wire_bits} wire bits exceeds slot capacity {capacity}"
             ),
             AllocationError::NoSlotAvailable { message } => {
-                write!(f, "message {message}: no free static slot pattern available")
+                write!(
+                    f,
+                    "message {message}: no free static slot pattern available"
+                )
             }
         }
     }
@@ -343,8 +350,8 @@ impl StaticAllocation {
                 &[ChannelId::A]
             };
             'day: for delta_cycle in 0..u16::from(primary.repetition) {
-                let base = (u16::from(primary.base_cycle) + delta_cycle)
-                    % u16::from(primary.repetition);
+                let base =
+                    (u16::from(primary.base_cycle) + delta_cycle) % u16::from(primary.repetition);
                 let slot_from = if delta_cycle == 0 { primary.slot } else { 1 };
                 for slot in slot_from..=slots {
                     for &channel in channel_order {
@@ -365,7 +372,10 @@ impl StaticAllocation {
                                     kind: OccupantKind::Copy,
                                 },
                             );
-                            alloc.copies.push(CopyPlacement { message, position: pos });
+                            alloc.copies.push(CopyPlacement {
+                                message,
+                                position: pos,
+                            });
                             remaining -= 1;
                             if remaining == 0 {
                                 break 'day;
@@ -412,19 +422,39 @@ mod tests {
     #[test]
     fn repetition_matches_period() {
         let c = config(); // 1 ms cycle
-        assert_eq!(StaticAllocation::repetition_for(&c, SimDuration::from_millis(1)), 1);
-        assert_eq!(StaticAllocation::repetition_for(&c, SimDuration::from_millis(8)), 8);
-        assert_eq!(StaticAllocation::repetition_for(&c, SimDuration::from_millis(24)), 16);
-        assert_eq!(StaticAllocation::repetition_for(&c, SimDuration::from_millis(100)), 64);
+        assert_eq!(
+            StaticAllocation::repetition_for(&c, SimDuration::from_millis(1)),
+            1
+        );
+        assert_eq!(
+            StaticAllocation::repetition_for(&c, SimDuration::from_millis(8)),
+            8
+        );
+        assert_eq!(
+            StaticAllocation::repetition_for(&c, SimDuration::from_millis(24)),
+            16
+        );
+        assert_eq!(
+            StaticAllocation::repetition_for(&c, SimDuration::from_millis(100)),
+            64
+        );
         // Period shorter than the cycle still transmits every cycle.
-        assert_eq!(StaticAllocation::repetition_for(&c, SimDuration::from_micros(500)), 1);
+        assert_eq!(
+            StaticAllocation::repetition_for(&c, SimDuration::from_micros(500)),
+            1
+        );
     }
 
     #[test]
     fn primaries_land_on_channel_a_without_conflicts() {
-        let msgs = vec![sig(1, 1, 100), sig(2, 2, 100), sig(3, 2, 100), sig(4, 8, 100)];
-        let a = StaticAllocation::build(&config(), &FrameCoding::default(), &msgs, &[], false)
-            .unwrap();
+        let msgs = vec![
+            sig(1, 1, 100),
+            sig(2, 2, 100),
+            sig(3, 2, 100),
+            sig(4, 8, 100),
+        ];
+        let a =
+            StaticAllocation::build(&config(), &FrameCoding::default(), &msgs, &[], false).unwrap();
         // msg 1 needs a full slot; msgs 2 and 3 share slot 2 (bases 0/1).
         let p1 = a.primary_of(1).unwrap();
         let p2 = a.primary_of(2).unwrap();
@@ -442,8 +472,8 @@ mod tests {
     #[test]
     fn mirror_mode_duplicates_on_b() {
         let msgs = vec![sig(1, 1, 100)];
-        let a = StaticAllocation::build(&config(), &FrameCoding::default(), &msgs, &[], true)
-            .unwrap();
+        let a =
+            StaticAllocation::build(&config(), &FrameCoding::default(), &msgs, &[], true).unwrap();
         let p = a.primary_of(1).unwrap();
         let occ_b = a.occupant(ChannelId::B, p.slot, p.base_cycle).unwrap();
         assert_eq!(occ_b.kind, OccupantKind::Mirror);
@@ -454,14 +484,9 @@ mod tests {
     #[test]
     fn first_copy_prefers_channel_b_same_slot() {
         let msgs = vec![sig(1, 1, 100)];
-        let a = StaticAllocation::build(
-            &config(),
-            &FrameCoding::default(),
-            &msgs,
-            &[(1, 2)],
-            false,
-        )
-        .unwrap();
+        let a =
+            StaticAllocation::build(&config(), &FrameCoding::default(), &msgs, &[(1, 2)], false)
+                .unwrap();
         assert_eq!(a.copies().len(), 2);
         let p = a.primary_of(1).unwrap();
         let first = a.copies()[0].position;
@@ -479,8 +504,8 @@ mod tests {
         let msgs: Vec<Signal> = (1..=slots * 2).map(|i| sig(i, 2, 100)).collect();
         // 2×slots rep-2 messages fill both bases of every slot on A...
         // with mirrors they'd fill B too; use mirrors to exhaust all slack.
-        let a = StaticAllocation::build(&cfg, &FrameCoding::default(), &msgs, &[(1, 3)], true)
-            .unwrap();
+        let a =
+            StaticAllocation::build(&cfg, &FrameCoding::default(), &msgs, &[(1, 3)], true).unwrap();
         assert_eq!(a.free_positions(), 0, "matrix fully packed");
         assert_eq!(a.spill(), &[(1, 3)]);
     }
@@ -502,7 +527,10 @@ mod tests {
         let msgs = vec![sig(1, 1, (cap + 1) as u32)];
         let err =
             StaticAllocation::build(&cfg, &FrameCoding::default(), &msgs, &[], false).unwrap_err();
-        assert!(matches!(err, AllocationError::FrameTooLarge { message: 1, .. }));
+        assert!(matches!(
+            err,
+            AllocationError::FrameTooLarge { message: 1, .. }
+        ));
     }
 
     #[test]

@@ -57,9 +57,14 @@ mod instance;
 mod policy;
 mod runner;
 mod scenario;
+pub mod sweep;
 
 pub use assignment::{AllocationError, CopyPlacement, StaticAllocation};
 pub use instance::{InstanceStatus, InstanceTracker, MessageClass};
 pub use policy::{CoefficientOptions, Policy, Scheduler, SchedulerError};
 pub use runner::{RunConfig, RunReport, Runner, StopCondition};
 pub use scenario::{FaultModel, Scenario};
+pub use sweep::{
+    run_parallel, run_parallel_with_options, CellCoord, CellOutcome, GroupSummary, SeedStrategy,
+    SweepMatrix, SweepReport, SweepRunner,
+};

@@ -11,11 +11,11 @@
 //! | idle static slots | stay idle (segments scheduled separately) | stay idle | serve backlogged dynamic messages and early copies of released static instances (cooperative scheduling) |
 //! | dynamic messages | channel A, plus best-effort copies | both channels, one extra copy | channel chosen per message, plus differentiated copies |
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
-use event_sim::SimTime;
 #[cfg(test)]
 use event_sim::SimDuration;
+use event_sim::SimTime;
 use flexray::bus::{OutboundPayload, TrafficSource, TransmissionOutcome};
 use flexray::codec::{payload_bytes_for, FrameCoding};
 use flexray::config::ClusterConfig;
@@ -133,7 +133,9 @@ pub struct Scheduler {
     options: CoefficientOptions,
     config: ClusterConfig,
     alloc: StaticAllocation,
-    statics: HashMap<MessageId, StaticInfo>,
+    /// Ordered so iteration (the early-copy scan) is deterministic: ties on
+    /// deadline resolve to the lowest message id, not HashMap bucket order.
+    statics: BTreeMap<MessageId, StaticInfo>,
     dynamics: HashMap<u16, DynInfo>,
     tracker: InstanceTracker,
     /// Per-channel dynamic queues, sorted by (frame id, seq).
@@ -249,7 +251,12 @@ impl Scheduler {
         let mut rel: Vec<MessageReliability> = Vec::new();
         for s in static_messages {
             let wire = coding.message_wire_bits(u64::from(s.size_bits), false) as u32;
-            rel.push(MessageReliability::from_ber(s.id, wire, s.period, scenario.ber));
+            rel.push(MessageReliability::from_ber(
+                s.id,
+                wire,
+                s.period,
+                scenario.ber,
+            ));
         }
         for d in dynamic_messages {
             let wire = coding.message_wire_bits(u64::from(d.size_bits), true) as u32;
@@ -346,7 +353,7 @@ impl Scheduler {
         let fspec_k = counts.first().map(|&(_, k)| k).unwrap_or(0);
         let fspec_tx_needed = 1 + fspec_k;
 
-        let mut statics = HashMap::new();
+        let mut statics = BTreeMap::new();
         let mut fspec_static_queues = HashMap::new();
         for s in static_messages {
             let wire = coding.message_wire_bits(u64::from(s.size_bits), true);
@@ -520,7 +527,10 @@ impl Scheduler {
     /// # Panics
     /// Panics if `frame_id` is not a configured dynamic message.
     pub fn produce_dynamic(&mut self, frame_id: u16, now: SimTime) -> InstanceId {
-        let info = self.dynamics.get(&frame_id).expect("unknown dynamic message");
+        let info = self
+            .dynamics
+            .get(&frame_id)
+            .expect("unknown dynamic message");
         let deadline = now + info.spec.deadline;
         let expires = deadline + info.spec.min_interarrival;
         let (copies, home, payload) = (info.copies, info.home_channel, info.payload_bytes);
@@ -854,8 +864,18 @@ mod tests {
         // Frame ids must be reachable by the dynamic slot counter, which
         // starts at 19 in the 18-slot paper_dynamic geometry.
         vec![
-            AperiodicMessage::new(20, SimDuration::from_millis(50), SimDuration::from_millis(50), 32),
-            AperiodicMessage::new(21, SimDuration::from_millis(50), SimDuration::from_millis(50), 64),
+            AperiodicMessage::new(
+                20,
+                SimDuration::from_millis(50),
+                SimDuration::from_millis(50),
+                32,
+            ),
+            AperiodicMessage::new(
+                21,
+                SimDuration::from_millis(50),
+                SimDuration::from_millis(50),
+                64,
+            ),
         ]
     }
 
@@ -880,7 +900,10 @@ mod tests {
             !s.allocation().copies().is_empty(),
             "expected stolen-slack copies"
         );
-        assert!(s.allocation().spill().is_empty(), "no spill expected at this load");
+        assert!(
+            s.allocation().spill().is_empty(),
+            "no spill expected at this load"
+        );
     }
 
     #[test]
@@ -1063,7 +1086,11 @@ mod tests {
         let mut engine = BusEngine::new(config());
         engine.run_cycle(0, &mut s);
         assert_eq!(s.tracker().delivered(), 2);
-        assert_eq!(s.cooperative_static_serves(), 0, "HOSA must not steal slack");
+        assert_eq!(
+            s.cooperative_static_serves(),
+            0,
+            "HOSA must not steal slack"
+        );
         assert_eq!(s.early_copies_sent(), 0);
     }
 
@@ -1084,7 +1111,10 @@ mod tests {
         };
 
         // No early copies: flood-free run sends none.
-        let mut s = mk(CoefficientOptions { early_copies: false, ..Default::default() });
+        let mut s = mk(CoefficientOptions {
+            early_copies: false,
+            ..Default::default()
+        });
         s.produce_static(2, SimTime::ZERO);
         let mut engine = BusEngine::new(config());
         for c in 0..4 {
@@ -1093,7 +1123,10 @@ mod tests {
         assert_eq!(s.early_copies_sent(), 0);
 
         // No cooperative dynamic: a flooded queue is never served statically.
-        let mut s = mk(CoefficientOptions { cooperative_dynamic: false, ..Default::default() });
+        let mut s = mk(CoefficientOptions {
+            cooperative_dynamic: false,
+            ..Default::default()
+        });
         for _ in 0..30 {
             s.produce_dynamic(20, SimTime::ZERO);
         }
@@ -1102,7 +1135,10 @@ mod tests {
         assert_eq!(s.cooperative_static_serves(), 0);
 
         // Single channel: nothing allocated or filled on B.
-        let s = mk(CoefficientOptions { dual_channel: false, ..Default::default() });
+        let s = mk(CoefficientOptions {
+            dual_channel: false,
+            ..Default::default()
+        });
         assert_eq!(s.allocation().occupancy(ChannelId::B), 0.0);
         for c in s.allocation().copies() {
             assert_eq!(c.position.channel, ChannelId::A);

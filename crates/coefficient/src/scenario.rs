@@ -76,7 +76,17 @@ impl Scenario {
     /// delivered in Gilbert–Elliott bursts (the channel spends
     /// `p_gb / (p_gb + p_bg)` of its time in a state with `bad_factor`
     /// times the BER). Used by the fault-model ablation.
+    ///
+    /// The name changes with the model: sweep output labels groups by it,
+    /// and per-cell seed derivation keys on it, so a matrix holding both
+    /// `ber7` and `ber7-bursty` must not alias the two.
     pub fn bursty(mut self) -> Scenario {
+        self.name = match self.name {
+            "BER-7" => "BER-7-bursty",
+            "BER-9" => "BER-9-bursty",
+            "fault-free" => "fault-free-bursty",
+            other => other,
+        };
         self.fault_model = FaultModel::GilbertElliott {
             bad_factor: 50.0,
             p_gb: 0.002,

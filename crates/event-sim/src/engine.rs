@@ -38,7 +38,11 @@ impl<'a, E> Context<'a, E> {
     /// # Panics
     /// Panics if `at` is before the current instant.
     pub fn schedule_at(&mut self, at: SimTime, event: E) {
-        assert!(at >= self.now, "cannot schedule into the past: {at:?} < {:?}", self.now);
+        assert!(
+            at >= self.now,
+            "cannot schedule into the past: {at:?} < {:?}",
+            self.now
+        );
         self.queue.push(at, event);
     }
 
@@ -220,7 +224,11 @@ mod tests {
     #[derive(Debug)]
     enum Ev {
         Mark(u32),
-        Chain { id: u32, period: SimDuration, remaining: u32 },
+        Chain {
+            id: u32,
+            period: SimDuration,
+            remaining: u32,
+        },
         StopNow,
     }
 
@@ -229,10 +237,21 @@ mod tests {
         fn handle(&mut self, now: SimTime, event: Ev, ctx: &mut Context<Ev>) {
             match event {
                 Ev::Mark(id) => self.fired.push((now, id)),
-                Ev::Chain { id, period, remaining } => {
+                Ev::Chain {
+                    id,
+                    period,
+                    remaining,
+                } => {
                     self.fired.push((now, id));
                     if remaining > 0 {
-                        ctx.schedule_in(period, Ev::Chain { id, period, remaining: remaining - 1 });
+                        ctx.schedule_in(
+                            period,
+                            Ev::Chain {
+                                id,
+                                period,
+                                remaining: remaining - 1,
+                            },
+                        );
                     }
                 }
                 Ev::StopNow => ctx.stop(),
@@ -257,7 +276,11 @@ mod tests {
         let mut sim = Simulation::new(Recorder::default());
         sim.schedule(
             SimTime::ZERO,
-            Ev::Chain { id: 7, period: SimDuration::from_millis(1), remaining: 4 },
+            Ev::Chain {
+                id: 7,
+                period: SimDuration::from_millis(1),
+                remaining: 4,
+            },
         );
         sim.run();
         assert_eq!(sim.model().fired.len(), 5);
@@ -270,7 +293,10 @@ mod tests {
         let mut sim = Simulation::new(Recorder::default());
         sim.schedule(SimTime::from_millis(1), Ev::Mark(1));
         sim.schedule(SimTime::from_millis(10), Ev::Mark(2));
-        assert_eq!(sim.run_until(SimTime::from_millis(5)), RunOutcome::HorizonReached);
+        assert_eq!(
+            sim.run_until(SimTime::from_millis(5)),
+            RunOutcome::HorizonReached
+        );
         assert_eq!(sim.model().fired.len(), 1);
         assert_eq!(sim.pending_events(), 1);
         // Resume past the horizon.
@@ -294,7 +320,11 @@ mod tests {
         sim.set_event_limit(3);
         sim.schedule(
             SimTime::ZERO,
-            Ev::Chain { id: 1, period: SimDuration::from_nanos(1), remaining: u32::MAX },
+            Ev::Chain {
+                id: 1,
+                period: SimDuration::from_nanos(1),
+                remaining: u32::MAX,
+            },
         );
         assert_eq!(sim.run(), RunOutcome::EventLimit);
         assert_eq!(sim.events_processed(), 3);

@@ -375,7 +375,10 @@ mod tests {
 
     #[test]
     fn saturating_behaviour() {
-        assert_eq!(SimTime::MAX.saturating_add(SimDuration::from_secs(1)), SimTime::MAX);
+        assert_eq!(
+            SimTime::MAX.saturating_add(SimDuration::from_secs(1)),
+            SimTime::MAX
+        );
         assert_eq!(
             SimTime::ZERO.saturating_duration_since(SimTime::from_secs(1)),
             SimDuration::ZERO

@@ -61,9 +61,8 @@ impl std::error::Error for DecodeError {}
 /// Serializes `frame` for `channel` into wire bits (static-segment coding,
 /// no DTS).
 pub fn encode(frame: &Frame, channel: ChannelId, coding: &FrameCoding) -> Vec<bool> {
-    let mut bits = Vec::with_capacity(
-        coding.frame_wire_bits(frame.payload().len() as u64, false) as usize,
-    );
+    let mut bits =
+        Vec::with_capacity(coding.frame_wire_bits(frame.payload().len() as u64, false) as usize);
     // TSS: a run of LOW.
     bits.extend(std::iter::repeat_n(false, coding.tss_bits() as usize));
     // FSS: one HIGH bit.
@@ -105,7 +104,11 @@ fn push_header_bytes(h: &FrameHeader, out: &mut Vec<u8>) {
 ///
 /// # Errors
 /// A [`DecodeError`] naming the first defect.
-pub fn decode(bits: &[bool], channel: ChannelId, coding: &FrameCoding) -> Result<Frame, DecodeError> {
+pub fn decode(
+    bits: &[bool],
+    channel: ChannelId,
+    coding: &FrameCoding,
+) -> Result<Frame, DecodeError> {
     let mut pos = 0usize;
     let take = |pos: &mut usize, n: usize| -> Result<&[bool], DecodeError> {
         if *pos + n > bits.len() {
@@ -166,9 +169,8 @@ pub fn decode(bits: &[bool], channel: ChannelId, coding: &FrameCoding) -> Result
     let frame_id_raw = (id_high << 8) | u16::from(bytes[1]);
     let frame_id = FrameId::try_new(frame_id_raw).ok_or(DecodeError::InvalidFrameId)?;
     let payload_words = bytes[2] >> 1;
-    let header_crc = (u16::from(bytes[2] & 1) << 10)
-        | (u16::from(bytes[3]) << 2)
-        | u16::from(bytes[4] >> 6);
+    let header_crc =
+        (u16::from(bytes[2] & 1) << 10) | (u16::from(bytes[3]) << 2) | u16::from(bytes[4] >> 6);
     let cycle_count = bytes[4] & 0b11_1111;
 
     if header_crc != FrameHeader::compute_crc(frame_id, payload_words, sync, startup) {
@@ -268,7 +270,10 @@ mod tests {
         bits[idx] = !bits[idx];
         let err = decode(&bits, ChannelId::A, &coding()).unwrap_err();
         assert!(
-            matches!(err, DecodeError::HeaderCrcMismatch | DecodeError::InvalidFrameId),
+            matches!(
+                err,
+                DecodeError::HeaderCrcMismatch | DecodeError::InvalidFrameId
+            ),
             "unexpected error {err:?}"
         );
     }
@@ -314,7 +319,10 @@ mod tests {
                 "cut {cut}: unexpected {err:?}"
             );
         }
-        assert_eq!(decode(&[], ChannelId::A, &coding()), Err(DecodeError::Truncated));
+        assert_eq!(
+            decode(&[], ChannelId::A, &coding()),
+            Err(DecodeError::Truncated)
+        );
     }
 
     #[test]

@@ -195,11 +195,7 @@ impl BusEngine {
     }
 
     /// Installs independent fault processes for channels A and B.
-    pub fn with_faults(
-        mut self,
-        a: Box<dyn FaultProcess>,
-        b: Box<dyn FaultProcess>,
-    ) -> Self {
+    pub fn with_faults(mut self, a: Box<dyn FaultProcess>, b: Box<dyn FaultProcess>) -> Self {
         self.faults = [a, b];
         self
     }
@@ -305,7 +301,12 @@ impl BusEngine {
         }
     }
 
-    fn run_dynamic_segment(&mut self, cycle: u64, channel: ChannelId, source: &mut dyn TrafficSource) {
+    fn run_dynamic_segment(
+        &mut self,
+        cycle: u64,
+        channel: ChannelId,
+        source: &mut dyn TrafficSource,
+    ) {
         let n_ms = self.config.minislot_count();
         let latest_tx = self.config.latest_tx();
         let ms_bits = (self.config.minislot_duration().as_nanos() as u128
@@ -459,7 +460,9 @@ impl TrafficSource for NodeCluster {
                 .controller()
                 .chi()
                 .peek_dynamic(channel)
-                .map(|r| r.frame_id.get() == frame_id && r.staged.payload_bytes <= max_payload_bytes)
+                .map(|r| {
+                    r.frame_id.get() == frame_id && r.staged.payload_bytes <= max_payload_bytes
+                })
                 .unwrap_or(false);
             if !fits {
                 continue;
@@ -527,7 +530,9 @@ mod tests {
             max_payload_bytes: u16,
         ) -> Option<OutboundPayload> {
             let idx = self.dynamic_payloads.iter().position(|(c, ch, sc, p)| {
-                *c == cycle && *ch == channel && *sc == slot_counter
+                *c == cycle
+                    && *ch == channel
+                    && *sc == slot_counter
                     && p.payload_bytes <= max_payload_bytes
             })?;
             Some(self.dynamic_payloads.remove(idx).3)
@@ -578,7 +583,10 @@ mod tests {
         engine.run_cycle(0, &mut src);
         let out = &engine.outcomes()[0];
         match out.location {
-            SlotLocation::Dynamic { slot_counter, minislot } => {
+            SlotLocation::Dynamic {
+                slot_counter,
+                minislot,
+            } => {
                 assert_eq!(slot_counter, 7);
                 // Counters 5 and 6 passed as empty minislots 0 and 1.
                 assert_eq!(minislot, 2);
@@ -690,7 +698,10 @@ mod tests {
         let msgs: Vec<MessageId> = engine.outcomes().iter().map(|o| o.message).collect();
         assert_eq!(msgs, vec![11, 99]);
         match engine.outcomes()[1].location {
-            SlotLocation::Dynamic { slot_counter, minislot } => {
+            SlotLocation::Dynamic {
+                slot_counter,
+                minislot,
+            } => {
                 assert_eq!(slot_counter, 6);
                 assert_eq!(minislot, 1);
             }

@@ -68,7 +68,9 @@ impl ChannelSet {
 
     /// Iterates over the contained channels in A→B order.
     pub fn iter(self) -> impl Iterator<Item = ChannelId> {
-        ChannelId::BOTH.into_iter().filter(move |&c| self.contains(c))
+        ChannelId::BOTH
+            .into_iter()
+            .filter(move |&c| self.contains(c))
     }
 
     /// Builds a set from per-channel flags.

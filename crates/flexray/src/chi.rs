@@ -185,10 +185,9 @@ mod tests {
         chi.enqueue_dynamic(ChannelId::B, req(90, 1));
         chi.enqueue_dynamic(ChannelId::B, req(90, 2));
         chi.enqueue_dynamic(ChannelId::B, req(90, 3));
-        let order: Vec<MessageId> = std::iter::from_fn(|| {
-            chi.pop_dynamic(ChannelId::B).map(|r| r.staged.message)
-        })
-        .collect();
+        let order: Vec<MessageId> =
+            std::iter::from_fn(|| chi.pop_dynamic(ChannelId::B).map(|r| r.staged.message))
+                .collect();
         assert_eq!(order, vec![1, 2, 3]);
     }
 

@@ -112,7 +112,7 @@ mod tests {
     #[test]
     fn wire_bits_formula() {
         let c = FrameCoding::default(); // TSS 5
-        // 2-byte payload: 5 + 1 + (5+2+3)*10 + 2 = 108 bits.
+                                        // 2-byte payload: 5 + 1 + (5+2+3)*10 + 2 = 108 bits.
         assert_eq!(c.frame_wire_bits(2, false), 108);
         assert_eq!(c.frame_wire_bits(2, true), 110);
     }

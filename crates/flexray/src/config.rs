@@ -506,10 +506,7 @@ mod tests {
         let c = cfg();
         assert_eq!(c.static_slot_offset(1), SimDuration::ZERO);
         assert_eq!(c.static_slot_offset(2), SimDuration::from_micros(40));
-        assert_eq!(
-            c.static_slot_start(2, 1),
-            SimTime::from_micros(10_000)
-        );
+        assert_eq!(c.static_slot_start(2, 1), SimTime::from_micros(10_000));
         assert_eq!(c.minislot_offset(0), SimDuration::from_micros(3200));
         assert_eq!(c.minislot_offset(3), SimDuration::from_micros(3206));
     }
@@ -535,7 +532,13 @@ mod tests {
         use crate::error::ConfigError::*;
         let mut b = ClusterConfig::builder();
         b.macroticks_per_cycle(100);
-        assert_eq!(b.build().unwrap_err(), SegmentsExceedCycle { required: 3440, available: 100 });
+        assert_eq!(
+            b.build().unwrap_err(),
+            SegmentsExceedCycle {
+                required: 3440,
+                available: 100
+            }
+        );
 
         let mut b = ClusterConfig::builder();
         b.static_slots(0, 40);
@@ -545,7 +548,10 @@ mod tests {
         b.static_slots(80, 40).minislots(901, 2);
         assert_eq!(
             b.build().unwrap_err(),
-            SegmentsExceedCycle { required: 5002, available: 5000 }
+            SegmentsExceedCycle {
+                required: 5002,
+                available: 5000
+            }
         );
         // Exactly filling the cycle leaves no NIT.
         let mut b = ClusterConfig::builder();
@@ -556,7 +562,10 @@ mod tests {
         b.latest_tx(500);
         assert_eq!(
             b.build().unwrap_err(),
-            LatestTxOutOfRange { latest_tx: 500, minislots: 120 }
+            LatestTxOutOfRange {
+                latest_tx: 500,
+                minislots: 120
+            }
         );
 
         let mut b = ClusterConfig::builder();

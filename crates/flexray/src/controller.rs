@@ -164,7 +164,10 @@ mod tests {
         let other = NodeId::new(1);
         let table = ScheduleTable::new(
             4,
-            vec![entry(1, me, ChannelSet::AOnly), entry(2, other, ChannelSet::AOnly)],
+            vec![
+                entry(1, me, ChannelSet::AOnly),
+                entry(2, other, ChannelSet::AOnly),
+            ],
         )
         .unwrap();
         let mut cc = CommunicationController::new(me, table);

@@ -46,7 +46,12 @@ fn crc_bits<I: IntoIterator<Item = bool>>(bits: I, n: u32, poly: u32, init: u32)
 /// (sync indicator, startup indicator, 11-bit frame id, 7-bit payload
 /// length — 20 bits total), given MSB-first.
 pub fn header_crc<I: IntoIterator<Item = bool>>(bits: I) -> u16 {
-    crc_bits(bits, 11, u32::from(HEADER_CRC_POLY), u32::from(HEADER_CRC_INIT)) as u16
+    crc_bits(
+        bits,
+        11,
+        u32::from(HEADER_CRC_POLY),
+        u32::from(HEADER_CRC_INIT),
+    ) as u16
 }
 
 /// Computes the 24-bit frame CRC over the full frame bits (header +

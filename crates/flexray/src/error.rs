@@ -49,14 +49,20 @@ impl fmt::Display for ConfigError {
             ConfigError::ZeroStaticSlot => write!(f, "gdStaticSlot must be positive"),
             ConfigError::ZeroMinislot => write!(f, "gdMinislot must be positive"),
             ConfigError::NoStaticSlots => write!(f, "at least one static slot is required"),
-            ConfigError::SegmentsExceedCycle { required, available } => write!(
+            ConfigError::SegmentsExceedCycle {
+                required,
+                available,
+            } => write!(
                 f,
                 "segments need {required} macroticks but the cycle has only {available}"
             ),
             ConfigError::NoNetworkIdleTime => {
                 write!(f, "network idle time must be at least one macrotick")
             }
-            ConfigError::LatestTxOutOfRange { latest_tx, minislots } => write!(
+            ConfigError::LatestTxOutOfRange {
+                latest_tx,
+                minislots,
+            } => write!(
                 f,
                 "pLatestTx ({latest_tx}) exceeds the number of minislots ({minislots})"
             ),

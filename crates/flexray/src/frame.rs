@@ -176,13 +176,7 @@ impl Frame {
     /// machinery).
     pub fn sync_frame(frame_id: FrameId, payload: Vec<u8>, cycle_count: u8) -> Self {
         let mut f = Frame::new(frame_id, payload, cycle_count);
-        f.header = FrameHeader::new(
-            frame_id,
-            f.header.payload_words,
-            cycle_count,
-            true,
-            true,
-        );
+        f.header = FrameHeader::new(frame_id, f.header.payload_words, cycle_count, true, true);
         f
     }
 
@@ -276,7 +270,10 @@ mod tests {
         let f = Frame::new(FrameId::new(9), vec![0xAA; 16], 5);
         let crc_a = f.frame_crc(ChannelId::A);
         assert!(f.verify(crc_a, ChannelId::A));
-        assert!(!f.verify(crc_a, ChannelId::B), "cross-channel CRC must fail");
+        assert!(
+            !f.verify(crc_a, ChannelId::B),
+            "cross-channel CRC must fail"
+        );
     }
 
     #[test]

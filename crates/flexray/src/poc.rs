@@ -79,7 +79,11 @@ pub struct InvalidTransition {
 
 impl fmt::Display for InvalidTransition {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "event {:?} is not valid in POC state {}", self.event, self.from)
+        write!(
+            f,
+            "event {:?} is not valid in POC state {}",
+            self.event, self.from
+        )
     }
 }
 
@@ -239,10 +243,7 @@ mod tests {
     #[test]
     fn repeated_sync_loss_halts() {
         let mut p = running_poc();
-        p = Poc {
-            halt_limit: 3,
-            ..p
-        };
+        p = Poc { halt_limit: 3, ..p };
         p.apply(PocEvent::SyncLoss).unwrap(); // 1 → passive
         p.apply(PocEvent::SyncLoss).unwrap(); // 2 → passive
         assert_eq!(p.state(), PocState::NormalPassive);

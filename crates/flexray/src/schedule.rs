@@ -82,9 +82,17 @@ impl fmt::Display for ScheduleError {
                 write!(f, "repetition {r} is not a power of two dividing 64")
             }
             ScheduleError::BadBaseCycle { base, repetition } => {
-                write!(f, "base cycle {base} must be smaller than repetition {repetition}")
+                write!(
+                    f,
+                    "base cycle {base} must be smaller than repetition {repetition}"
+                )
             }
-            ScheduleError::Conflict { slot, channel, first, second } => write!(
+            ScheduleError::Conflict {
+                slot,
+                channel,
+                first,
+                second,
+            } => write!(
                 f,
                 "entries {first} and {second} both transmit in slot {slot} on channel {channel}"
             ),
@@ -124,7 +132,10 @@ impl ScheduleTable {
     pub fn new(slots: u16, entries: Vec<ScheduleEntry>) -> Result<Self, ScheduleError> {
         for e in &entries {
             if e.slot == 0 || e.slot > slots {
-                return Err(ScheduleError::SlotOutOfRange { slot: e.slot, slots });
+                return Err(ScheduleError::SlotOutOfRange {
+                    slot: e.slot,
+                    slots,
+                });
             }
             if !u64::from(e.repetition).is_power_of_two()
                 || u64::from(e.repetition) > CYCLE_COUNT_MAX
@@ -184,10 +195,15 @@ impl ScheduleTable {
 
     /// The entry transmitting in `slot` on `channel` during the cycle with
     /// counter `cycle_counter`, if any.
-    pub fn lookup(&self, slot: u16, channel: ChannelId, cycle_counter: u8) -> Option<&ScheduleEntry> {
-        self.entries.iter().find(|e| {
-            e.slot == slot && e.channels.contains(channel) && e.active_in(cycle_counter)
-        })
+    pub fn lookup(
+        &self,
+        slot: u16,
+        channel: ChannelId,
+        cycle_counter: u8,
+    ) -> Option<&ScheduleEntry> {
+        self.entries
+            .iter()
+            .find(|e| e.slot == slot && e.channels.contains(channel) && e.active_in(cycle_counter))
     }
 
     /// All entries owned by `node`.
@@ -297,7 +313,10 @@ mod tests {
         ));
         assert!(matches!(
             ScheduleTable::new(4, vec![entry(1, 2, 2, ChannelSet::Both, 1)]),
-            Err(ScheduleError::BadBaseCycle { base: 2, repetition: 2 })
+            Err(ScheduleError::BadBaseCycle {
+                base: 2,
+                repetition: 2
+            })
         ));
     }
 

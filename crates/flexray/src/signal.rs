@@ -38,7 +38,10 @@ impl Signal {
     ) -> Self {
         assert!(!period.is_zero(), "signal period must be positive");
         assert!(!deadline.is_zero(), "signal deadline must be positive");
-        assert!(deadline <= period, "signal deadline must not exceed its period");
+        assert!(
+            deadline <= period,
+            "signal deadline must not exceed its period"
+        );
         assert!(size_bits > 0, "signal size must be positive");
         Signal {
             id,

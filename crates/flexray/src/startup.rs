@@ -56,8 +56,10 @@ impl StartupNode {
     /// Creates a node ready to start up (POC already configured).
     pub fn new(id: NodeId, role: StartupRole) -> Self {
         let mut poc = Poc::new();
-        poc.apply(PocEvent::ConfigComplete).expect("fresh POC accepts config");
-        poc.apply(PocEvent::RunRequest).expect("ready POC accepts run");
+        poc.apply(PocEvent::ConfigComplete)
+            .expect("fresh POC accepts config");
+        poc.apply(PocEvent::RunRequest)
+            .expect("ready POC accepts run");
         StartupNode {
             id,
             role,
@@ -140,7 +142,10 @@ impl std::error::Error for StartupError {}
 ///
 /// # Errors
 /// [`StartupError::NoColdstartNode`] or [`StartupError::Timeout`].
-pub fn run_startup(nodes: &mut [StartupNode], max_cycles: u64) -> Result<StartupOutcome, StartupError> {
+pub fn run_startup(
+    nodes: &mut [StartupNode],
+    max_cycles: u64,
+) -> Result<StartupOutcome, StartupError> {
     let leader = nodes
         .iter()
         .filter(|n| n.role == StartupRole::Coldstart)
@@ -183,7 +188,7 @@ pub fn run_startup(nodes: &mut [StartupNode], max_cycles: u64) -> Result<Startup
                     // A consistent double cycle completes every second cycle.
                     if cycle % 2 == 1 {
                         let needed = match node.role {
-                            StartupRole::Coldstart => 1,  // following coldstart
+                            StartupRole::Coldstart => 1, // following coldstart
                             StartupRole::Integrating => 2,
                         };
                         if seen + 1 >= needed {

@@ -37,7 +37,11 @@ impl fmt::Display for SyncError {
         match self {
             SyncError::NoMeasurements => write!(f, "no sync-frame measurements"),
             SyncError::TooFewForFaults { have, k } => {
-                write!(f, "{have} measurements cannot tolerate {k} faulty clocks (need {})", 2 * k + 1)
+                write!(
+                    f,
+                    "{have} measurements cannot tolerate {k} faulty clocks (need {})",
+                    2 * k + 1
+                )
             }
         }
     }

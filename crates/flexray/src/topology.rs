@@ -61,7 +61,10 @@ impl Topology {
                 let b = positions.iter().find(|(n, _)| *n == to)?.1;
                 Some(cable_delay((a - b).abs()))
             }
-            Topology::Star { arms, coupler_delay } => {
+            Topology::Star {
+                arms,
+                coupler_delay,
+            } => {
                 let a = arms.iter().find(|(n, _)| *n == from)?.1;
                 let b = arms.iter().find(|(n, _)| *n == to)?.1;
                 Some(cable_delay(a) + *coupler_delay + cable_delay(b))
@@ -115,9 +118,7 @@ impl Topology {
         match self {
             Topology::Bus { positions } => positions.iter().map(|(n, _)| *n).collect(),
             Topology::Star { arms, .. } => arms.iter().map(|(n, _)| *n).collect(),
-            Topology::Hybrid { near, far, .. } => {
-                near.iter().chain(far).map(|(n, _)| *n).collect()
-            }
+            Topology::Hybrid { near, far, .. } => near.iter().chain(far).map(|(n, _)| *n).collect(),
         }
     }
 }
@@ -193,7 +194,10 @@ mod tests {
         let t = Topology::Bus {
             positions: vec![(n(0), 0.0), (n(1), 1.0), (n(2), 24.0)],
         };
-        assert_eq!(t.max_propagation_delay(), Some(SimDuration::from_nanos(120)));
+        assert_eq!(
+            t.max_propagation_delay(),
+            Some(SimDuration::from_nanos(120))
+        );
         let single = Topology::Bus {
             positions: vec![(n(0), 0.0)],
         };

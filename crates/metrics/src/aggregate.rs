@@ -1,0 +1,232 @@
+//! Cross-run aggregation with percentile summaries.
+//!
+//! [`Summary`](crate::Summary) streams over the *durations inside one run*;
+//! [`Aggregate`] instead collects one scalar **per run** of a sweep (a
+//! utilization, a mean latency, a miss ratio, …) and summarizes the
+//! distribution over the whole `{policy × scenario × seed}` cell group:
+//! mean, sample standard deviation, extremes and percentiles.
+
+/// Collects `f64` samples and summarizes their distribution.
+///
+/// Samples are kept (a sweep has at most a few thousand cells), so
+/// percentiles are exact order statistics rather than sketch estimates,
+/// and results are bit-deterministic for a fixed insertion sequence.
+///
+/// ```
+/// use metrics::Aggregate;
+/// let mut a = Aggregate::new();
+/// for v in [4.0, 1.0, 3.0, 2.0] {
+///     a.record(v);
+/// }
+/// assert_eq!(a.count(), 4);
+/// assert_eq!(a.min(), Some(1.0));
+/// assert_eq!(a.max(), Some(4.0));
+/// assert_eq!(a.mean(), Some(2.5));
+/// assert_eq!(a.percentile(50.0), Some(2.0));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Aggregate {
+    samples: Vec<f64>,
+}
+
+/// One fully computed distribution summary (all fields are `0.0` when the
+/// aggregate was empty, with `count == 0` flagging that case).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AggregateSummary {
+    /// Number of samples.
+    pub count: u64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (`0.0` with fewer than two samples).
+    pub std_dev: f64,
+    /// Smallest sample.
+    pub min: f64,
+    /// Largest sample.
+    pub max: f64,
+    /// Median (50th percentile).
+    pub p50: f64,
+    /// 90th percentile.
+    pub p90: f64,
+    /// 99th percentile.
+    pub p99: f64,
+}
+
+impl Aggregate {
+    /// Creates an empty aggregate.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one sample.
+    ///
+    /// # Panics
+    /// Panics on NaN: a NaN metric is always an upstream bug, and admitting
+    /// it would poison every downstream statistic silently.
+    pub fn record(&mut self, sample: f64) {
+        assert!(!sample.is_nan(), "aggregated metrics must not be NaN");
+        self.samples.push(sample);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.samples.len() as u64
+    }
+
+    /// Smallest sample, if any.
+    pub fn min(&self) -> Option<f64> {
+        self.samples.iter().copied().reduce(f64::min)
+    }
+
+    /// Largest sample, if any.
+    pub fn max(&self) -> Option<f64> {
+        self.samples.iter().copied().reduce(f64::max)
+    }
+
+    /// Arithmetic mean, if any samples were recorded.
+    pub fn mean(&self) -> Option<f64> {
+        if self.samples.is_empty() {
+            None
+        } else {
+            Some(self.samples.iter().sum::<f64>() / self.samples.len() as f64)
+        }
+    }
+
+    /// Sample standard deviation; `None` with fewer than two samples.
+    pub fn std_dev(&self) -> Option<f64> {
+        let n = self.samples.len();
+        if n < 2 {
+            return None;
+        }
+        let mean = self.mean().expect("non-empty");
+        let m2: f64 = self.samples.iter().map(|s| (s - mean) * (s - mean)).sum();
+        Some((m2 / (n - 1) as f64).sqrt())
+    }
+
+    /// The `p`-th percentile (nearest-rank on the sorted samples), if any
+    /// samples were recorded.
+    ///
+    /// # Panics
+    /// Panics if `p` is outside `[0, 100]`.
+    pub fn percentile(&self, p: f64) -> Option<f64> {
+        assert!((0.0..=100.0).contains(&p), "percentile out of range: {p}");
+        if self.samples.is_empty() {
+            return None;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(f64::total_cmp);
+        // Nearest-rank: ceil(p/100 · n), 1-based; p = 0 maps to the first.
+        let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+        Some(sorted[rank.saturating_sub(1).min(sorted.len() - 1)])
+    }
+
+    /// Computes the full summary in one pass.
+    pub fn summary(&self) -> AggregateSummary {
+        if self.samples.is_empty() {
+            return AggregateSummary {
+                count: 0,
+                mean: 0.0,
+                std_dev: 0.0,
+                min: 0.0,
+                max: 0.0,
+                p50: 0.0,
+                p90: 0.0,
+                p99: 0.0,
+            };
+        }
+        AggregateSummary {
+            count: self.count(),
+            mean: self.mean().expect("non-empty"),
+            std_dev: self.std_dev().unwrap_or(0.0),
+            min: self.min().expect("non-empty"),
+            max: self.max().expect("non-empty"),
+            p50: self.percentile(50.0).expect("non-empty"),
+            p90: self.percentile(90.0).expect("non-empty"),
+            p99: self.percentile(99.0).expect("non-empty"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_aggregate() {
+        let a = Aggregate::new();
+        assert_eq!(a.count(), 0);
+        assert_eq!(a.min(), None);
+        assert_eq!(a.max(), None);
+        assert_eq!(a.mean(), None);
+        assert_eq!(a.std_dev(), None);
+        assert_eq!(a.percentile(50.0), None);
+        let s = a.summary();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.mean, 0.0);
+    }
+
+    #[test]
+    fn single_sample_summary() {
+        let mut a = Aggregate::new();
+        a.record(7.5);
+        let s = a.summary();
+        assert_eq!(s.count, 1);
+        assert_eq!(s.mean, 7.5);
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!(s.min, 7.5);
+        assert_eq!(s.max, 7.5);
+        assert_eq!(s.p50, 7.5);
+        assert_eq!(s.p99, 7.5);
+    }
+
+    #[test]
+    fn percentiles_are_order_statistics() {
+        let mut a = Aggregate::new();
+        // Insert shuffled 1..=100.
+        for i in 0..100u32 {
+            a.record(f64::from((i * 37) % 100 + 1));
+        }
+        assert_eq!(a.percentile(0.0), Some(1.0));
+        assert_eq!(a.percentile(50.0), Some(50.0));
+        assert_eq!(a.percentile(90.0), Some(90.0));
+        assert_eq!(a.percentile(99.0), Some(99.0));
+        assert_eq!(a.percentile(100.0), Some(100.0));
+    }
+
+    #[test]
+    fn std_dev_matches_closed_form() {
+        let mut a = Aggregate::new();
+        for v in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            a.record(v);
+        }
+        let expected = (32.0f64 / 7.0).sqrt();
+        let got = a.std_dev().unwrap();
+        assert!((got - expected).abs() < 1e-12, "{got} vs {expected}");
+    }
+
+    #[test]
+    fn insertion_order_does_not_change_percentiles() {
+        let mut fwd = Aggregate::new();
+        let mut rev = Aggregate::new();
+        for i in 0..50 {
+            fwd.record(f64::from(i));
+            rev.record(f64::from(49 - i));
+        }
+        for p in [0.0, 25.0, 50.0, 75.0, 90.0, 99.0, 100.0] {
+            assert_eq!(fwd.percentile(p), rev.percentile(p));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must not be NaN")]
+    fn nan_samples_rejected() {
+        Aggregate::new().record(f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile out of range")]
+    fn out_of_range_percentile_rejected() {
+        let mut a = Aggregate::new();
+        a.record(1.0);
+        let _ = a.percentile(101.0);
+    }
+}

@@ -115,8 +115,7 @@ mod tests {
     #[test]
     fn late_counts_as_missed() {
         let mut t = DeadlineTracker::new();
-        let out =
-            t.record_completion(SimTime::from_nanos(5_000_001), SimTime::from_millis(5));
+        let out = t.record_completion(SimTime::from_nanos(5_000_001), SimTime::from_millis(5));
         assert_eq!(out, DeadlineOutcome::Missed);
         assert_eq!(t.missed(), 1);
         assert_eq!(t.miss_ratio(), 1.0);

@@ -8,7 +8,9 @@
 //! * [`Summary`] — streaming min/max/mean/variance over durations;
 //! * [`Histogram`] — fixed-width latency histograms for percentile reports;
 //! * [`UtilizationTimeline`] — busy/idle accounting of a bus or channel;
-//! * [`DeadlineTracker`] — met/missed deadline counting per message class.
+//! * [`DeadlineTracker`] — met/missed deadline counting per message class;
+//! * [`Aggregate`] — cross-run distribution summaries (mean/stddev/min/max
+//!   and exact percentiles) for the multi-seed sweep harness.
 //!
 //! ```
 //! use metrics::Summary;
@@ -22,11 +24,13 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod aggregate;
 mod deadline;
 mod histogram;
 mod stats;
 mod utilization;
 
+pub use aggregate::{Aggregate, AggregateSummary};
 pub use deadline::{DeadlineOutcome, DeadlineTracker};
 pub use histogram::Histogram;
 pub use stats::Summary;

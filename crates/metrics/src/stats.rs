@@ -170,7 +170,10 @@ mod tests {
         // Sample variance of this classic set is 32/7 us^2.
         let expected = (32.0f64 / 7.0).sqrt() * 1e3; // in ns
         let got = s.std_dev_nanos().unwrap();
-        assert!((got - expected).abs() < 1e-6 * expected, "{got} vs {expected}");
+        assert!(
+            (got - expected).abs() < 1e-6 * expected,
+            "{got} vs {expected}"
+        );
     }
 
     #[test]

@@ -103,7 +103,10 @@ mod tests {
         u.record_busy(SimTime::ZERO, SimDuration::from_millis(1));
         let util = u.utilization(SimTime::from_millis(4));
         assert!((util - 0.25).abs() < 1e-12);
-        assert_eq!(u.idle_time(SimTime::from_millis(4)), SimDuration::from_millis(3));
+        assert_eq!(
+            u.idle_time(SimTime::from_millis(4)),
+            SimDuration::from_millis(3)
+        );
     }
 
     #[test]

@@ -128,6 +128,9 @@ mod tests {
     fn display_formats() {
         let ber = Ber::new(1e-7).unwrap();
         assert_eq!(ber.to_string(), "BER=1e-7");
-        assert_eq!(BerOutOfRange.to_string(), "bit error rate must lie in [0, 1)");
+        assert_eq!(
+            BerOutOfRange.to_string(),
+            "bit error rate must lie in [0, 1)"
+        );
     }
 }

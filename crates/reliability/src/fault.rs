@@ -128,7 +128,11 @@ impl GilbertElliott {
 
 impl FaultProcess for GilbertElliott {
     fn corrupts(&mut self, bits: u32) -> bool {
-        let ber = if self.in_bad { self.bad_ber } else { self.good_ber };
+        let ber = if self.in_bad {
+            self.bad_ber
+        } else {
+            self.good_ber
+        };
         let p = ber.frame_failure_probability(bits);
         let hit = p > 0.0 && self.rng.gen::<f64>() < p;
         // State transition after the frame.
@@ -325,8 +329,7 @@ mod tests {
         assert!(ch.corrupts(10_000));
         assert!(!ch.is_down());
         assert!(
-            (ch.frame_failure_probability(100) - ber.frame_failure_probability(100)).abs()
-                < 1e-12
+            (ch.frame_failure_probability(100) - ber.frame_failure_probability(100)).abs() < 1e-12
         );
     }
 

@@ -50,7 +50,12 @@ impl MessageReliability {
     /// # Panics
     /// Panics if `period` is zero.
     pub fn from_ber(id: u32, size_bits: u32, period: SimDuration, ber: Ber) -> Self {
-        Self::new(id, size_bits, period, ber.frame_failure_probability(size_bits))
+        Self::new(
+            id,
+            size_bits,
+            period,
+            ber.frame_failure_probability(size_bits),
+        )
     }
 
     /// Number of instances of this message in a time unit `u` (`u / T_z`,

@@ -198,8 +198,7 @@ impl RetransmissionPlanner {
                 if gain <= 0.0 {
                     continue;
                 }
-                let cost =
-                    (u64::from(m.size_bits) * m.instances_per_unit(self.unit)).max(1) as f64;
+                let cost = (u64::from(m.size_bits) * m.instances_per_unit(self.unit)).max(1) as f64;
                 let score = gain / cost;
                 if best.is_none_or(|(_, _, s)| score > s) {
                     best = Some((i, new_contrib, score));
@@ -255,7 +254,11 @@ mod tests {
         let planner = RetransmissionPlanner::new(msgs_with_ber(1e-4)).unit(SEC);
         let goal = 0.999_999;
         let plan = planner.plan_for_goal(goal).unwrap();
-        assert!(plan.success_probability() >= goal, "{}", plan.success_probability());
+        assert!(
+            plan.success_probability() >= goal,
+            "{}",
+            plan.success_probability()
+        );
         assert!(plan.retransmission_counts().iter().any(|&k| k > 0));
     }
 
@@ -300,8 +303,15 @@ mod tests {
 
     #[test]
     fn unreachable_goal_reports_best() {
-        let msgs = vec![MessageReliability::new(0, 10, SimDuration::from_millis(1), 0.9)];
-        let planner = RetransmissionPlanner::new(msgs).unit(SEC).max_retransmissions(1);
+        let msgs = vec![MessageReliability::new(
+            0,
+            10,
+            SimDuration::from_millis(1),
+            0.9,
+        )];
+        let planner = RetransmissionPlanner::new(msgs)
+            .unit(SEC)
+            .max_retransmissions(1);
         let err = planner.plan_for_goal(0.999_999).unwrap_err();
         match err {
             PlanError::Unreachable { best, goal } => {
@@ -314,8 +324,14 @@ mod tests {
     #[test]
     fn invalid_goals_rejected() {
         let planner = RetransmissionPlanner::new(msgs_with_ber(1e-7));
-        assert!(matches!(planner.plan_for_goal(0.0), Err(PlanError::InvalidGoal(_))));
-        assert!(matches!(planner.plan_for_goal(1.5), Err(PlanError::InvalidGoal(_))));
+        assert!(matches!(
+            planner.plan_for_goal(0.0),
+            Err(PlanError::InvalidGoal(_))
+        ));
+        assert!(matches!(
+            planner.plan_for_goal(1.5),
+            Err(PlanError::InvalidGoal(_))
+        ));
         assert!(matches!(
             planner.plan_for_goal(f64::NAN),
             Err(PlanError::InvalidGoal(_))
@@ -324,12 +340,26 @@ mod tests {
 
     #[test]
     fn goal_of_exactly_one_met_only_by_perfect_channel() {
-        let perfect = vec![MessageReliability::new(0, 10, SimDuration::from_millis(1), 0.0)];
-        let plan = RetransmissionPlanner::new(perfect).plan_for_goal(1.0).unwrap();
+        let perfect = vec![MessageReliability::new(
+            0,
+            10,
+            SimDuration::from_millis(1),
+            0.0,
+        )];
+        let plan = RetransmissionPlanner::new(perfect)
+            .plan_for_goal(1.0)
+            .unwrap();
         assert_eq!(plan.success_probability(), 1.0);
 
-        let faulty = vec![MessageReliability::new(0, 10, SimDuration::from_millis(1), 0.1)];
-        assert!(RetransmissionPlanner::new(faulty).plan_for_goal(1.0).is_err());
+        let faulty = vec![MessageReliability::new(
+            0,
+            10,
+            SimDuration::from_millis(1),
+            0.1,
+        )];
+        assert!(RetransmissionPlanner::new(faulty)
+            .plan_for_goal(1.0)
+            .is_err());
     }
 
     #[test]

@@ -33,7 +33,12 @@ pub enum SilLevel {
 
 impl SilLevel {
     /// All levels, weakest first.
-    pub const ALL: [SilLevel; 4] = [SilLevel::Sil1, SilLevel::Sil2, SilLevel::Sil3, SilLevel::Sil4];
+    pub const ALL: [SilLevel; 4] = [
+        SilLevel::Sil1,
+        SilLevel::Sil2,
+        SilLevel::Sil3,
+        SilLevel::Sil4,
+    ];
 
     /// The upper bound of the allowed probability of dangerous failure per
     /// hour (exclusive bound of the IEC 61508 band, used as the design
@@ -84,8 +89,7 @@ mod tests {
         for w in SilLevel::ALL.windows(2) {
             assert!(w[0] < w[1]);
             assert!(
-                w[0].max_failure_probability_per_hour()
-                    > w[1].max_failure_probability_per_hour()
+                w[0].max_failure_probability_per_hour() > w[1].max_failure_probability_per_hour()
             );
         }
     }

@@ -40,12 +40,12 @@ pub fn message_success_log(msg: &MessageReliability, k: u32, unit: SimDuration) 
 ///
 /// # Panics
 /// Panics if `msgs` and `ks` have different lengths.
-pub fn log_success_probability(
-    msgs: &[MessageReliability],
-    ks: &[u32],
-    unit: SimDuration,
-) -> f64 {
-    assert_eq!(msgs.len(), ks.len(), "one retransmission count per message required");
+pub fn log_success_probability(msgs: &[MessageReliability], ks: &[u32], unit: SimDuration) -> f64 {
+    assert_eq!(
+        msgs.len(),
+        ks.len(),
+        "one retransmission count per message required"
+    );
     msgs.iter()
         .zip(ks)
         .map(|(m, &k)| message_success_log(m, k, unit))

@@ -112,8 +112,7 @@ mod tests {
         // C = (1, 2, 3), T = (4, 6, 12): L2 fixed point:
         // L = ⌈L/4⌉ + 2⌈L/6⌉ + 3⌈L/12⌉ → start 6: 2+4+3=9; 9: 3+4+3=10;
         // 10: 3+4+3=10 ✓.
-        let set =
-            TaskSet::rate_monotonic(vec![t(1, 1, 4), t(2, 2, 6), t(3, 3, 12)]).unwrap();
+        let set = TaskSet::rate_monotonic(vec![t(1, 1, 4), t(2, 2, 6), t(3, 3, 12)]).unwrap();
         assert_eq!(level_busy_period(&set, 2), Some(ms(10)));
         assert_eq!(jobs_in_busy_period(&set, 2), Some(1));
         // Level 0 alone: just the 1 ms job.
@@ -135,24 +134,21 @@ mod tests {
     fn full_utilization_busy_period_closes_at_the_hyperperiod() {
         // U = 1.0 exactly: the processor never idles, and the busy period
         // closes at the hyperperiod (12 ms for T = 4, 6).
-        let set =
-            TaskSet::with_explicit_priorities(vec![t(1, 2, 4), t(2, 3, 6)]).unwrap();
+        let set = TaskSet::with_explicit_priorities(vec![t(1, 2, 4), t(2, 3, 6)]).unwrap();
         assert_eq!(level_busy_period(&set, 1), Some(ms(12)));
     }
 
     #[test]
     fn overloaded_level_diverges() {
         // U = 0.75 + 0.5 = 1.25 > 1: no fixed point exists.
-        let set =
-            TaskSet::with_explicit_priorities(vec![t(1, 3, 4), t(2, 3, 6)]).unwrap();
+        let set = TaskSet::with_explicit_priorities(vec![t(1, 3, 4), t(2, 3, 6)]).unwrap();
         assert_eq!(level_busy_period(&set, 1), None);
         assert_eq!(jobs_in_busy_period(&set, 1), None);
     }
 
     #[test]
     fn busy_period_grows_with_level() {
-        let set =
-            TaskSet::rate_monotonic(vec![t(1, 1, 4), t(2, 2, 6), t(3, 3, 12)]).unwrap();
+        let set = TaskSet::rate_monotonic(vec![t(1, 1, 4), t(2, 2, 6), t(3, 3, 12)]).unwrap();
         let mut prev = SimDuration::ZERO;
         for level in 0..set.len() {
             let l = level_busy_period(&set, level).unwrap();

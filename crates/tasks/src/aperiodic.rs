@@ -32,7 +32,12 @@ impl AperiodicJob {
     ///
     /// # Panics
     /// Panics if `work` is zero or exceeds `relative_deadline`.
-    pub fn hard(id: u64, arrival: SimTime, work: SimDuration, relative_deadline: SimDuration) -> Self {
+    pub fn hard(
+        id: u64,
+        arrival: SimTime,
+        work: SimDuration,
+        relative_deadline: SimDuration,
+    ) -> Self {
         assert!(!work.is_zero(), "aperiodic work must be positive");
         assert!(
             work <= relative_deadline,

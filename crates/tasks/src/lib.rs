@@ -39,8 +39,8 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
-mod aperiodic;
 pub mod analysis;
+mod aperiodic;
 pub mod hyperperiod;
 pub mod response_time;
 mod simulator;

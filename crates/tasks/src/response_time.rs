@@ -166,8 +166,7 @@ mod tests {
             SimDuration::from_millis(12),
             SimDuration::from_millis(9),
         );
-        let set =
-            TaskSet::with_explicit_priorities(vec![t(1, 1, 4), t(2, 2, 6), tight]).unwrap();
+        let set = TaskSet::with_explicit_priorities(vec![t(1, 1, 4), t(2, 2, 6), tight]).unwrap();
         let a = analyze(&set).unwrap();
         assert!(!a.schedulable());
         assert!(a.response_for(1).unwrap().meets_deadline());

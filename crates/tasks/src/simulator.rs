@@ -83,7 +83,11 @@ struct ReadyAperiodic {
 ///
 /// # Panics
 /// Panics if `opts.horizon` is zero.
-pub fn simulate(set: &TaskSet, aperiodics: &[AperiodicJob], opts: SimulateOptions) -> ExecutionTrace {
+pub fn simulate(
+    set: &TaskSet,
+    aperiodics: &[AperiodicJob],
+    opts: SimulateOptions,
+) -> ExecutionTrace {
     assert!(opts.horizon > SimTime::ZERO, "horizon must be positive");
     let mut sim = SimState::new(set, aperiodics, opts);
     sim.run();
@@ -152,7 +156,8 @@ impl<'a> SimState<'a> {
             }
         }
         // Keep FIFO within a level: sort by (level, release, job index).
-        self.ready.sort_by_key(|j| (j.level, j.release, j.job_index));
+        self.ready
+            .sort_by_key(|j| (j.level, j.release, j.job_index));
         while let Some(front) = self.future_aperiodics.front() {
             if front.arrival > self.now {
                 break;
@@ -301,14 +306,26 @@ mod tests {
         let tr = simulate(&set, &[], SimulateOptions::new(SimTime::from_millis(12)));
         tr.validate().unwrap();
         // Timeline: hi [0,1), lo [1,4), hi [4,5), lo [5,6), ...
-        let kinds: Vec<_> = tr.slices().iter().map(|s| (s.start.as_millis(), s.kind)).collect();
+        let kinds: Vec<_> = tr
+            .slices()
+            .iter()
+            .map(|s| (s.start.as_millis(), s.kind))
+            .collect();
         assert_eq!(
             kinds[0].1,
-            SliceKind::Periodic { task: 1, job: 0, level: 0 }
+            SliceKind::Periodic {
+                task: 1,
+                job: 0,
+                level: 0
+            }
         );
         assert_eq!(
             kinds[1].1,
-            SliceKind::Periodic { task: 2, job: 0, level: 1 }
+            SliceKind::Periodic {
+                task: 2,
+                job: 0,
+                level: 1
+            }
         );
         // lo resumes after hi's second job.
         let lo_completion = tr
@@ -323,15 +340,16 @@ mod tests {
     fn simulation_completions_match_rta_worst_case() {
         // With zero offsets, the first job experiences the critical
         // instant, so its response time equals the RTA bound.
-        let set =
-            TaskSet::rate_monotonic(vec![t(1, 1, 4), t(2, 2, 6), t(3, 3, 12)]).unwrap();
+        let set = TaskSet::rate_monotonic(vec![t(1, 1, 4), t(2, 2, 6), t(3, 3, 12)]).unwrap();
         let rta = response_time::analyze(&set).unwrap();
         let tr = simulate(&set, &[], SimulateOptions::new(SimTime::from_millis(12)));
         for task_id in [1, 2, 3] {
             let first = tr
                 .completions()
                 .iter()
-                .find(|c| matches!(c.source, JobSource::Periodic { task, job: 0 } if task == task_id))
+                .find(
+                    |c| matches!(c.source, JobSource::Periodic { task, job: 0 } if task == task_id),
+                )
                 .unwrap();
             let bound = rta.response_for(task_id).unwrap().wcrt.unwrap();
             assert_eq!(first.response_time(), bound, "task {task_id}");
@@ -414,8 +432,7 @@ mod tests {
     #[test]
     fn overload_misses_are_recorded_not_dropped() {
         // Utilization 1.25: the lower task must miss.
-        let set =
-            TaskSet::with_explicit_priorities(vec![t(1, 3, 4), t(2, 4, 8)]).unwrap();
+        let set = TaskSet::with_explicit_priorities(vec![t(1, 3, 4), t(2, 4, 8)]).unwrap();
         let tr = simulate(&set, &[], SimulateOptions::new(SimTime::from_millis(32)));
         assert!(tr.periodic_misses().count() > 0);
     }

@@ -213,7 +213,10 @@ mod tests {
         let table = SlackTable::compute(&set, t_at(8));
         assert_eq!(table.selective_slack_at(SimTime::ZERO, ms(2)), ms(3));
         assert_eq!(table.selective_slack_at(SimTime::ZERO, ms(3)), ms(3));
-        assert_eq!(table.selective_slack_at(SimTime::ZERO, ms(4)), SimDuration::ZERO);
+        assert_eq!(
+            table.selective_slack_at(SimTime::ZERO, ms(4)),
+            SimDuration::ZERO
+        );
     }
 
     #[test]

@@ -154,7 +154,8 @@ impl<'a> StealState<'a> {
                 self.next_release[level] = k + 1;
             }
         }
-        self.ready.sort_by_key(|j| (j.level, j.release, j.job_index));
+        self.ready
+            .sort_by_key(|j| (j.level, j.release, j.job_index));
         while let Some(front) = self.future_aperiodics.front() {
             if front.arrival > self.now {
                 break;

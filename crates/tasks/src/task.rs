@@ -37,7 +37,10 @@ impl fmt::Display for TaskError {
             TaskError::ZeroPeriod => write!(f, "period must be positive"),
             TaskError::ZeroDeadline => write!(f, "deadline must be positive"),
             TaskError::DeadlineExceedsPeriod => {
-                write!(f, "deadline must not exceed the period (constrained deadlines)")
+                write!(
+                    f,
+                    "deadline must not exceed the period (constrained deadlines)"
+                )
             }
             TaskError::OffsetNotBelowPeriod => write!(f, "offset must be smaller than the period"),
             TaskError::WcetExceedsDeadline => {
@@ -257,13 +260,25 @@ mod tests {
     fn next_deadline_covers_current_job() {
         let t = PeriodicTask::try_new(1, ms(1), ms(10), ms(6), SimDuration::ZERO).unwrap();
         // During job 0's window [0, 6): its own deadline.
-        assert_eq!(t.next_deadline_at_or_after(SimTime::from_millis(3)), SimTime::from_millis(6));
-        assert_eq!(t.next_deadline_at_or_after(SimTime::from_millis(6)), SimTime::from_millis(6));
+        assert_eq!(
+            t.next_deadline_at_or_after(SimTime::from_millis(3)),
+            SimTime::from_millis(6)
+        );
+        assert_eq!(
+            t.next_deadline_at_or_after(SimTime::from_millis(6)),
+            SimTime::from_millis(6)
+        );
         // After job 0's deadline but before job 1's release: job 1's deadline.
-        assert_eq!(t.next_deadline_at_or_after(SimTime::from_millis(7)), SimTime::from_millis(16));
+        assert_eq!(
+            t.next_deadline_at_or_after(SimTime::from_millis(7)),
+            SimTime::from_millis(16)
+        );
         // Before the offset.
         let t2 = PeriodicTask::try_new(1, ms(1), ms(10), ms(6), ms(4)).unwrap();
-        assert_eq!(t2.next_deadline_at_or_after(SimTime::ZERO), SimTime::from_millis(10));
+        assert_eq!(
+            t2.next_deadline_at_or_after(SimTime::ZERO),
+            SimTime::from_millis(10)
+        );
     }
 
     #[test]

@@ -155,9 +155,8 @@ mod tests {
 
     #[test]
     fn deadline_monotonic_orders_by_deadline() {
-        let set =
-            TaskSet::deadline_monotonic(vec![t(1, 10, 8, 8), t(2, 10, 8, 2), t(3, 10, 8, 4)])
-                .unwrap();
+        let set = TaskSet::deadline_monotonic(vec![t(1, 10, 8, 8), t(2, 10, 8, 2), t(3, 10, 8, 4)])
+            .unwrap();
         let order: Vec<TaskId> = set.iter().map(|x| x.id()).collect();
         assert_eq!(order, vec![2, 3, 1]);
         assert_eq!(set.level_of(3), Some(1));
@@ -184,7 +183,10 @@ mod tests {
 
     #[test]
     fn empty_rejected() {
-        assert_eq!(TaskSet::deadline_monotonic(vec![]).unwrap_err(), TaskError::EmptySet);
+        assert_eq!(
+            TaskSet::deadline_monotonic(vec![]).unwrap_err(),
+            TaskError::EmptySet
+        );
     }
 
     #[test]

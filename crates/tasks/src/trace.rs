@@ -293,7 +293,11 @@ mod tests {
     #[test]
     fn validate_accepts_well_formed() {
         let tr = ExecutionTrace::new(
-            vec![slice(0, 2, periodic(0)), slice(2, 3, SliceKind::Idle), slice(5, 6, periodic(1))],
+            vec![
+                slice(0, 2, periodic(0)),
+                slice(2, 3, SliceKind::Idle),
+                slice(5, 6, periodic(1)),
+            ],
             vec![],
             t(10),
         );
@@ -337,14 +341,24 @@ mod tests {
     fn level_idle_counts_lower_priority_and_idle() {
         // Level 0 busy [0,2), level 1 busy [2,4), idle [4,6).
         let tr = ExecutionTrace::new(
-            vec![slice(0, 2, periodic(0)), slice(2, 4, periodic(1)), slice(4, 6, SliceKind::Idle)],
+            vec![
+                slice(0, 2, periodic(0)),
+                slice(2, 4, periodic(1)),
+                slice(4, 6, SliceKind::Idle),
+            ],
             vec![],
             t(6),
         );
         // From level 0's view, the level-1 slice is idle.
-        assert_eq!(tr.level_idle_between(0, t(0), t(6)), SimDuration::from_millis(4));
+        assert_eq!(
+            tr.level_idle_between(0, t(0), t(6)),
+            SimDuration::from_millis(4)
+        );
         // From level 1's view, both periodic slices are busy.
-        assert_eq!(tr.level_idle_between(1, t(0), t(6)), SimDuration::from_millis(2));
+        assert_eq!(
+            tr.level_idle_between(1, t(0), t(6)),
+            SimDuration::from_millis(2)
+        );
     }
 
     #[test]
@@ -354,7 +368,10 @@ mod tests {
             vec![],
             t(8),
         );
-        assert_eq!(tr.level_idle_between(0, t(2), t(6)), SimDuration::from_millis(2));
+        assert_eq!(
+            tr.level_idle_between(0, t(2), t(6)),
+            SimDuration::from_millis(2)
+        );
         assert_eq!(tr.level_idle_between(0, t(6), t(6)), SimDuration::ZERO);
         assert_eq!(tr.level_idle_between(0, t(7), t(3)), SimDuration::ZERO);
     }
@@ -367,7 +384,10 @@ mod tests {
             vec![],
             t(8),
         );
-        assert_eq!(tr.level_idle_between(0, t(0), t(8)), SimDuration::from_millis(5));
+        assert_eq!(
+            tr.level_idle_between(0, t(0), t(8)),
+            SimDuration::from_millis(5)
+        );
     }
 
     #[test]

@@ -77,18 +77,9 @@ mod tests {
     #[test]
     fn period_classes_match_table() {
         let set = message_set();
-        assert_eq!(
-            set.iter().filter(|s| s.period.as_millis() == 16).count(),
-            5
-        );
-        assert_eq!(
-            set.iter().filter(|s| s.period.as_millis() == 24).count(),
-            7
-        );
-        assert_eq!(
-            set.iter().filter(|s| s.period.as_millis() == 32).count(),
-            8
-        );
+        assert_eq!(set.iter().filter(|s| s.period.as_millis() == 16).count(), 5);
+        assert_eq!(set.iter().filter(|s| s.period.as_millis() == 24).count(), 7);
+        assert_eq!(set.iter().filter(|s| s.period.as_millis() == 32).count(), 8);
     }
 
     #[test]

@@ -54,7 +54,10 @@ impl AperiodicMessage {
         deadline: SimDuration,
         size_bits: u32,
     ) -> Self {
-        assert!(!min_interarrival.is_zero(), "inter-arrival must be positive");
+        assert!(
+            !min_interarrival.is_zero(),
+            "inter-arrival must be positive"
+        );
         assert!(!deadline.is_zero(), "deadline must be positive");
         assert!(size_bits > 0, "size must be positive");
         AperiodicMessage {

@@ -19,7 +19,10 @@ fn main() {
 
     println!("ACC (20 periodic) + SAE (30 aperiodic) over 2 s, both scenarios:\n");
     for scenario in [Scenario::ber7(), Scenario::ber9()] {
-        println!("--- scenario {} (goal ρ = 1 − {:.0e}/h) ---", scenario.name, scenario.gamma);
+        println!(
+            "--- scenario {} (goal ρ = 1 − {:.0e}/h) ---",
+            scenario.name, scenario.gamma
+        );
         for policy in [Policy::CoEfficient, Policy::Fspec] {
             let runner = Runner::new(RunConfig {
                 cluster: cluster.clone(),

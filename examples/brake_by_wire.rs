@@ -46,7 +46,10 @@ fn main() {
             "  {:>3}  {:>4}ms  {:>4}b  {:.3e}  {:>3}",
             m.id,
             m.period.as_millis(),
-            bbw.iter().find(|s| s.id == m.id).map(|s| s.size_bits).unwrap_or(0),
+            bbw.iter()
+                .find(|s| s.id == m.id)
+                .map(|s| s.size_bits)
+                .unwrap_or(0),
             m.failure_probability,
             k
         );

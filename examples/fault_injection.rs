@@ -50,7 +50,9 @@ fn main() {
     let mut longest_burst = [0u32; 2];
     let mut current_burst = [0u32; 2];
     for _ in 0..frames {
-        for (i, p) in [&mut bernoulli as &mut dyn FaultProcess, &mut bursty].iter_mut().enumerate()
+        for (i, p) in [&mut bernoulli as &mut dyn FaultProcess, &mut bursty]
+            .iter_mut()
+            .enumerate()
         {
             if p.corrupts(2268) {
                 counts[i] += 1;

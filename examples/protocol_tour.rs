@@ -29,15 +29,29 @@ fn main() {
 
     // --- POC state machine ---------------------------------------------------
     let mut poc = Poc::new();
-    for ev in [PocEvent::ConfigComplete, PocEvent::RunRequest, PocEvent::StartupComplete] {
+    for ev in [
+        PocEvent::ConfigComplete,
+        PocEvent::RunRequest,
+        PocEvent::StartupComplete,
+    ] {
         poc.apply(ev).expect("valid startup path");
     }
-    println!("\nPOC after startup: {} (may transmit: {})", poc.state(), poc.may_transmit());
+    println!(
+        "\nPOC after startup: {} (may transmit: {})",
+        poc.state(),
+        poc.may_transmit()
+    );
 
     // --- Clock synchronization ------------------------------------------------
     println!("\nFault-tolerant midpoint over deviations [-3, -1, 2, 4, 1000] (one faulty clock):");
-    println!("  k=0 (no tolerance): {} microticks", ftm_midpoint(&[-3, -1, 2, 4, 1000], 0).unwrap());
-    println!("  k=1 (tolerant):     {} microticks", ftm_midpoint(&[-3, -1, 2, 4, 1000], 1).unwrap());
+    println!(
+        "  k=0 (no tolerance): {} microticks",
+        ftm_midpoint(&[-3, -1, 2, 4, 1000], 0).unwrap()
+    );
+    println!(
+        "  k=1 (tolerant):     {} microticks",
+        ftm_midpoint(&[-3, -1, 2, 4, 1000], 1).unwrap()
+    );
     let mut corr = ClockCorrection::new();
     corr.apply_round(&[6, 6, 6], 1).unwrap();
     corr.apply_round(&[9, 9, 9], 1).unwrap();

@@ -41,8 +41,18 @@ fn main() {
     ];
     // ...and two event-triggered ones (frame ids above the 18 static slots).
     let dynamics = vec![
-        AperiodicMessage::new(20, SimDuration::from_millis(10), SimDuration::from_millis(10), 64),
-        AperiodicMessage::new(21, SimDuration::from_millis(20), SimDuration::from_millis(20), 128),
+        AperiodicMessage::new(
+            20,
+            SimDuration::from_millis(10),
+            SimDuration::from_millis(10),
+            64,
+        ),
+        AperiodicMessage::new(
+            21,
+            SimDuration::from_millis(20),
+            SimDuration::from_millis(20),
+            128,
+        ),
     ];
 
     println!("policy        delivered  static-lat  dynamic-lat  utilization  miss-ratio");

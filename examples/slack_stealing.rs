@@ -8,8 +8,8 @@
 
 use event_sim::{SimDuration, SimTime};
 use tasks::{
-    response_time, simulate, AperiodicJob, PeriodicTask, SimulateOptions, SlackStealer,
-    SlackTable, TaskSet,
+    response_time, simulate, AperiodicJob, PeriodicTask, SimulateOptions, SlackStealer, SlackTable,
+    TaskSet,
 };
 
 fn ms(v: u64) -> SimDuration {
@@ -57,7 +57,10 @@ fn main() {
     let horizon = SimTime::from_millis(48);
 
     let stolen = SlackStealer::new(set.clone(), horizon).run(&aperiodics);
-    assert!(stolen.no_periodic_miss(), "the stealer must protect deadlines");
+    assert!(
+        stolen.no_periodic_miss(),
+        "the stealer must protect deadlines"
+    );
     let background = simulate(&set, &aperiodics, SimulateOptions::new(horizon));
 
     println!("\nAperiodic response times, slack stealing vs background:");

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/bench_harness-33e16840226561a1.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/json.rs crates/bench/src/sweep.rs crates/bench/src/table.rs crates/bench/src/timing.rs
+
+/root/repo/target/debug/deps/bench_harness-33e16840226561a1: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/json.rs crates/bench/src/sweep.rs crates/bench/src/table.rs crates/bench/src/timing.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/json.rs:
+crates/bench/src/sweep.rs:
+crates/bench/src/table.rs:
+crates/bench/src/timing.rs:

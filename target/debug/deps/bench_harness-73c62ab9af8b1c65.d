@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/bench_harness-73c62ab9af8b1c65.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/json.rs crates/bench/src/sweep.rs crates/bench/src/table.rs crates/bench/src/timing.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_harness-73c62ab9af8b1c65.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/json.rs crates/bench/src/sweep.rs crates/bench/src/table.rs crates/bench/src/timing.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/json.rs:
+crates/bench/src/sweep.rs:
+crates/bench/src/table.rs:
+crates/bench/src/timing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/bench_harness-ecd73525aed585d7.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/json.rs crates/bench/src/sweep.rs crates/bench/src/table.rs crates/bench/src/timing.rs
+
+/root/repo/target/debug/deps/libbench_harness-ecd73525aed585d7.rlib: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/json.rs crates/bench/src/sweep.rs crates/bench/src/table.rs crates/bench/src/timing.rs
+
+/root/repo/target/debug/deps/libbench_harness-ecd73525aed585d7.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/json.rs crates/bench/src/sweep.rs crates/bench/src/table.rs crates/bench/src/timing.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/json.rs:
+crates/bench/src/sweep.rs:
+crates/bench/src/table.rs:
+crates/bench/src/timing.rs:

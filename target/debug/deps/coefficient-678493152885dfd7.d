@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/coefficient-678493152885dfd7.d: crates/coefficient/src/lib.rs crates/coefficient/src/assignment.rs crates/coefficient/src/instance.rs crates/coefficient/src/policy.rs crates/coefficient/src/runner.rs crates/coefficient/src/scenario.rs crates/coefficient/src/sweep.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcoefficient-678493152885dfd7.rmeta: crates/coefficient/src/lib.rs crates/coefficient/src/assignment.rs crates/coefficient/src/instance.rs crates/coefficient/src/policy.rs crates/coefficient/src/runner.rs crates/coefficient/src/scenario.rs crates/coefficient/src/sweep.rs Cargo.toml
+
+crates/coefficient/src/lib.rs:
+crates/coefficient/src/assignment.rs:
+crates/coefficient/src/instance.rs:
+crates/coefficient/src/policy.rs:
+crates/coefficient/src/runner.rs:
+crates/coefficient/src/scenario.rs:
+crates/coefficient/src/sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

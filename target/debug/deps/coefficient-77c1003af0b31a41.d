@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/coefficient-77c1003af0b31a41.d: crates/coefficient/src/lib.rs crates/coefficient/src/assignment.rs crates/coefficient/src/instance.rs crates/coefficient/src/policy.rs crates/coefficient/src/runner.rs crates/coefficient/src/scenario.rs crates/coefficient/src/sweep.rs
+
+/root/repo/target/debug/deps/coefficient-77c1003af0b31a41: crates/coefficient/src/lib.rs crates/coefficient/src/assignment.rs crates/coefficient/src/instance.rs crates/coefficient/src/policy.rs crates/coefficient/src/runner.rs crates/coefficient/src/scenario.rs crates/coefficient/src/sweep.rs
+
+crates/coefficient/src/lib.rs:
+crates/coefficient/src/assignment.rs:
+crates/coefficient/src/instance.rs:
+crates/coefficient/src/policy.rs:
+crates/coefficient/src/runner.rs:
+crates/coefficient/src/scenario.rs:
+crates/coefficient/src/sweep.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/coefficient-e3edbb7da310d721.d: crates/coefficient/src/lib.rs crates/coefficient/src/assignment.rs crates/coefficient/src/instance.rs crates/coefficient/src/policy.rs crates/coefficient/src/runner.rs crates/coefficient/src/scenario.rs crates/coefficient/src/sweep.rs
+
+/root/repo/target/debug/deps/libcoefficient-e3edbb7da310d721.rlib: crates/coefficient/src/lib.rs crates/coefficient/src/assignment.rs crates/coefficient/src/instance.rs crates/coefficient/src/policy.rs crates/coefficient/src/runner.rs crates/coefficient/src/scenario.rs crates/coefficient/src/sweep.rs
+
+/root/repo/target/debug/deps/libcoefficient-e3edbb7da310d721.rmeta: crates/coefficient/src/lib.rs crates/coefficient/src/assignment.rs crates/coefficient/src/instance.rs crates/coefficient/src/policy.rs crates/coefficient/src/runner.rs crates/coefficient/src/scenario.rs crates/coefficient/src/sweep.rs
+
+crates/coefficient/src/lib.rs:
+crates/coefficient/src/assignment.rs:
+crates/coefficient/src/instance.rs:
+crates/coefficient/src/policy.rs:
+crates/coefficient/src/runner.rs:
+crates/coefficient/src/scenario.rs:
+crates/coefficient/src/sweep.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/coefficient_suite-2a4ec725c071e35c.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcoefficient_suite-2a4ec725c071e35c.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

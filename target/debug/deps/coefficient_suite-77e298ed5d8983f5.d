@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/coefficient_suite-77e298ed5d8983f5.d: src/lib.rs
+
+/root/repo/target/debug/deps/coefficient_suite-77e298ed5d8983f5: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/coefficient_suite-b1e657d5f3754315.d: src/lib.rs
+
+/root/repo/target/debug/deps/libcoefficient_suite-b1e657d5f3754315.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libcoefficient_suite-b1e657d5f3754315.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/coefficient_suite-cf9b8c382a4557a8.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcoefficient_suite-cf9b8c382a4557a8.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

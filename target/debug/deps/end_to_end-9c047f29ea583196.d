@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-9c047f29ea583196.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-9c047f29ea583196: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/event_sim-133b909d3920f939.d: crates/event-sim/src/lib.rs crates/event-sim/src/engine.rs crates/event-sim/src/queue.rs crates/event-sim/src/rng.rs crates/event-sim/src/time.rs Cargo.toml
+
+/root/repo/target/debug/deps/libevent_sim-133b909d3920f939.rmeta: crates/event-sim/src/lib.rs crates/event-sim/src/engine.rs crates/event-sim/src/queue.rs crates/event-sim/src/rng.rs crates/event-sim/src/time.rs Cargo.toml
+
+crates/event-sim/src/lib.rs:
+crates/event-sim/src/engine.rs:
+crates/event-sim/src/queue.rs:
+crates/event-sim/src/rng.rs:
+crates/event-sim/src/time.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/event_sim-ea6a448fdab42146.d: crates/event-sim/src/lib.rs crates/event-sim/src/engine.rs crates/event-sim/src/queue.rs crates/event-sim/src/rng.rs crates/event-sim/src/time.rs
+
+/root/repo/target/debug/deps/libevent_sim-ea6a448fdab42146.rlib: crates/event-sim/src/lib.rs crates/event-sim/src/engine.rs crates/event-sim/src/queue.rs crates/event-sim/src/rng.rs crates/event-sim/src/time.rs
+
+/root/repo/target/debug/deps/libevent_sim-ea6a448fdab42146.rmeta: crates/event-sim/src/lib.rs crates/event-sim/src/engine.rs crates/event-sim/src/queue.rs crates/event-sim/src/rng.rs crates/event-sim/src/time.rs
+
+crates/event-sim/src/lib.rs:
+crates/event-sim/src/engine.rs:
+crates/event-sim/src/queue.rs:
+crates/event-sim/src/rng.rs:
+crates/event-sim/src/time.rs:

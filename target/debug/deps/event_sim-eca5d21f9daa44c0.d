@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/event_sim-eca5d21f9daa44c0.d: crates/event-sim/src/lib.rs crates/event-sim/src/engine.rs crates/event-sim/src/queue.rs crates/event-sim/src/rng.rs crates/event-sim/src/time.rs
+
+/root/repo/target/debug/deps/event_sim-eca5d21f9daa44c0: crates/event-sim/src/lib.rs crates/event-sim/src/engine.rs crates/event-sim/src/queue.rs crates/event-sim/src/rng.rs crates/event-sim/src/time.rs
+
+crates/event-sim/src/lib.rs:
+crates/event-sim/src/engine.rs:
+crates/event-sim/src/queue.rs:
+crates/event-sim/src/rng.rs:
+crates/event-sim/src/time.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments-67e7d448a5f9489c.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/debug/deps/experiments-67e7d448a5f9489c: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

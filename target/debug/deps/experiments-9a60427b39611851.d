@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments-9a60427b39611851.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/debug/deps/experiments-9a60427b39611851: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig1_running_time-4f6b922b70eddb4a.d: crates/bench/benches/fig1_running_time.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig1_running_time-4f6b922b70eddb4a.rmeta: crates/bench/benches/fig1_running_time.rs Cargo.toml
+
+crates/bench/benches/fig1_running_time.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

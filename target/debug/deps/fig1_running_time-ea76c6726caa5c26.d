@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1_running_time-ea76c6726caa5c26.d: crates/bench/benches/fig1_running_time.rs
+
+/root/repo/target/debug/deps/fig1_running_time-ea76c6726caa5c26: crates/bench/benches/fig1_running_time.rs
+
+crates/bench/benches/fig1_running_time.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3_bandwidth-61cce58f6bd82d10.d: crates/bench/benches/fig3_bandwidth.rs
+
+/root/repo/target/debug/deps/fig3_bandwidth-61cce58f6bd82d10: crates/bench/benches/fig3_bandwidth.rs
+
+crates/bench/benches/fig3_bandwidth.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4_latency-ea79b176be822031.d: crates/bench/benches/fig4_latency.rs
+
+/root/repo/target/debug/deps/fig4_latency-ea79b176be822031: crates/bench/benches/fig4_latency.rs
+
+crates/bench/benches/fig4_latency.rs:

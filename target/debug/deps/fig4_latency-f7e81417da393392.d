@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig4_latency-f7e81417da393392.d: crates/bench/benches/fig4_latency.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig4_latency-f7e81417da393392.rmeta: crates/bench/benches/fig4_latency.rs Cargo.toml
+
+crates/bench/benches/fig4_latency.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5_miss_ratio-270d2a36fa39075f.d: crates/bench/benches/fig5_miss_ratio.rs
+
+/root/repo/target/debug/deps/fig5_miss_ratio-270d2a36fa39075f: crates/bench/benches/fig5_miss_ratio.rs
+
+crates/bench/benches/fig5_miss_ratio.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig5_miss_ratio-478f3cd529357d33.d: crates/bench/benches/fig5_miss_ratio.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig5_miss_ratio-478f3cd529357d33.rmeta: crates/bench/benches/fig5_miss_ratio.rs Cargo.toml
+
+crates/bench/benches/fig5_miss_ratio.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

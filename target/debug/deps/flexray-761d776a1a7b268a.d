@@ -1,0 +1,26 @@
+/root/repo/target/debug/deps/flexray-761d776a1a7b268a.d: crates/flexray/src/lib.rs crates/flexray/src/bitstream.rs crates/flexray/src/bus.rs crates/flexray/src/chi.rs crates/flexray/src/codec.rs crates/flexray/src/config.rs crates/flexray/src/controller.rs crates/flexray/src/crc.rs crates/flexray/src/frame.rs crates/flexray/src/node.rs crates/flexray/src/poc.rs crates/flexray/src/schedule.rs crates/flexray/src/signal.rs crates/flexray/src/startup.rs crates/flexray/src/sync.rs crates/flexray/src/topology.rs crates/flexray/src/channel.rs crates/flexray/src/error.rs Cargo.toml
+
+/root/repo/target/debug/deps/libflexray-761d776a1a7b268a.rmeta: crates/flexray/src/lib.rs crates/flexray/src/bitstream.rs crates/flexray/src/bus.rs crates/flexray/src/chi.rs crates/flexray/src/codec.rs crates/flexray/src/config.rs crates/flexray/src/controller.rs crates/flexray/src/crc.rs crates/flexray/src/frame.rs crates/flexray/src/node.rs crates/flexray/src/poc.rs crates/flexray/src/schedule.rs crates/flexray/src/signal.rs crates/flexray/src/startup.rs crates/flexray/src/sync.rs crates/flexray/src/topology.rs crates/flexray/src/channel.rs crates/flexray/src/error.rs Cargo.toml
+
+crates/flexray/src/lib.rs:
+crates/flexray/src/bitstream.rs:
+crates/flexray/src/bus.rs:
+crates/flexray/src/chi.rs:
+crates/flexray/src/codec.rs:
+crates/flexray/src/config.rs:
+crates/flexray/src/controller.rs:
+crates/flexray/src/crc.rs:
+crates/flexray/src/frame.rs:
+crates/flexray/src/node.rs:
+crates/flexray/src/poc.rs:
+crates/flexray/src/schedule.rs:
+crates/flexray/src/signal.rs:
+crates/flexray/src/startup.rs:
+crates/flexray/src/sync.rs:
+crates/flexray/src/topology.rs:
+crates/flexray/src/channel.rs:
+crates/flexray/src/error.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

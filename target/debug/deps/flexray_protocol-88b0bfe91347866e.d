@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/flexray_protocol-88b0bfe91347866e.d: tests/flexray_protocol.rs
+
+/root/repo/target/debug/deps/flexray_protocol-88b0bfe91347866e: tests/flexray_protocol.rs
+
+tests/flexray_protocol.rs:

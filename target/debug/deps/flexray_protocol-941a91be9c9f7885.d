@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/flexray_protocol-941a91be9c9f7885.d: tests/flexray_protocol.rs Cargo.toml
+
+/root/repo/target/debug/deps/libflexray_protocol-941a91be9c9f7885.rmeta: tests/flexray_protocol.rs Cargo.toml
+
+tests/flexray_protocol.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/metrics-19b022a0547e3f09.d: crates/metrics/src/lib.rs crates/metrics/src/aggregate.rs crates/metrics/src/deadline.rs crates/metrics/src/histogram.rs crates/metrics/src/stats.rs crates/metrics/src/utilization.rs
+
+/root/repo/target/debug/deps/libmetrics-19b022a0547e3f09.rlib: crates/metrics/src/lib.rs crates/metrics/src/aggregate.rs crates/metrics/src/deadline.rs crates/metrics/src/histogram.rs crates/metrics/src/stats.rs crates/metrics/src/utilization.rs
+
+/root/repo/target/debug/deps/libmetrics-19b022a0547e3f09.rmeta: crates/metrics/src/lib.rs crates/metrics/src/aggregate.rs crates/metrics/src/deadline.rs crates/metrics/src/histogram.rs crates/metrics/src/stats.rs crates/metrics/src/utilization.rs
+
+crates/metrics/src/lib.rs:
+crates/metrics/src/aggregate.rs:
+crates/metrics/src/deadline.rs:
+crates/metrics/src/histogram.rs:
+crates/metrics/src/stats.rs:
+crates/metrics/src/utilization.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/metrics-5b7effaf4ccb4cbe.d: crates/metrics/src/lib.rs crates/metrics/src/aggregate.rs crates/metrics/src/deadline.rs crates/metrics/src/histogram.rs crates/metrics/src/stats.rs crates/metrics/src/utilization.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmetrics-5b7effaf4ccb4cbe.rmeta: crates/metrics/src/lib.rs crates/metrics/src/aggregate.rs crates/metrics/src/deadline.rs crates/metrics/src/histogram.rs crates/metrics/src/stats.rs crates/metrics/src/utilization.rs Cargo.toml
+
+crates/metrics/src/lib.rs:
+crates/metrics/src/aggregate.rs:
+crates/metrics/src/deadline.rs:
+crates/metrics/src/histogram.rs:
+crates/metrics/src/stats.rs:
+crates/metrics/src/utilization.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/metrics-9f9a4d9e1d9a2583.d: crates/metrics/src/lib.rs crates/metrics/src/aggregate.rs crates/metrics/src/deadline.rs crates/metrics/src/histogram.rs crates/metrics/src/stats.rs crates/metrics/src/utilization.rs
+
+/root/repo/target/debug/deps/metrics-9f9a4d9e1d9a2583: crates/metrics/src/lib.rs crates/metrics/src/aggregate.rs crates/metrics/src/deadline.rs crates/metrics/src/histogram.rs crates/metrics/src/stats.rs crates/metrics/src/utilization.rs
+
+crates/metrics/src/lib.rs:
+crates/metrics/src/aggregate.rs:
+crates/metrics/src/deadline.rs:
+crates/metrics/src/histogram.rs:
+crates/metrics/src/stats.rs:
+crates/metrics/src/utilization.rs:

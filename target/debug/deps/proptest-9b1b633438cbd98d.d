@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-9b1b633438cbd98d.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-9b1b633438cbd98d.rlib: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-9b1b633438cbd98d.rmeta: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

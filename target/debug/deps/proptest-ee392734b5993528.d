@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-ee392734b5993528.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/proptest-ee392734b5993528: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

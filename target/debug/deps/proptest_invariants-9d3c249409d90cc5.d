@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_invariants-9d3c249409d90cc5.d: tests/proptest_invariants.rs
+
+/root/repo/target/debug/deps/proptest_invariants-9d3c249409d90cc5: tests/proptest_invariants.rs
+
+tests/proptest_invariants.rs:

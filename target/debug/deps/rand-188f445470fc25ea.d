@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-188f445470fc25ea.d: vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-188f445470fc25ea.rlib: vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-188f445470fc25ea.rmeta: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

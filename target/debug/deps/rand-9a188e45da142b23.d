@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-9a188e45da142b23.d: vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/rand-9a188e45da142b23: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

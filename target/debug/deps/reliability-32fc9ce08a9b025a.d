@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/reliability-32fc9ce08a9b025a.d: crates/reliability/src/lib.rs crates/reliability/src/ber.rs crates/reliability/src/fault.rs crates/reliability/src/message.rs crates/reliability/src/plan.rs crates/reliability/src/sil.rs crates/reliability/src/theorem.rs
+
+/root/repo/target/debug/deps/libreliability-32fc9ce08a9b025a.rlib: crates/reliability/src/lib.rs crates/reliability/src/ber.rs crates/reliability/src/fault.rs crates/reliability/src/message.rs crates/reliability/src/plan.rs crates/reliability/src/sil.rs crates/reliability/src/theorem.rs
+
+/root/repo/target/debug/deps/libreliability-32fc9ce08a9b025a.rmeta: crates/reliability/src/lib.rs crates/reliability/src/ber.rs crates/reliability/src/fault.rs crates/reliability/src/message.rs crates/reliability/src/plan.rs crates/reliability/src/sil.rs crates/reliability/src/theorem.rs
+
+crates/reliability/src/lib.rs:
+crates/reliability/src/ber.rs:
+crates/reliability/src/fault.rs:
+crates/reliability/src/message.rs:
+crates/reliability/src/plan.rs:
+crates/reliability/src/sil.rs:
+crates/reliability/src/theorem.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/reliability-378350b6dc8c863d.d: crates/reliability/src/lib.rs crates/reliability/src/ber.rs crates/reliability/src/fault.rs crates/reliability/src/message.rs crates/reliability/src/plan.rs crates/reliability/src/sil.rs crates/reliability/src/theorem.rs
+
+/root/repo/target/debug/deps/reliability-378350b6dc8c863d: crates/reliability/src/lib.rs crates/reliability/src/ber.rs crates/reliability/src/fault.rs crates/reliability/src/message.rs crates/reliability/src/plan.rs crates/reliability/src/sil.rs crates/reliability/src/theorem.rs
+
+crates/reliability/src/lib.rs:
+crates/reliability/src/ber.rs:
+crates/reliability/src/fault.rs:
+crates/reliability/src/message.rs:
+crates/reliability/src/plan.rs:
+crates/reliability/src/sil.rs:
+crates/reliability/src/theorem.rs:

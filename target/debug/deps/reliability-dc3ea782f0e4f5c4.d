@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/reliability-dc3ea782f0e4f5c4.d: crates/reliability/src/lib.rs crates/reliability/src/ber.rs crates/reliability/src/fault.rs crates/reliability/src/message.rs crates/reliability/src/plan.rs crates/reliability/src/sil.rs crates/reliability/src/theorem.rs Cargo.toml
+
+/root/repo/target/debug/deps/libreliability-dc3ea782f0e4f5c4.rmeta: crates/reliability/src/lib.rs crates/reliability/src/ber.rs crates/reliability/src/fault.rs crates/reliability/src/message.rs crates/reliability/src/plan.rs crates/reliability/src/sil.rs crates/reliability/src/theorem.rs Cargo.toml
+
+crates/reliability/src/lib.rs:
+crates/reliability/src/ber.rs:
+crates/reliability/src/fault.rs:
+crates/reliability/src/message.rs:
+crates/reliability/src/plan.rs:
+crates/reliability/src/sil.rs:
+crates/reliability/src/theorem.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reliability_consistency-4f35d921121670c4.d: tests/reliability_consistency.rs
+
+/root/repo/target/debug/deps/reliability_consistency-4f35d921121670c4: tests/reliability_consistency.rs
+
+tests/reliability_consistency.rs:

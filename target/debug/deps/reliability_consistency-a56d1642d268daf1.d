@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/reliability_consistency-a56d1642d268daf1.d: tests/reliability_consistency.rs Cargo.toml
+
+/root/repo/target/debug/deps/libreliability_consistency-a56d1642d268daf1.rmeta: tests/reliability_consistency.rs Cargo.toml
+
+tests/reliability_consistency.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

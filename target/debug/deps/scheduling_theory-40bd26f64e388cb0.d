@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/scheduling_theory-40bd26f64e388cb0.d: tests/scheduling_theory.rs Cargo.toml
+
+/root/repo/target/debug/deps/libscheduling_theory-40bd26f64e388cb0.rmeta: tests/scheduling_theory.rs Cargo.toml
+
+tests/scheduling_theory.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

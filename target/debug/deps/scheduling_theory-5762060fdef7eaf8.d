@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scheduling_theory-5762060fdef7eaf8.d: tests/scheduling_theory.rs
+
+/root/repo/target/debug/deps/scheduling_theory-5762060fdef7eaf8: tests/scheduling_theory.rs
+
+tests/scheduling_theory.rs:

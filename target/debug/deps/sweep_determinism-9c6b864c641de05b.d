@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sweep_determinism-9c6b864c641de05b.d: tests/sweep_determinism.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsweep_determinism-9c6b864c641de05b.rmeta: tests/sweep_determinism.rs Cargo.toml
+
+tests/sweep_determinism.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

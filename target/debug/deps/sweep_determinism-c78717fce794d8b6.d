@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sweep_determinism-c78717fce794d8b6.d: tests/sweep_determinism.rs
+
+/root/repo/target/debug/deps/sweep_determinism-c78717fce794d8b6: tests/sweep_determinism.rs
+
+tests/sweep_determinism.rs:

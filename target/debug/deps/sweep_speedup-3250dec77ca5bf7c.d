@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sweep_speedup-3250dec77ca5bf7c.d: crates/bench/benches/sweep_speedup.rs
+
+/root/repo/target/debug/deps/sweep_speedup-3250dec77ca5bf7c: crates/bench/benches/sweep_speedup.rs
+
+crates/bench/benches/sweep_speedup.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sweep_speedup-b42dfed5dbec3d7d.d: crates/bench/benches/sweep_speedup.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsweep_speedup-b42dfed5dbec3d7d.rmeta: crates/bench/benches/sweep_speedup.rs Cargo.toml
+
+crates/bench/benches/sweep_speedup.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/tasks-247523172e7d7732.d: crates/tasks/src/lib.rs crates/tasks/src/analysis.rs crates/tasks/src/aperiodic.rs crates/tasks/src/hyperperiod.rs crates/tasks/src/response_time.rs crates/tasks/src/simulator.rs crates/tasks/src/slack.rs crates/tasks/src/stealer.rs crates/tasks/src/task.rs crates/tasks/src/taskset.rs crates/tasks/src/trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtasks-247523172e7d7732.rmeta: crates/tasks/src/lib.rs crates/tasks/src/analysis.rs crates/tasks/src/aperiodic.rs crates/tasks/src/hyperperiod.rs crates/tasks/src/response_time.rs crates/tasks/src/simulator.rs crates/tasks/src/slack.rs crates/tasks/src/stealer.rs crates/tasks/src/task.rs crates/tasks/src/taskset.rs crates/tasks/src/trace.rs Cargo.toml
+
+crates/tasks/src/lib.rs:
+crates/tasks/src/analysis.rs:
+crates/tasks/src/aperiodic.rs:
+crates/tasks/src/hyperperiod.rs:
+crates/tasks/src/response_time.rs:
+crates/tasks/src/simulator.rs:
+crates/tasks/src/slack.rs:
+crates/tasks/src/stealer.rs:
+crates/tasks/src/task.rs:
+crates/tasks/src/taskset.rs:
+crates/tasks/src/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

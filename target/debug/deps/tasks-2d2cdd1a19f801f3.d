@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/tasks-2d2cdd1a19f801f3.d: crates/tasks/src/lib.rs crates/tasks/src/analysis.rs crates/tasks/src/aperiodic.rs crates/tasks/src/hyperperiod.rs crates/tasks/src/response_time.rs crates/tasks/src/simulator.rs crates/tasks/src/slack.rs crates/tasks/src/stealer.rs crates/tasks/src/task.rs crates/tasks/src/taskset.rs crates/tasks/src/trace.rs
+
+/root/repo/target/debug/deps/libtasks-2d2cdd1a19f801f3.rlib: crates/tasks/src/lib.rs crates/tasks/src/analysis.rs crates/tasks/src/aperiodic.rs crates/tasks/src/hyperperiod.rs crates/tasks/src/response_time.rs crates/tasks/src/simulator.rs crates/tasks/src/slack.rs crates/tasks/src/stealer.rs crates/tasks/src/task.rs crates/tasks/src/taskset.rs crates/tasks/src/trace.rs
+
+/root/repo/target/debug/deps/libtasks-2d2cdd1a19f801f3.rmeta: crates/tasks/src/lib.rs crates/tasks/src/analysis.rs crates/tasks/src/aperiodic.rs crates/tasks/src/hyperperiod.rs crates/tasks/src/response_time.rs crates/tasks/src/simulator.rs crates/tasks/src/slack.rs crates/tasks/src/stealer.rs crates/tasks/src/task.rs crates/tasks/src/taskset.rs crates/tasks/src/trace.rs
+
+crates/tasks/src/lib.rs:
+crates/tasks/src/analysis.rs:
+crates/tasks/src/aperiodic.rs:
+crates/tasks/src/hyperperiod.rs:
+crates/tasks/src/response_time.rs:
+crates/tasks/src/simulator.rs:
+crates/tasks/src/slack.rs:
+crates/tasks/src/stealer.rs:
+crates/tasks/src/task.rs:
+crates/tasks/src/taskset.rs:
+crates/tasks/src/trace.rs:

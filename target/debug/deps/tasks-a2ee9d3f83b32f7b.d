@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/tasks-a2ee9d3f83b32f7b.d: crates/tasks/src/lib.rs crates/tasks/src/analysis.rs crates/tasks/src/aperiodic.rs crates/tasks/src/hyperperiod.rs crates/tasks/src/response_time.rs crates/tasks/src/simulator.rs crates/tasks/src/slack.rs crates/tasks/src/stealer.rs crates/tasks/src/task.rs crates/tasks/src/taskset.rs crates/tasks/src/trace.rs
+
+/root/repo/target/debug/deps/tasks-a2ee9d3f83b32f7b: crates/tasks/src/lib.rs crates/tasks/src/analysis.rs crates/tasks/src/aperiodic.rs crates/tasks/src/hyperperiod.rs crates/tasks/src/response_time.rs crates/tasks/src/simulator.rs crates/tasks/src/slack.rs crates/tasks/src/stealer.rs crates/tasks/src/task.rs crates/tasks/src/taskset.rs crates/tasks/src/trace.rs
+
+crates/tasks/src/lib.rs:
+crates/tasks/src/analysis.rs:
+crates/tasks/src/aperiodic.rs:
+crates/tasks/src/hyperperiod.rs:
+crates/tasks/src/response_time.rs:
+crates/tasks/src/simulator.rs:
+crates/tasks/src/slack.rs:
+crates/tasks/src/stealer.rs:
+crates/tasks/src/task.rs:
+crates/tasks/src/taskset.rs:
+crates/tasks/src/trace.rs:

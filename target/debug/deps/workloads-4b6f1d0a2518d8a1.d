@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/workloads-4b6f1d0a2518d8a1.d: crates/workloads/src/lib.rs crates/workloads/src/acc.rs crates/workloads/src/bbw.rs crates/workloads/src/sae.rs crates/workloads/src/synthetic.rs
+
+/root/repo/target/debug/deps/workloads-4b6f1d0a2518d8a1: crates/workloads/src/lib.rs crates/workloads/src/acc.rs crates/workloads/src/bbw.rs crates/workloads/src/sae.rs crates/workloads/src/synthetic.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/acc.rs:
+crates/workloads/src/bbw.rs:
+crates/workloads/src/sae.rs:
+crates/workloads/src/synthetic.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/workloads-61c3a44ae3dd90a8.d: crates/workloads/src/lib.rs crates/workloads/src/acc.rs crates/workloads/src/bbw.rs crates/workloads/src/sae.rs crates/workloads/src/synthetic.rs Cargo.toml
+
+/root/repo/target/debug/deps/libworkloads-61c3a44ae3dd90a8.rmeta: crates/workloads/src/lib.rs crates/workloads/src/acc.rs crates/workloads/src/bbw.rs crates/workloads/src/sae.rs crates/workloads/src/synthetic.rs Cargo.toml
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/acc.rs:
+crates/workloads/src/bbw.rs:
+crates/workloads/src/sae.rs:
+crates/workloads/src/synthetic.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

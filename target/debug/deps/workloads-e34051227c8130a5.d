@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/workloads-e34051227c8130a5.d: crates/workloads/src/lib.rs crates/workloads/src/acc.rs crates/workloads/src/bbw.rs crates/workloads/src/sae.rs crates/workloads/src/synthetic.rs
+
+/root/repo/target/debug/deps/libworkloads-e34051227c8130a5.rlib: crates/workloads/src/lib.rs crates/workloads/src/acc.rs crates/workloads/src/bbw.rs crates/workloads/src/sae.rs crates/workloads/src/synthetic.rs
+
+/root/repo/target/debug/deps/libworkloads-e34051227c8130a5.rmeta: crates/workloads/src/lib.rs crates/workloads/src/acc.rs crates/workloads/src/bbw.rs crates/workloads/src/sae.rs crates/workloads/src/synthetic.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/acc.rs:
+crates/workloads/src/bbw.rs:
+crates/workloads/src/sae.rs:
+crates/workloads/src/synthetic.rs:

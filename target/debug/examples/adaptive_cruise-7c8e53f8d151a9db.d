@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/adaptive_cruise-7c8e53f8d151a9db.d: examples/adaptive_cruise.rs
+
+/root/repo/target/debug/examples/adaptive_cruise-7c8e53f8d151a9db: examples/adaptive_cruise.rs
+
+examples/adaptive_cruise.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/adaptive_cruise-d19f0a51f8358231.d: examples/adaptive_cruise.rs Cargo.toml
+
+/root/repo/target/debug/examples/libadaptive_cruise-d19f0a51f8358231.rmeta: examples/adaptive_cruise.rs Cargo.toml
+
+examples/adaptive_cruise.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

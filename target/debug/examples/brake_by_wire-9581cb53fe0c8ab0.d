@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/brake_by_wire-9581cb53fe0c8ab0.d: examples/brake_by_wire.rs
+
+/root/repo/target/debug/examples/brake_by_wire-9581cb53fe0c8ab0: examples/brake_by_wire.rs
+
+examples/brake_by_wire.rs:

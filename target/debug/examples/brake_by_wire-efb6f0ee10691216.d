@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/brake_by_wire-efb6f0ee10691216.d: examples/brake_by_wire.rs Cargo.toml
+
+/root/repo/target/debug/examples/libbrake_by_wire-efb6f0ee10691216.rmeta: examples/brake_by_wire.rs Cargo.toml
+
+examples/brake_by_wire.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/dual_channel_failover-4173a4cc115ba67f.d: examples/dual_channel_failover.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdual_channel_failover-4173a4cc115ba67f.rmeta: examples/dual_channel_failover.rs Cargo.toml
+
+examples/dual_channel_failover.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

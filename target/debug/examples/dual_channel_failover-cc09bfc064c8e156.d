@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/dual_channel_failover-cc09bfc064c8e156.d: examples/dual_channel_failover.rs
+
+/root/repo/target/debug/examples/dual_channel_failover-cc09bfc064c8e156: examples/dual_channel_failover.rs
+
+examples/dual_channel_failover.rs:

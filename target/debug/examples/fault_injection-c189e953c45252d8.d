@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/fault_injection-c189e953c45252d8.d: examples/fault_injection.rs
+
+/root/repo/target/debug/examples/fault_injection-c189e953c45252d8: examples/fault_injection.rs
+
+examples/fault_injection.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/probe_static_miss-4b9f45007a5ce596.d: crates/coefficient/examples/probe_static_miss.rs
+
+/root/repo/target/debug/examples/probe_static_miss-4b9f45007a5ce596: crates/coefficient/examples/probe_static_miss.rs
+
+crates/coefficient/examples/probe_static_miss.rs:

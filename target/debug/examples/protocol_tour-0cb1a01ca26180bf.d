@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/protocol_tour-0cb1a01ca26180bf.d: examples/protocol_tour.rs Cargo.toml
+
+/root/repo/target/debug/examples/libprotocol_tour-0cb1a01ca26180bf.rmeta: examples/protocol_tour.rs Cargo.toml
+
+examples/protocol_tour.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/protocol_tour-fff0d60358f6545a.d: examples/protocol_tour.rs
+
+/root/repo/target/debug/examples/protocol_tour-fff0d60358f6545a: examples/protocol_tour.rs
+
+examples/protocol_tour.rs:

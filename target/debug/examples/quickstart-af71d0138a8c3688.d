@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-af71d0138a8c3688.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-af71d0138a8c3688: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/scratch-717af2b325c2b4b3.d: crates/coefficient/examples/scratch.rs
+
+/root/repo/target/debug/examples/scratch-717af2b325c2b4b3: crates/coefficient/examples/scratch.rs
+
+crates/coefficient/examples/scratch.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/slack_stealing-da78300d2597da16.d: examples/slack_stealing.rs Cargo.toml
+
+/root/repo/target/debug/examples/libslack_stealing-da78300d2597da16.rmeta: examples/slack_stealing.rs Cargo.toml
+
+examples/slack_stealing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

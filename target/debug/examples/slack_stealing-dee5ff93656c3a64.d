@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/slack_stealing-dee5ff93656c3a64.d: examples/slack_stealing.rs
+
+/root/repo/target/debug/examples/slack_stealing-dee5ff93656c3a64: examples/slack_stealing.rs
+
+examples/slack_stealing.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/bench_harness-f16a6c243fb93fde.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/json.rs crates/bench/src/sweep.rs crates/bench/src/table.rs crates/bench/src/timing.rs
+
+/root/repo/target/release/deps/libbench_harness-f16a6c243fb93fde.rlib: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/json.rs crates/bench/src/sweep.rs crates/bench/src/table.rs crates/bench/src/timing.rs
+
+/root/repo/target/release/deps/libbench_harness-f16a6c243fb93fde.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/json.rs crates/bench/src/sweep.rs crates/bench/src/table.rs crates/bench/src/timing.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/json.rs:
+crates/bench/src/sweep.rs:
+crates/bench/src/table.rs:
+crates/bench/src/timing.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/coefficient-c1e5c4ef24a30678.d: crates/coefficient/src/lib.rs crates/coefficient/src/assignment.rs crates/coefficient/src/instance.rs crates/coefficient/src/policy.rs crates/coefficient/src/runner.rs crates/coefficient/src/scenario.rs crates/coefficient/src/sweep.rs
+
+/root/repo/target/release/deps/libcoefficient-c1e5c4ef24a30678.rlib: crates/coefficient/src/lib.rs crates/coefficient/src/assignment.rs crates/coefficient/src/instance.rs crates/coefficient/src/policy.rs crates/coefficient/src/runner.rs crates/coefficient/src/scenario.rs crates/coefficient/src/sweep.rs
+
+/root/repo/target/release/deps/libcoefficient-c1e5c4ef24a30678.rmeta: crates/coefficient/src/lib.rs crates/coefficient/src/assignment.rs crates/coefficient/src/instance.rs crates/coefficient/src/policy.rs crates/coefficient/src/runner.rs crates/coefficient/src/scenario.rs crates/coefficient/src/sweep.rs
+
+crates/coefficient/src/lib.rs:
+crates/coefficient/src/assignment.rs:
+crates/coefficient/src/instance.rs:
+crates/coefficient/src/policy.rs:
+crates/coefficient/src/runner.rs:
+crates/coefficient/src/scenario.rs:
+crates/coefficient/src/sweep.rs:

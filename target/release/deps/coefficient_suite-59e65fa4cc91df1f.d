@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/coefficient_suite-59e65fa4cc91df1f.d: src/lib.rs
+
+/root/repo/target/release/deps/libcoefficient_suite-59e65fa4cc91df1f.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libcoefficient_suite-59e65fa4cc91df1f.rmeta: src/lib.rs
+
+src/lib.rs:

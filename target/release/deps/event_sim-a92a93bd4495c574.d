@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/event_sim-a92a93bd4495c574.d: crates/event-sim/src/lib.rs crates/event-sim/src/engine.rs crates/event-sim/src/queue.rs crates/event-sim/src/rng.rs crates/event-sim/src/time.rs
+
+/root/repo/target/release/deps/libevent_sim-a92a93bd4495c574.rlib: crates/event-sim/src/lib.rs crates/event-sim/src/engine.rs crates/event-sim/src/queue.rs crates/event-sim/src/rng.rs crates/event-sim/src/time.rs
+
+/root/repo/target/release/deps/libevent_sim-a92a93bd4495c574.rmeta: crates/event-sim/src/lib.rs crates/event-sim/src/engine.rs crates/event-sim/src/queue.rs crates/event-sim/src/rng.rs crates/event-sim/src/time.rs
+
+crates/event-sim/src/lib.rs:
+crates/event-sim/src/engine.rs:
+crates/event-sim/src/queue.rs:
+crates/event-sim/src/rng.rs:
+crates/event-sim/src/time.rs:

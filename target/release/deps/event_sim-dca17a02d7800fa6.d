@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/event_sim-dca17a02d7800fa6.d: crates/event-sim/src/lib.rs crates/event-sim/src/engine.rs crates/event-sim/src/queue.rs crates/event-sim/src/rng.rs crates/event-sim/src/time.rs
+
+/root/repo/target/release/deps/libevent_sim-dca17a02d7800fa6.rlib: crates/event-sim/src/lib.rs crates/event-sim/src/engine.rs crates/event-sim/src/queue.rs crates/event-sim/src/rng.rs crates/event-sim/src/time.rs
+
+/root/repo/target/release/deps/libevent_sim-dca17a02d7800fa6.rmeta: crates/event-sim/src/lib.rs crates/event-sim/src/engine.rs crates/event-sim/src/queue.rs crates/event-sim/src/rng.rs crates/event-sim/src/time.rs
+
+crates/event-sim/src/lib.rs:
+crates/event-sim/src/engine.rs:
+crates/event-sim/src/queue.rs:
+crates/event-sim/src/rng.rs:
+crates/event-sim/src/time.rs:

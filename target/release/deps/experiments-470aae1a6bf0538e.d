@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/experiments-470aae1a6bf0538e.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/release/deps/experiments-470aae1a6bf0538e: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

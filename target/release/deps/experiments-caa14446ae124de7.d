@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/experiments-caa14446ae124de7.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/release/deps/experiments-caa14446ae124de7: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

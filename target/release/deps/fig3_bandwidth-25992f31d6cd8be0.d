@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig3_bandwidth-25992f31d6cd8be0.d: crates/bench/benches/fig3_bandwidth.rs
+
+/root/repo/target/release/deps/fig3_bandwidth-25992f31d6cd8be0: crates/bench/benches/fig3_bandwidth.rs
+
+crates/bench/benches/fig3_bandwidth.rs:

@@ -1,0 +1,24 @@
+/root/repo/target/release/deps/flexray-33c918ef6c214005.d: crates/flexray/src/lib.rs crates/flexray/src/bitstream.rs crates/flexray/src/bus.rs crates/flexray/src/chi.rs crates/flexray/src/codec.rs crates/flexray/src/config.rs crates/flexray/src/controller.rs crates/flexray/src/crc.rs crates/flexray/src/frame.rs crates/flexray/src/node.rs crates/flexray/src/poc.rs crates/flexray/src/schedule.rs crates/flexray/src/signal.rs crates/flexray/src/startup.rs crates/flexray/src/sync.rs crates/flexray/src/topology.rs crates/flexray/src/channel.rs crates/flexray/src/error.rs
+
+/root/repo/target/release/deps/libflexray-33c918ef6c214005.rlib: crates/flexray/src/lib.rs crates/flexray/src/bitstream.rs crates/flexray/src/bus.rs crates/flexray/src/chi.rs crates/flexray/src/codec.rs crates/flexray/src/config.rs crates/flexray/src/controller.rs crates/flexray/src/crc.rs crates/flexray/src/frame.rs crates/flexray/src/node.rs crates/flexray/src/poc.rs crates/flexray/src/schedule.rs crates/flexray/src/signal.rs crates/flexray/src/startup.rs crates/flexray/src/sync.rs crates/flexray/src/topology.rs crates/flexray/src/channel.rs crates/flexray/src/error.rs
+
+/root/repo/target/release/deps/libflexray-33c918ef6c214005.rmeta: crates/flexray/src/lib.rs crates/flexray/src/bitstream.rs crates/flexray/src/bus.rs crates/flexray/src/chi.rs crates/flexray/src/codec.rs crates/flexray/src/config.rs crates/flexray/src/controller.rs crates/flexray/src/crc.rs crates/flexray/src/frame.rs crates/flexray/src/node.rs crates/flexray/src/poc.rs crates/flexray/src/schedule.rs crates/flexray/src/signal.rs crates/flexray/src/startup.rs crates/flexray/src/sync.rs crates/flexray/src/topology.rs crates/flexray/src/channel.rs crates/flexray/src/error.rs
+
+crates/flexray/src/lib.rs:
+crates/flexray/src/bitstream.rs:
+crates/flexray/src/bus.rs:
+crates/flexray/src/chi.rs:
+crates/flexray/src/codec.rs:
+crates/flexray/src/config.rs:
+crates/flexray/src/controller.rs:
+crates/flexray/src/crc.rs:
+crates/flexray/src/frame.rs:
+crates/flexray/src/node.rs:
+crates/flexray/src/poc.rs:
+crates/flexray/src/schedule.rs:
+crates/flexray/src/signal.rs:
+crates/flexray/src/startup.rs:
+crates/flexray/src/sync.rs:
+crates/flexray/src/topology.rs:
+crates/flexray/src/channel.rs:
+crates/flexray/src/error.rs:

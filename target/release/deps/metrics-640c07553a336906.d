@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/metrics-640c07553a336906.d: crates/metrics/src/lib.rs crates/metrics/src/aggregate.rs crates/metrics/src/deadline.rs crates/metrics/src/histogram.rs crates/metrics/src/stats.rs crates/metrics/src/utilization.rs
+
+/root/repo/target/release/deps/libmetrics-640c07553a336906.rlib: crates/metrics/src/lib.rs crates/metrics/src/aggregate.rs crates/metrics/src/deadline.rs crates/metrics/src/histogram.rs crates/metrics/src/stats.rs crates/metrics/src/utilization.rs
+
+/root/repo/target/release/deps/libmetrics-640c07553a336906.rmeta: crates/metrics/src/lib.rs crates/metrics/src/aggregate.rs crates/metrics/src/deadline.rs crates/metrics/src/histogram.rs crates/metrics/src/stats.rs crates/metrics/src/utilization.rs
+
+crates/metrics/src/lib.rs:
+crates/metrics/src/aggregate.rs:
+crates/metrics/src/deadline.rs:
+crates/metrics/src/histogram.rs:
+crates/metrics/src/stats.rs:
+crates/metrics/src/utilization.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/metrics-d5463c48f73e05ae.d: crates/metrics/src/lib.rs crates/metrics/src/aggregate.rs crates/metrics/src/deadline.rs crates/metrics/src/histogram.rs crates/metrics/src/stats.rs crates/metrics/src/utilization.rs
+
+/root/repo/target/release/deps/libmetrics-d5463c48f73e05ae.rlib: crates/metrics/src/lib.rs crates/metrics/src/aggregate.rs crates/metrics/src/deadline.rs crates/metrics/src/histogram.rs crates/metrics/src/stats.rs crates/metrics/src/utilization.rs
+
+/root/repo/target/release/deps/libmetrics-d5463c48f73e05ae.rmeta: crates/metrics/src/lib.rs crates/metrics/src/aggregate.rs crates/metrics/src/deadline.rs crates/metrics/src/histogram.rs crates/metrics/src/stats.rs crates/metrics/src/utilization.rs
+
+crates/metrics/src/lib.rs:
+crates/metrics/src/aggregate.rs:
+crates/metrics/src/deadline.rs:
+crates/metrics/src/histogram.rs:
+crates/metrics/src/stats.rs:
+crates/metrics/src/utilization.rs:

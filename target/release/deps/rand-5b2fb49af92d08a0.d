@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-5b2fb49af92d08a0.d: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-5b2fb49af92d08a0.rlib: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-5b2fb49af92d08a0.rmeta: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-6e88a74c40e1d30d.d: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-6e88a74c40e1d30d.rlib: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-6e88a74c40e1d30d.rmeta: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/reliability-7c2280dbe29b5eb9.d: crates/reliability/src/lib.rs crates/reliability/src/ber.rs crates/reliability/src/fault.rs crates/reliability/src/message.rs crates/reliability/src/plan.rs crates/reliability/src/sil.rs crates/reliability/src/theorem.rs
+
+/root/repo/target/release/deps/libreliability-7c2280dbe29b5eb9.rlib: crates/reliability/src/lib.rs crates/reliability/src/ber.rs crates/reliability/src/fault.rs crates/reliability/src/message.rs crates/reliability/src/plan.rs crates/reliability/src/sil.rs crates/reliability/src/theorem.rs
+
+/root/repo/target/release/deps/libreliability-7c2280dbe29b5eb9.rmeta: crates/reliability/src/lib.rs crates/reliability/src/ber.rs crates/reliability/src/fault.rs crates/reliability/src/message.rs crates/reliability/src/plan.rs crates/reliability/src/sil.rs crates/reliability/src/theorem.rs
+
+crates/reliability/src/lib.rs:
+crates/reliability/src/ber.rs:
+crates/reliability/src/fault.rs:
+crates/reliability/src/message.rs:
+crates/reliability/src/plan.rs:
+crates/reliability/src/sil.rs:
+crates/reliability/src/theorem.rs:

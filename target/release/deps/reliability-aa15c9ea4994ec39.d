@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/reliability-aa15c9ea4994ec39.d: crates/reliability/src/lib.rs crates/reliability/src/ber.rs crates/reliability/src/fault.rs crates/reliability/src/message.rs crates/reliability/src/plan.rs crates/reliability/src/sil.rs crates/reliability/src/theorem.rs
+
+/root/repo/target/release/deps/libreliability-aa15c9ea4994ec39.rlib: crates/reliability/src/lib.rs crates/reliability/src/ber.rs crates/reliability/src/fault.rs crates/reliability/src/message.rs crates/reliability/src/plan.rs crates/reliability/src/sil.rs crates/reliability/src/theorem.rs
+
+/root/repo/target/release/deps/libreliability-aa15c9ea4994ec39.rmeta: crates/reliability/src/lib.rs crates/reliability/src/ber.rs crates/reliability/src/fault.rs crates/reliability/src/message.rs crates/reliability/src/plan.rs crates/reliability/src/sil.rs crates/reliability/src/theorem.rs
+
+crates/reliability/src/lib.rs:
+crates/reliability/src/ber.rs:
+crates/reliability/src/fault.rs:
+crates/reliability/src/message.rs:
+crates/reliability/src/plan.rs:
+crates/reliability/src/sil.rs:
+crates/reliability/src/theorem.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sweep_speedup-47d6003c366c3c06.d: crates/bench/benches/sweep_speedup.rs
+
+/root/repo/target/release/deps/sweep_speedup-47d6003c366c3c06: crates/bench/benches/sweep_speedup.rs
+
+crates/bench/benches/sweep_speedup.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/tasks-3b81151a557b22fe.d: crates/tasks/src/lib.rs crates/tasks/src/analysis.rs crates/tasks/src/aperiodic.rs crates/tasks/src/hyperperiod.rs crates/tasks/src/response_time.rs crates/tasks/src/simulator.rs crates/tasks/src/slack.rs crates/tasks/src/stealer.rs crates/tasks/src/task.rs crates/tasks/src/taskset.rs crates/tasks/src/trace.rs
+
+/root/repo/target/release/deps/libtasks-3b81151a557b22fe.rlib: crates/tasks/src/lib.rs crates/tasks/src/analysis.rs crates/tasks/src/aperiodic.rs crates/tasks/src/hyperperiod.rs crates/tasks/src/response_time.rs crates/tasks/src/simulator.rs crates/tasks/src/slack.rs crates/tasks/src/stealer.rs crates/tasks/src/task.rs crates/tasks/src/taskset.rs crates/tasks/src/trace.rs
+
+/root/repo/target/release/deps/libtasks-3b81151a557b22fe.rmeta: crates/tasks/src/lib.rs crates/tasks/src/analysis.rs crates/tasks/src/aperiodic.rs crates/tasks/src/hyperperiod.rs crates/tasks/src/response_time.rs crates/tasks/src/simulator.rs crates/tasks/src/slack.rs crates/tasks/src/stealer.rs crates/tasks/src/task.rs crates/tasks/src/taskset.rs crates/tasks/src/trace.rs
+
+crates/tasks/src/lib.rs:
+crates/tasks/src/analysis.rs:
+crates/tasks/src/aperiodic.rs:
+crates/tasks/src/hyperperiod.rs:
+crates/tasks/src/response_time.rs:
+crates/tasks/src/simulator.rs:
+crates/tasks/src/slack.rs:
+crates/tasks/src/stealer.rs:
+crates/tasks/src/task.rs:
+crates/tasks/src/taskset.rs:
+crates/tasks/src/trace.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/workloads-2056b03f1fa87197.d: crates/workloads/src/lib.rs crates/workloads/src/acc.rs crates/workloads/src/bbw.rs crates/workloads/src/sae.rs crates/workloads/src/synthetic.rs
+
+/root/repo/target/release/deps/libworkloads-2056b03f1fa87197.rlib: crates/workloads/src/lib.rs crates/workloads/src/acc.rs crates/workloads/src/bbw.rs crates/workloads/src/sae.rs crates/workloads/src/synthetic.rs
+
+/root/repo/target/release/deps/libworkloads-2056b03f1fa87197.rmeta: crates/workloads/src/lib.rs crates/workloads/src/acc.rs crates/workloads/src/bbw.rs crates/workloads/src/sae.rs crates/workloads/src/synthetic.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/acc.rs:
+crates/workloads/src/bbw.rs:
+crates/workloads/src/sae.rs:
+crates/workloads/src/synthetic.rs:

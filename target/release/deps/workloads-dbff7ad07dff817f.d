@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/workloads-dbff7ad07dff817f.d: crates/workloads/src/lib.rs crates/workloads/src/acc.rs crates/workloads/src/bbw.rs crates/workloads/src/sae.rs crates/workloads/src/synthetic.rs
+
+/root/repo/target/release/deps/libworkloads-dbff7ad07dff817f.rlib: crates/workloads/src/lib.rs crates/workloads/src/acc.rs crates/workloads/src/bbw.rs crates/workloads/src/sae.rs crates/workloads/src/synthetic.rs
+
+/root/repo/target/release/deps/libworkloads-dbff7ad07dff817f.rmeta: crates/workloads/src/lib.rs crates/workloads/src/acc.rs crates/workloads/src/bbw.rs crates/workloads/src/sae.rs crates/workloads/src/synthetic.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/acc.rs:
+crates/workloads/src/bbw.rs:
+crates/workloads/src/sae.rs:
+crates/workloads/src/synthetic.rs:

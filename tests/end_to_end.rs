@@ -23,10 +23,19 @@ fn config(policy: Policy, stop: StopCondition, seed: u64) -> RunConfig {
 #[test]
 fn coefficient_dominates_fspec_on_every_headline_metric() {
     let horizon = StopCondition::Horizon(SimDuration::from_secs(1));
-    let co = Runner::new(config(Policy::CoEfficient, horizon, 3)).unwrap().run();
-    let fs = Runner::new(config(Policy::Fspec, horizon, 3)).unwrap().run();
+    let co = Runner::new(config(Policy::CoEfficient, horizon, 3))
+        .unwrap()
+        .run();
+    let fs = Runner::new(config(Policy::Fspec, horizon, 3))
+        .unwrap()
+        .run();
 
-    assert!(co.delivered >= fs.delivered, "delivery: {} vs {}", co.delivered, fs.delivered);
+    assert!(
+        co.delivered >= fs.delivered,
+        "delivery: {} vs {}",
+        co.delivered,
+        fs.delivered
+    );
     assert!(
         co.utilization > fs.utilization,
         "utilization: {} vs {}",
@@ -53,20 +62,32 @@ fn runs_are_deterministic_under_a_seed() {
         assert_eq!(a.delivered, b.delivered);
         assert_eq!(a.frames, b.frames);
         assert_eq!(a.corrupted, b.corrupted);
-        assert_eq!(a.static_latency.total_nanos(), b.static_latency.total_nanos());
+        assert_eq!(
+            a.static_latency.total_nanos(),
+            b.static_latency.total_nanos()
+        );
     }
 }
 
 #[test]
 fn different_seeds_change_fault_patterns_not_structure() {
     let stop = StopCondition::Horizon(SimDuration::from_millis(300));
-    let a = Runner::new(config(Policy::CoEfficient, stop, 1)).unwrap().run();
-    let b = Runner::new(config(Policy::CoEfficient, stop, 2)).unwrap().run();
+    let a = Runner::new(config(Policy::CoEfficient, stop, 1))
+        .unwrap()
+        .run();
+    let b = Runner::new(config(Policy::CoEfficient, stop, 2))
+        .unwrap()
+        .run();
     // Same workload structure: produced counts may differ only through the
     // random SAE arrival phases, which are bounded by one extra instance
     // per message.
     let diff = (a.produced as i64 - b.produced as i64).unsigned_abs();
-    assert!(diff <= 30, "produced counts diverged: {} vs {}", a.produced, b.produced);
+    assert!(
+        diff <= 30,
+        "produced counts diverged: {} vs {}",
+        a.produced,
+        b.produced
+    );
 }
 
 #[test]
@@ -92,11 +113,18 @@ fn fault_free_run_delivers_everything_without_corruption() {
         );
         delivered[i] = report.delivered;
     }
-    assert!(delivered[0] > delivered[1], "CoEfficient rescues more instances");
+    assert!(
+        delivered[0] > delivered[1],
+        "CoEfficient rescues more instances"
+    );
 
     // On a geometry where every period is at least one cycle, CoEfficient
     // delivers every single instance.
-    let mut cfg = config(Policy::CoEfficient, StopCondition::ProducedInstances(300), 5);
+    let mut cfg = config(
+        Policy::CoEfficient,
+        StopCondition::ProducedInstances(300),
+        5,
+    );
     cfg.scenario = Scenario::fault_free();
     cfg.static_messages = workloads::acc::message_set(); // periods 16–32 ms
     let report = Runner::new(cfg).unwrap().run();
@@ -125,7 +153,11 @@ fn utilization_stays_in_bounds_and_wire_below_allocated() {
     ))
     .unwrap()
     .run();
-    for u in [report.utilization_a, report.utilization_b, report.utilization] {
+    for u in [
+        report.utilization_a,
+        report.utilization_b,
+        report.utilization,
+    ] {
         assert!((0.0..=1.0).contains(&u), "utilization out of bounds: {u}");
     }
     assert!(
@@ -162,7 +194,10 @@ fn coefficient_actually_uses_the_cooperative_machinery() {
     .unwrap()
     .run();
     assert!(report.early_copies_sent > 0, "early copies never fired");
-    assert!(report.copy_transmissions > 0, "no retransmission copies sent");
+    assert!(
+        report.copy_transmissions > 0,
+        "no retransmission copies sent"
+    );
     let fs = Runner::new(config(
         Policy::Fspec,
         StopCondition::Horizon(SimDuration::from_millis(500)),

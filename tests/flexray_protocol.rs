@@ -131,7 +131,11 @@ fn corrupted_frames_are_flagged_but_still_occupy_the_bus() {
     );
     engine.record_outcomes(true);
     engine.run_cycle(0, &mut cluster);
-    assert_eq!(engine.outcomes().len(), 2, "A and B copies both transmitted");
+    assert_eq!(
+        engine.outcomes().len(),
+        2,
+        "A and B copies both transmitted"
+    );
     assert!(engine.outcomes().iter().all(|o| o.corrupted));
     assert!(engine.stats(ChannelId::A).busy > event_sim::SimDuration::ZERO);
 }
@@ -171,5 +175,8 @@ fn engine_statistics_are_internally_consistent() {
     let a = engine.stats(ChannelId::A);
     // Every static slot is either a frame or idle.
     assert_eq!(a.frames + a.idle_static_slots, 8 * slots_per_cycle);
-    assert!(a.occupied >= a.busy, "slot-granular time includes the wire time");
+    assert!(
+        a.occupied >= a.busy,
+        "slot-granular time includes the wire time"
+    );
 }

@@ -7,25 +7,26 @@ use tasks::{AperiodicJob, PeriodicTask, SlackStealer, TaskSet};
 
 /// Strategy: a schedulable periodic task set (utilization kept under 70%).
 fn schedulable_task_set() -> impl Strategy<Value = TaskSet> {
-    proptest::collection::vec((1u64..=3, 0usize..4), 1..5).prop_map(|raw| {
-        // Periods from a divisor-friendly palette keep hyperperiods small.
-        const PERIODS: [u64; 4] = [8, 16, 24, 48];
-        let tasks: Vec<PeriodicTask> = raw
-            .iter()
-            .enumerate()
-            .map(|(i, &(wcet_ms, p_idx))| {
-                let period = PERIODS[p_idx];
-                PeriodicTask::new(
-                    i as u32,
-                    SimDuration::from_millis(wcet_ms),
-                    SimDuration::from_millis(period),
-                    SimDuration::from_millis(period),
-                )
-            })
-            .collect();
-        TaskSet::deadline_monotonic(tasks).unwrap()
-    })
-    .prop_filter("keep utilization below 0.7", |set| set.utilization() < 0.7)
+    proptest::collection::vec((1u64..=3, 0usize..4), 1..5)
+        .prop_map(|raw| {
+            // Periods from a divisor-friendly palette keep hyperperiods small.
+            const PERIODS: [u64; 4] = [8, 16, 24, 48];
+            let tasks: Vec<PeriodicTask> = raw
+                .iter()
+                .enumerate()
+                .map(|(i, &(wcet_ms, p_idx))| {
+                    let period = PERIODS[p_idx];
+                    PeriodicTask::new(
+                        i as u32,
+                        SimDuration::from_millis(wcet_ms),
+                        SimDuration::from_millis(period),
+                        SimDuration::from_millis(period),
+                    )
+                })
+                .collect();
+            TaskSet::deadline_monotonic(tasks).unwrap()
+        })
+        .prop_filter("keep utilization below 0.7", |set| set.utilization() < 0.7)
 }
 
 proptest! {
@@ -196,5 +197,91 @@ proptest! {
                 .round() as u64;
             prop_assert_eq!(used, expected);
         }
+    }
+}
+
+proptest! {
+    // Each case runs four full end-to-end simulations; keep the count modest.
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// CoEfficient steals static-segment slack for extra transmissions, but
+    /// must never trade away a hard periodic guarantee. Two faces of that
+    /// invariant, probed under randomized static sets and dynamic load:
+    ///
+    /// (a) when periods are multiples of the 5 ms cycle the slot schedule
+    ///     alone is feasible, and the full scheme misses *nothing*;
+    /// (b) when periods are misaligned with the cycle (ACC-like), plain
+    ///     slot repetition is structurally late for some instances —
+    ///     stealing may rescue them but must never *create* a miss
+    ///     relative to the stealing-free baseline on the same input.
+    #[test]
+    fn slack_stealing_never_misses_a_static_deadline(
+        period_sel in proptest::collection::vec(0usize..4, 1..13),
+        dyn_seed in 0u64..1_000,
+        run_seed in 0u64..1_000,
+        horizon_ms in 25u64..60,
+    ) {
+        use coefficient::{
+            CoefficientOptions, Policy, RunConfig, Runner, Scenario, StopCondition,
+        };
+        use flexray::config::ClusterConfig;
+        use flexray::signal::Signal;
+        use workloads::sae::IdRange;
+
+        let statics = |palette: &[u64; 4]| -> Vec<Signal> {
+            period_sel
+                .iter()
+                .enumerate()
+                .map(|(i, &p)| {
+                    let period = SimDuration::from_millis(palette[p]);
+                    Signal::new(i as u32 + 1, period, SimDuration::ZERO, period, 64 + 16 * (i as u32 % 8))
+                })
+                .collect()
+        };
+        let run = |static_messages: Vec<Signal>, options: CoefficientOptions| {
+            let cfg = RunConfig {
+                cluster: ClusterConfig::paper_mixed(50),
+                scenario: Scenario::fault_free(),
+                static_messages,
+                dynamic_messages: workloads::sae::message_set(IdRange::For80Slots, dyn_seed),
+                policy: Policy::CoEfficient,
+                stop: StopCondition::Horizon(SimDuration::from_millis(horizon_ms)),
+                seed: run_seed,
+            };
+            Runner::new_with_options(cfg, options)
+                .expect("palette keeps the allocation feasible")
+                .run()
+        };
+
+        let aligned = run(statics(&[5, 10, 20, 40]), CoefficientOptions::default());
+        prop_assert!(
+            aligned.static_deadlines.missed() == 0,
+            "aligned geometry missed {} static deadline(s) \
+             (dyn_seed {dyn_seed}, run_seed {run_seed})",
+            aligned.static_deadlines.missed()
+        );
+        // Guard against a vacuous pass: the horizon must cover instances.
+        prop_assert!(aligned.static_deadlines.met() > 0, "no static instances observed");
+
+        let no_steal = CoefficientOptions {
+            early_copies: false,
+            cooperative_dynamic: false,
+            ..Default::default()
+        };
+        let stealing = run(statics(&[8, 16, 25, 32]), CoefficientOptions::default());
+        let baseline = run(statics(&[8, 16, 25, 32]), no_steal);
+        prop_assert!(
+            stealing.static_deadlines.missed() <= baseline.static_deadlines.missed(),
+            "stealing created misses: {} with vs {} without \
+             (dyn_seed {dyn_seed}, run_seed {run_seed})",
+            stealing.static_deadlines.missed(),
+            baseline.static_deadlines.missed()
+        );
+        prop_assert!(
+            stealing.static_deadlines.met() >= baseline.static_deadlines.met(),
+            "stealing lost on-time instances: {} with vs {} without",
+            stealing.static_deadlines.met(),
+            baseline.static_deadlines.met()
+        );
     }
 }

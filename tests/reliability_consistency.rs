@@ -2,10 +2,9 @@
 //! the planner, the SIL goals) and the simulated fault injection.
 
 use event_sim::SimDuration;
+use proptest::prelude::*;
 use reliability::fault::{BernoulliFaults, FaultProcess};
-use reliability::{
-    success_probability, Ber, MessageReliability, RetransmissionPlanner, SilLevel,
-};
+use reliability::{success_probability, Ber, MessageReliability, RetransmissionPlanner, SilLevel};
 
 #[test]
 fn injected_fault_rate_matches_analytical_probability() {
@@ -78,7 +77,9 @@ fn sil_goals_order_the_required_redundancy() {
     let msgs: Vec<MessageReliability> = (0..5)
         .map(|i| MessageReliability::from_ber(i, 1500, SimDuration::from_millis(10), ber))
         .collect();
-    let planner = RetransmissionPlanner::new(msgs).unit(unit).max_retransmissions(12);
+    let planner = RetransmissionPlanner::new(msgs)
+        .unit(unit)
+        .max_retransmissions(12);
     let mut prev_cost = 0u64;
     for level in SilLevel::ALL {
         let goal = level.reliability_goal(unit);
@@ -108,4 +109,112 @@ fn theorem_matches_brute_force_enumeration() {
     let analytical = success_probability(&msgs, &[1, 0], unit);
     let brute = (1.0 - p1 * p1) * (1.0 - p2);
     assert!((analytical - brute).abs() < 1e-12);
+}
+
+// ---------------------------------------------------------------------------
+// Theorem 1 property tests
+// ---------------------------------------------------------------------------
+
+/// Plans retransmissions for a single message and returns its `k_z`.
+fn singleton_k(ber: Ber, bits: u32, goal: f64) -> u32 {
+    let msgs = vec![MessageReliability::from_ber(
+        1,
+        bits,
+        SimDuration::from_millis(10),
+        ber,
+    )];
+    let plan = RetransmissionPlanner::new(msgs)
+        .unit(SimDuration::from_millis(100))
+        .max_retransmissions(40)
+        .plan_for_goal(goal)
+        .expect("goal reachable under a generous cap");
+    plan.retransmission_counts()[0]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Theorem 1, channel-quality direction: a worse channel (higher BER)
+    /// never needs *fewer* retransmissions of a message to reach the same
+    /// reliability goal ρ.
+    #[test]
+    fn k_is_monotone_in_ber(
+        exp_a in 4u32..9,
+        exp_b in 4u32..9,
+        bits in 64u32..4000,
+        goal_exp in 2u32..5,
+    ) {
+        let (lo_exp, hi_exp) = (exp_a.max(exp_b), exp_a.min(exp_b));
+        let lo_ber = Ber::new(10f64.powi(-(lo_exp as i32))).unwrap();
+        let hi_ber = Ber::new(10f64.powi(-(hi_exp as i32))).unwrap();
+        let goal = 1.0 - 10f64.powi(-(goal_exp as i32));
+        let k_lo = singleton_k(lo_ber, bits, goal);
+        let k_hi = singleton_k(hi_ber, bits, goal);
+        prop_assert!(
+            k_hi >= k_lo,
+            "BER 1e-{hi_exp} planned k={k_hi} below BER 1e-{lo_exp} k={k_lo}"
+        );
+    }
+
+    /// Theorem 1, frame-size direction: a longer frame W_z has a higher
+    /// corruption probability per try, so its planned `k_z` never drops as
+    /// the frame grows.
+    #[test]
+    fn k_is_monotone_in_frame_size(
+        bits_a in 64u32..4000,
+        bits_b in 64u32..4000,
+        ber_exp in 4u32..8,
+        goal_exp in 2u32..5,
+    ) {
+        let (small, large) = (bits_a.min(bits_b), bits_a.max(bits_b));
+        let ber = Ber::new(10f64.powi(-(ber_exp as i32))).unwrap();
+        let goal = 1.0 - 10f64.powi(-(goal_exp as i32));
+        let k_small = singleton_k(ber, small, goal);
+        let k_large = singleton_k(ber, large, goal);
+        prop_assert!(
+            k_large >= k_small,
+            "{large} bits planned k={k_large} below {small} bits k={k_small}"
+        );
+    }
+
+    /// Theorem 1, the bound itself: recompute the product
+    /// `Π_z (1 − p_z^{k_z+1})^{instances}` independently from the planner's
+    /// chosen counts and check it actually meets ρ.
+    #[test]
+    fn planned_counts_meet_the_product_bound(
+        sizes in proptest::collection::vec(64u32..3000, 1..6),
+        ber_exp in 4u32..8,
+        goal_exp in 2u32..5,
+    ) {
+        let ber = Ber::new(10f64.powi(-(ber_exp as i32))).unwrap();
+        let unit = SimDuration::from_millis(200);
+        let msgs: Vec<MessageReliability> = sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &bits)| {
+                MessageReliability::from_ber(
+                    i as u32,
+                    bits,
+                    SimDuration::from_millis(10 + 10 * i as u64),
+                    ber,
+                )
+            })
+            .collect();
+        let goal = 1.0 - 10f64.powi(-(goal_exp as i32));
+        let plan = RetransmissionPlanner::new(msgs.clone())
+            .unit(unit)
+            .max_retransmissions(40)
+            .plan_for_goal(goal)
+            .unwrap();
+        // Independent recomputation, not the plan's own cached number.
+        let bound = success_probability(&msgs, plan.retransmission_counts(), unit);
+        prop_assert!(
+            bound >= goal,
+            "recomputed product bound {bound} misses goal {goal} \
+             (counts {:?})",
+            plan.retransmission_counts()
+        );
+        // And the plan's own report agrees with the theorem evaluation.
+        prop_assert!((bound - plan.success_probability()).abs() < 1e-9);
+    }
 }

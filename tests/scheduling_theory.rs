@@ -3,8 +3,8 @@
 
 use event_sim::{SimDuration, SimTime};
 use tasks::{
-    response_time, simulate, AperiodicJob, JobSource, PeriodicTask, SimulateOptions,
-    SlackStealer, SlackTable, TaskSet,
+    response_time, simulate, AperiodicJob, JobSource, PeriodicTask, SimulateOptions, SlackStealer,
+    SlackTable, TaskSet,
 };
 
 fn ms(v: u64) -> SimDuration {

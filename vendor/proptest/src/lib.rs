@@ -1,0 +1,484 @@
+//! Offline drop-in for the subset of the `proptest` 1.x API this workspace
+//! uses.
+//!
+//! The build environment has no crates.io access, so the real `proptest`
+//! cannot be fetched. This shim reimplements the pieces the workspace's
+//! property tests rely on:
+//!
+//! * the [`Strategy`] trait with [`Strategy::prop_map`] and
+//!   [`Strategy::prop_filter`];
+//! * integer-range and tuple strategies, and [`collection::vec`];
+//! * the [`proptest!`] macro (with optional `#![proptest_config(..)]`),
+//!   [`prop_assert!`], [`prop_assert_eq!`] and [`prop_assert_ne!`];
+//! * [`ProptestConfig::with_cases`].
+//!
+//! Differences from upstream: cases are sampled from a deterministic
+//! per-test seed (no `PROPTEST_` env handling) and there is **no
+//! shrinking** — a failing case panics with the sampled input's `Debug`
+//! representation so it can be pasted into a unit test.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use std::fmt;
+use std::ops::{Range, RangeInclusive};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SampleUniform, SeedableRng};
+
+/// A sample was rejected (by `prop_filter`); the runner retries.
+#[derive(Debug, Clone)]
+pub struct Rejection {
+    /// Human-readable reason, shown if the retry budget is exhausted.
+    pub reason: String,
+}
+
+/// Why a test case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// An assertion failed; the property is violated.
+    Fail(String),
+    /// The case asked to be discarded (counts against the retry budget).
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// Builds a failure.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+}
+
+/// Outcome of one test-case execution.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Something that can generate values of `Self::Value`.
+pub trait Strategy {
+    /// The generated type. `Debug` so failing inputs can be reported.
+    type Value: fmt::Debug;
+
+    /// Draws one value, or rejects (filter miss).
+    ///
+    /// # Errors
+    /// Returns [`Rejection`] when a `prop_filter` discards the draw.
+    fn sample(&self, rng: &mut SmallRng) -> Result<Self::Value, Rejection>;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O: fmt::Debug, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Discards values for which `f` returns `false`; `reason` is reported
+    /// if the retry budget is exhausted.
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(
+        self,
+        reason: impl Into<String>,
+        f: F,
+    ) -> Filter<Self, F>
+    where
+        Self: Sized,
+    {
+        Filter {
+            inner: self,
+            reason: reason.into(),
+            f,
+        }
+    }
+}
+
+/// Strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone + fmt::Debug>(pub T);
+
+impl<T: Clone + fmt::Debug> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut SmallRng) -> Result<T, Rejection> {
+        Ok(self.0.clone())
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Debug)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O: fmt::Debug, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn sample(&self, rng: &mut SmallRng) -> Result<O, Rejection> {
+        self.inner.sample(rng).map(&self.f)
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+#[derive(Debug)]
+pub struct Filter<S, F> {
+    inner: S,
+    reason: String,
+    f: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+
+    fn sample(&self, rng: &mut SmallRng) -> Result<S::Value, Rejection> {
+        let v = self.inner.sample(rng)?;
+        if (self.f)(&v) {
+            Ok(v)
+        } else {
+            Err(Rejection {
+                reason: self.reason.clone(),
+            })
+        }
+    }
+}
+
+impl<T> Strategy for Range<T>
+where
+    T: SampleUniform + fmt::Debug + Copy,
+{
+    type Value = T;
+
+    fn sample(&self, rng: &mut SmallRng) -> Result<T, Rejection> {
+        Ok(rng.gen_range(self.start..self.end))
+    }
+}
+
+impl<T> Strategy for RangeInclusive<T>
+where
+    T: SampleUniform + fmt::Debug + Copy,
+{
+    type Value = T;
+
+    fn sample(&self, rng: &mut SmallRng) -> Result<T, Rejection> {
+        Ok(rng.gen_range(*self.start()..=*self.end()))
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($s:ident . $idx:tt),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn sample(&self, rng: &mut SmallRng) -> Result<Self::Value, Rejection> {
+                Ok(($(self.$idx.sample(rng)?,)+))
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A.0);
+impl_tuple_strategy!(A.0, B.1);
+impl_tuple_strategy!(A.0, B.1, C.2);
+impl_tuple_strategy!(A.0, B.1, C.2, D.3);
+
+/// Collection strategies.
+pub mod collection {
+    use super::{fmt, Range, Rejection, SmallRng, Strategy};
+    use rand::Rng;
+
+    /// Generates `Vec`s whose length is uniform in `size` and whose
+    /// elements come from `element`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    /// See [`vec`].
+    #[derive(Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: fmt::Debug,
+    {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut SmallRng) -> Result<Vec<S::Value>, Rejection> {
+            let len = rng.gen_range(self.size.start..self.size.end);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Runner configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// How many successful cases each property must pass.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    /// 64 cases — smaller than upstream's 256 because the workspace's
+    /// properties each drive a full bus simulation.
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Retry budget across a whole property: sampling rejections beyond this
+/// abort the test (mirrors upstream's global reject limit).
+const MAX_GLOBAL_REJECTS: u32 = 65_536;
+
+fn case_seed(name: &str, case: u32) -> u64 {
+    // FNV-1a over the test name, mixed with the case index (SplitMix64).
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = FNV_OFFSET;
+    for byte in name.as_bytes() {
+        h ^= u64::from(*byte);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    let mut z = h ^ (u64::from(case).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Drives one property: samples `config.cases` inputs from `strategy` and
+/// runs `test` on each. Panics on the first failing case, reporting the
+/// sampled input (no shrinking).
+///
+/// This is the support routine behind [`proptest!`]; call it directly only
+/// when generating cases outside the macro.
+///
+/// # Panics
+/// Panics if a case fails, if the body panics, or if the rejection budget
+/// is exhausted.
+pub fn run_cases<S: Strategy>(
+    config: &ProptestConfig,
+    name: &str,
+    strategy: &S,
+    test: impl Fn(S::Value) -> TestCaseResult,
+) {
+    let mut rejects = 0u32;
+    let mut case = 0u32;
+    let mut attempt = 0u32;
+    while case < config.cases {
+        let mut rng = SmallRng::seed_from_u64(case_seed(name, attempt));
+        attempt += 1;
+        let value = match strategy.sample(&mut rng) {
+            Ok(v) => v,
+            Err(rejection) => {
+                rejects += 1;
+                assert!(
+                    rejects <= MAX_GLOBAL_REJECTS,
+                    "proptest '{name}': too many rejections ({rejects}); last reason: {}",
+                    rejection.reason
+                );
+                continue;
+            }
+        };
+        let described = format!("{value:?}");
+        match catch_unwind(AssertUnwindSafe(|| test(value))) {
+            Ok(Ok(())) => case += 1,
+            Ok(Err(TestCaseError::Fail(msg))) => {
+                panic!("proptest '{name}' failed at case {case}: {msg}\n    input: {described}")
+            }
+            Ok(Err(TestCaseError::Reject(reason))) => {
+                rejects += 1;
+                assert!(
+                    rejects <= MAX_GLOBAL_REJECTS,
+                    "proptest '{name}': too many rejections ({rejects}); last reason: {reason}"
+                );
+            }
+            Err(payload) => {
+                eprintln!("proptest '{name}' panicked at case {case}\n    input: {described}");
+                resume_unwind(payload);
+            }
+        }
+    }
+}
+
+/// Declares property tests. Mirrors upstream's syntax:
+///
+/// ```
+/// use proptest::prelude::*;
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(16))]
+///
+///     #[test]
+///     fn addition_commutes(a in 0u64..1000, b in 0u64..1000) {
+///         prop_assert_eq!(a + b, b + a);
+///     }
+/// }
+/// ```
+// The `#[test]` above is the macro's input grammar, not a doctest-local
+// test function, so the doctest legitimately never executes it.
+#[allow(clippy::test_attr_in_doctest)]
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_items! { ($config) $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_items! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Internal recursion of [`proptest!`]; not part of the public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ( ($config:expr) ) => {};
+    (
+        ($config:expr)
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $config;
+            let __strategy = ($($strat,)+);
+            $crate::run_cases(
+                &__config,
+                stringify!($name),
+                &__strategy,
+                |($($arg,)+)| -> $crate::TestCaseResult {
+                    $body
+                    #[allow(unreachable_code)]
+                    Ok(())
+                },
+            );
+        }
+        $crate::__proptest_items! { ($config) $($rest)* }
+    };
+}
+
+/// Asserts a condition inside a property, failing the case (not panicking
+/// directly) so the runner can report the sampled input.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {}",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Asserts two expressions are equal inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if !(left == right) {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                left,
+                right
+            )));
+        }
+    }};
+}
+
+/// Asserts two expressions are unequal inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if !(left != right) {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{} != {}`\n  both: {:?}",
+                stringify!($left),
+                stringify!($right),
+                left
+            )));
+        }
+    }};
+}
+
+/// The usual glob import, mirroring upstream.
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, proptest, Just, ProptestConfig, Strategy,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(a in 5u64..10, b in 1u32..=4) {
+            prop_assert!((5..10).contains(&a));
+            prop_assert!((1..=4).contains(&b));
+        }
+
+        #[test]
+        fn map_and_filter_compose(
+            v in (0u64..100).prop_map(|x| x * 2).prop_filter("nonzero", |&x| x > 0)
+        ) {
+            prop_assert!(v % 2 == 0);
+            prop_assert!(v > 0);
+        }
+
+        #[test]
+        fn vectors_respect_size(v in crate::collection::vec(0u64..5, 2..6)) {
+            prop_assert!((2..6).contains(&v.len()));
+            prop_assert!(v.iter().all(|&x| x < 5));
+        }
+
+        #[test]
+        fn just_yields_the_value(x in Just(41)) {
+            prop_assert_eq!(x, 41);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_works(x in 0u64..10) {
+            prop_assert!(x < 10);
+            prop_assert_ne!(x, 10);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failing_property_reports_input() {
+        let config = ProptestConfig::with_cases(16);
+        crate::run_cases(&config, "always_fails", &(0u64..10), |_| {
+            Err(crate::TestCaseError::fail("nope"))
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "too many rejections")]
+    fn unsatisfiable_filter_aborts() {
+        let config = ProptestConfig::with_cases(1);
+        let strategy = (0u64..10).prop_filter("impossible", |_| false);
+        crate::run_cases(&config, "rejects", &strategy, |_| Ok(()));
+    }
+}

@@ -1,0 +1,339 @@
+//! Offline drop-in for the subset of the `rand` 0.8 API this workspace
+//! uses.
+//!
+//! The build environment for this repository has no network access and no
+//! crates.io mirror, so the external `rand` crate cannot be fetched. Every
+//! consumer in the workspace only needs a seeded [`rngs::SmallRng`] plus
+//! the [`Rng`] convenience methods `gen`, `gen_range` and `gen_bool`, and
+//! [`seq::SliceRandom::choose`] — a surface small enough to implement
+//! directly.
+//!
+//! The generator is xoshiro256++ seeded through SplitMix64, the same
+//! algorithm family the real `SmallRng` uses on 64-bit targets. Streams
+//! are deterministic under a seed, which is all the simulation requires
+//! (every test in the workspace asserts reproducibility, not specific
+//! values).
+//!
+//! `gen_range` uses the widening-multiply method (Lemire) without the
+//! rejection step; the residual bias is `span / 2^64`, immaterial for the
+//! simulation spans used here (all far below 2^40).
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use std::ops::{Bound, RangeBounds};
+
+/// Low-level source of random 64-bit words.
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 random bits (upper half of [`Self::next_u64`]).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// RNGs that can be constructed from a seed.
+pub trait SeedableRng: Sized {
+    /// Creates the generator from a 64-bit seed, expanding it to the full
+    /// internal state via SplitMix64 (as `rand` 0.8 does).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// SplitMix64 step: advances `state` and returns the next output word.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Small, fast generators.
+pub mod rngs {
+    use super::{splitmix64, RngCore, SeedableRng};
+
+    /// xoshiro256++ — the algorithm behind `rand`'s 64-bit `SmallRng`.
+    ///
+    /// Not cryptographically secure; statistically solid for simulation.
+    ///
+    /// ```
+    /// use rand::rngs::SmallRng;
+    /// use rand::{Rng, SeedableRng};
+    /// let mut a = SmallRng::seed_from_u64(7);
+    /// let mut b = SmallRng::seed_from_u64(7);
+    /// assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+    /// ```
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut state = seed;
+            let mut s = [0u64; 4];
+            for word in &mut s {
+                *word = splitmix64(&mut state);
+            }
+            // All-zero state would be a fixed point; SplitMix64 cannot
+            // produce four zero words from any seed, but guard anyway.
+            if s == [0; 4] {
+                s[0] = 0x9e37_79b9_7f4a_7c15;
+            }
+            SmallRng { s }
+        }
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// Types that can be drawn uniformly from an RNG via [`Rng::gen`].
+pub trait Standard: Sized {
+    /// Draws one value.
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for u64 {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl Standard for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision (the real crate's
+    /// `Standard` distribution for `f64`).
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for bool {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Unsigned integer types usable with [`Rng::gen_range`].
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Widens to `u64` (all workspace ranges fit).
+    fn to_u64(self) -> u64;
+    /// Narrows from `u64`; the value is guaranteed in range by the caller.
+    fn from_u64(v: u64) -> Self;
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn to_u64(self) -> u64 {
+                self as u64
+            }
+            fn from_u64(v: u64) -> Self {
+                v as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform!(u8, u16, u32, u64, usize);
+
+/// Convenience methods over any [`RngCore`].
+pub trait Rng: RngCore {
+    /// Draws a value of type `T` uniformly over its standard distribution
+    /// (full range for integers, `[0, 1)` for floats).
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::draw(self)
+    }
+
+    /// Draws a value uniformly from `range` (half-open or inclusive).
+    ///
+    /// # Panics
+    /// Panics if the range is empty.
+    fn gen_range<T, B>(&mut self, range: B) -> T
+    where
+        T: SampleUniform,
+        B: RangeBounds<T>,
+        Self: Sized,
+    {
+        let low = match range.start_bound() {
+            Bound::Included(&v) => v.to_u64(),
+            Bound::Excluded(&v) => v.to_u64() + 1,
+            Bound::Unbounded => 0,
+        };
+        let high_inclusive = match range.end_bound() {
+            Bound::Included(&v) => v.to_u64(),
+            Bound::Excluded(&v) => v
+                .to_u64()
+                .checked_sub(1)
+                .expect("cannot sample from an empty range"),
+            Bound::Unbounded => u64::MAX,
+        };
+        assert!(low <= high_inclusive, "cannot sample from an empty range");
+        let span = high_inclusive - low;
+        if span == u64::MAX {
+            return T::from_u64(self.next_u64());
+        }
+        // Widening multiply maps a 64-bit word onto [0, span]; bias is
+        // span / 2^64.
+        let word = self.next_u64();
+        let mapped = ((u128::from(word) * u128::from(span + 1)) >> 64) as u64;
+        T::from_u64(low + mapped)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    /// Panics if `p` is not in `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "probability out of range: {p}");
+        self.gen::<f64>() < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Random selection from slices.
+pub mod seq {
+    use super::{Rng, RngCore};
+
+    /// Extension trait: random element choice.
+    pub trait SliceRandom {
+        /// The element type.
+        type Item;
+
+        /// Returns a uniformly random element, or `None` if empty.
+        fn choose<R: RngCore>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn choose<R: RngCore>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[rng.gen_range(0..self.len())])
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_under_seed() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..64 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+        let mut c = SmallRng::seed_from_u64(43);
+        assert_ne!(a.gen::<u64>(), c.gen::<u64>());
+    }
+
+    #[test]
+    fn f64_is_unit_interval() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let v = rng.gen::<f64>();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn f64_mean_is_near_half() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let n = 100_000;
+        let sum: f64 = (0..n).map(|_| rng.gen::<f64>()).sum();
+        let mean = sum / f64::from(n);
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(10u64..20);
+            assert!((10..20).contains(&v));
+            let w = rng.gen_range(1u32..=8);
+            assert!((1..=8).contains(&w));
+            let u = rng.gen_range(0usize..4);
+            assert!(u < 4);
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_the_whole_range() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let mut seen = [false; 8];
+        for _ in 0..1000 {
+            seen[rng.gen_range(0usize..8)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "{seen:?}");
+    }
+
+    #[test]
+    fn single_value_range() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        assert_eq!(rng.gen_range(7u64..=7), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut rng = SmallRng::seed_from_u64(6);
+        let _ = rng.gen_range(5u64..5);
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        assert!((0..100).all(|_| !rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn choose_from_slice() {
+        let mut rng = SmallRng::seed_from_u64(8);
+        let empty: [u8; 0] = [];
+        assert_eq!(empty.choose(&mut rng), None);
+        let palette = [5u64, 10, 20, 25, 40, 50];
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..500 {
+            seen.insert(*palette.choose(&mut rng).unwrap());
+        }
+        assert_eq!(seen.len(), palette.len());
+    }
+}
