@@ -7,6 +7,9 @@
 //!                    [--horizon-ms H] [--threads T] [--policy P]...
 //!                    [--scenario S]... [--shared-seeds] [--json] [--pretty]
 //! experiments replay --cell POLICY,SCENARIO,SEED [sweep flags]
+//! experiments golden record [--out PATH] [--name NAME]
+//! experiments golden verify [--corpus PATH]
+//! experiments determinism [--thread-counts 1,2,8] [sweep flags]
 //! ```
 //!
 //! `verify` re-runs the paper's headline claims and exits non-zero if any
@@ -17,12 +20,24 @@
 //! prints its fingerprint — it must match the cell in any sweep of the
 //! same flags, at any thread count.
 //!
+//! `golden record` runs the pinned 12-cell regression matrix and writes
+//! the `coefficient-golden/1` corpus (default `corpus/golden.json`);
+//! `golden verify` replays the corpus' own spec and exits non-zero on any
+//! fingerprint, counter or metric divergence, printing a counter-level
+//! diff. `determinism` runs the same sweep at several worker-thread
+//! counts and exits non-zero if the fingerprints disagree.
+//!
 //! Without arguments, runs every figure. `--json` additionally dumps the
 //! raw rows as JSON to stdout (for plotting).
 
 use bench_harness::experiments::{
     ablation, fault_model_ablation, fig3_bandwidth, fig4_latency, fig5_miss_ratio,
     fig_running_time, verify_reproduction, Segment,
+};
+use std::path::Path;
+
+use bench_harness::golden::{
+    golden_spec, load_corpus, record_corpus, save_corpus, verify_corpus, DEFAULT_CORPUS_PATH,
 };
 use bench_harness::json::Json;
 use bench_harness::sweep::{
@@ -36,6 +51,8 @@ fn main() {
     match args.first().map(String::as_str) {
         Some("sweep") => run_sweep(&args[1..]),
         Some("replay") => run_replay(&args[1..]),
+        Some("golden") => run_golden(&args[1..]),
+        Some("determinism") => run_determinism(&args[1..]),
         _ => run_figures(&args),
     }
 }
@@ -207,6 +224,93 @@ fn run_replay(args: &[String]) {
         std::process::exit(1);
     });
     println!("{}", cell_json(&outcome).pretty());
+}
+
+// ---------------------------------------------------------------------------
+// golden / determinism
+// ---------------------------------------------------------------------------
+
+fn run_golden(args: &[String]) {
+    match args.first().map(String::as_str) {
+        Some("record") => {
+            let out = flag_value(args, "--out").unwrap_or(DEFAULT_CORPUS_PATH);
+            let name = flag_value(args, "--name").unwrap_or("default");
+            let file = record_corpus(name, &golden_spec()).unwrap_or_else(|e| {
+                eprintln!("golden spec is unschedulable: {e:?}");
+                std::process::exit(1);
+            });
+            save_corpus(Path::new(out), &file).unwrap_or_else(|e| {
+                eprintln!("cannot write {out}: {e}");
+                std::process::exit(1);
+            });
+            println!(
+                "golden record: wrote {} cells and {} groups to {out}",
+                file.corpus.cells.len(),
+                file.corpus.groups.len(),
+            );
+        }
+        Some("verify") => {
+            let path = flag_value(args, "--corpus").unwrap_or(DEFAULT_CORPUS_PATH);
+            let file = load_corpus(Path::new(path)).unwrap_or_else(|e| {
+                eprintln!("{e}");
+                eprintln!("(record one with: experiments golden record --out {path})");
+                std::process::exit(2);
+            });
+            let report = verify_corpus(&file).unwrap_or_else(|e| {
+                eprintln!("recorded spec is unschedulable: {e:?}");
+                std::process::exit(1);
+            });
+            print!("{report}");
+            if !report.passed() {
+                eprintln!(
+                    "golden verify FAILED against {path}; if the change is intentional, \
+                     re-record with: experiments golden record --out {path}"
+                );
+                std::process::exit(1);
+            }
+        }
+        _ => {
+            eprintln!("usage: experiments golden record|verify [--out|--corpus PATH]");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn run_determinism(args: &[String]) {
+    let spec = parse_spec(args);
+    let thread_counts: Vec<usize> = flag_value(args, "--thread-counts")
+        .map(|v| {
+            v.split(',')
+                .map(|p| {
+                    p.trim().parse().unwrap_or_else(|_| {
+                        eprintln!("invalid --thread-counts component: {p}");
+                        std::process::exit(2);
+                    })
+                })
+                .collect()
+        })
+        .unwrap_or_else(|| vec![1, 2, 8]);
+    let mut fingerprints = Vec::with_capacity(thread_counts.len());
+    for &threads in &thread_counts {
+        let mut run = spec.clone();
+        run.threads = Some(threads);
+        let report = run.run().unwrap_or_else(|e| {
+            eprintln!("sweep configuration is unschedulable: {e:?}");
+            std::process::exit(1);
+        });
+        println!(
+            "determinism: {} cells on {threads:>2} thread(s) in {:>7.0} ms -> fingerprint {:016x}",
+            report.cells.len(),
+            report.wall_clock.as_secs_f64() * 1e3,
+            report.fingerprint(),
+        );
+        fingerprints.push(report.fingerprint());
+    }
+    if fingerprints.windows(2).any(|w| w[0] != w[1]) {
+        eprintln!("determinism FAILED: fingerprints diverge across thread counts");
+        std::process::exit(1);
+    }
+    println!("determinism: all {} runs agree", thread_counts.len());
 }
 
 // ---------------------------------------------------------------------------

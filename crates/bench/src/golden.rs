@@ -1,0 +1,482 @@
+//! Golden-corpus persistence and entry points for the `experiments
+//! golden record|verify` CLI.
+//!
+//! The comparison logic (fingerprint identity, tolerance bands,
+//! counter-level diffs) lives in [`coefficient::golden`]; this module
+//! owns the `coefficient-golden/1` JSON schema, the pinned corpus spec
+//! the CI gate runs, and file I/O.
+//!
+//! A corpus file is self-describing: it embeds the [`SweepSpec`] it was
+//! recorded from, so `verify` rebuilds exactly the recorded matrix —
+//! the checked-in file is the single source of truth, and drift between
+//! "what was recorded" and "what is replayed" is impossible by
+//! construction.
+
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use coefficient::golden::{GoldenGroup, SCHEMA};
+use coefficient::{
+    CellCoord, GoldenCell, GoldenCorpus, GoldenMetrics, Policy, RunCounters, Scenario,
+    SchedulerError, SeedStrategy, Tolerances, VerifyReport,
+};
+
+use crate::experiments::SEED;
+use crate::json::Json;
+use crate::sweep::{parse_policy, parse_scenario, policy_label, SweepSpec};
+
+/// Default on-disk location of the checked-in corpus.
+pub const DEFAULT_CORPUS_PATH: &str = "corpus/golden.json";
+
+/// The pinned spec of the CI regression gate: 2 policies × 2 scenarios ×
+/// 3 seeds = 12 cells on the paper's mixed geometry, with a horizon
+/// short enough for every CI run but long enough that faults, steals and
+/// early copies all occur in every cell.
+pub fn golden_spec() -> SweepSpec {
+    SweepSpec {
+        minislots: 50,
+        horizon_ms: 100,
+        seeds: 3,
+        master_seed: SEED,
+        threads: None,
+        policies: vec![Policy::CoEfficient, Policy::Fspec],
+        scenarios: vec![Scenario::ber7(), Scenario::ber9()],
+        strategy: SeedStrategy::PerCell,
+    }
+}
+
+/// A corpus together with the spec that produced it — the unit the
+/// `coefficient-golden/1` file stores.
+#[derive(Debug, Clone)]
+pub struct CorpusFile {
+    /// The sweep spec the corpus was recorded from (and is verified
+    /// against).
+    pub spec: SweepSpec,
+    /// The recorded cells, groups and tolerances.
+    pub corpus: GoldenCorpus,
+}
+
+/// Records a corpus by running `spec` and capturing every cell.
+///
+/// # Errors
+/// Returns [`SchedulerError`] if a cell is unschedulable.
+pub fn record_corpus(name: &str, spec: &SweepSpec) -> Result<CorpusFile, SchedulerError> {
+    let report = spec.run()?;
+    let labels: Vec<&str> = spec.policies.iter().map(|&p| policy_label(p)).collect();
+    Ok(CorpusFile {
+        spec: spec.clone(),
+        corpus: GoldenCorpus::record(name, &report, &labels),
+    })
+}
+
+/// Replays the corpus' own spec and verifies the fresh sweep against it.
+///
+/// # Errors
+/// Returns [`SchedulerError`] if a cell is unschedulable.
+pub fn verify_corpus(file: &CorpusFile) -> Result<VerifyReport, SchedulerError> {
+    let fresh = file.spec.run()?;
+    Ok(file.corpus.verify(&fresh))
+}
+
+// ---------------------------------------------------------------------------
+// JSON serialization
+// ---------------------------------------------------------------------------
+
+/// Serializes a corpus file into the `coefficient-golden/1` document.
+pub fn corpus_to_json(file: &CorpusFile) -> Json {
+    let spec = &file.spec;
+    let corpus = &file.corpus;
+    Json::object([
+        ("schema", Json::str(SCHEMA)),
+        ("name", Json::str(corpus.name.clone())),
+        (
+            "tolerance",
+            Json::object([
+                ("ratio_abs", Json::from(corpus.tolerance.ratio_abs)),
+                ("scale_rel", Json::from(corpus.tolerance.scale_rel)),
+            ]),
+        ),
+        (
+            "spec",
+            Json::object([
+                ("minislots", Json::from(spec.minislots)),
+                ("horizon_ms", Json::from(spec.horizon_ms)),
+                ("seeds", Json::from(spec.seeds)),
+                ("master_seed", Json::from(spec.master_seed)),
+                (
+                    "shared_seeds",
+                    Json::from(matches!(spec.strategy, SeedStrategy::Shared)),
+                ),
+                (
+                    "policies",
+                    Json::array(spec.policies.iter().map(|&p| Json::str(policy_label(p)))),
+                ),
+                (
+                    "scenarios",
+                    Json::array(spec.scenarios.iter().map(|s| Json::str(s.name))),
+                ),
+            ]),
+        ),
+        ("cells", Json::array(corpus.cells.iter().map(cell_to_json))),
+        (
+            "groups",
+            Json::array(corpus.groups.iter().map(group_to_json)),
+        ),
+    ])
+}
+
+fn cell_to_json(cell: &GoldenCell) -> Json {
+    Json::object([
+        ("policy", Json::str(cell.policy.clone())),
+        ("scenario", Json::str(cell.scenario.clone())),
+        ("policy_index", Json::from(cell.coord.policy)),
+        ("scenario_index", Json::from(cell.coord.scenario)),
+        ("seed_index", Json::from(cell.coord.seed)),
+        ("seed", Json::from(cell.seed)),
+        (
+            "fingerprint",
+            Json::String(format!("{:016x}", cell.fingerprint)),
+        ),
+        (
+            "metrics",
+            Json::object(
+                cell.metrics
+                    .fields()
+                    .iter()
+                    .map(|&(name, value, _)| (name, Json::from(value))),
+            ),
+        ),
+        (
+            "counters",
+            Json::object(
+                cell.counters
+                    .fields()
+                    .iter()
+                    .map(|&(name, value)| (name, Json::from(value))),
+            ),
+        ),
+    ])
+}
+
+fn group_to_json(group: &GoldenGroup) -> Json {
+    let mut pairs = vec![
+        ("policy_index", Json::from(group.policy)),
+        ("scenario_index", Json::from(group.scenario)),
+    ];
+    pairs.extend(
+        group
+            .fields()
+            .iter()
+            .map(|&(name, value, _)| (name, Json::from(value))),
+    );
+    Json::object(pairs)
+}
+
+// ---------------------------------------------------------------------------
+// JSON deserialization
+// ---------------------------------------------------------------------------
+
+/// A structural defect in a corpus document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CorpusError {
+    /// What was wrong, with the offending key.
+    pub message: String,
+}
+
+impl CorpusError {
+    fn new(message: impl Into<String>) -> CorpusError {
+        CorpusError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for CorpusError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid golden corpus: {}", self.message)
+    }
+}
+
+impl std::error::Error for CorpusError {}
+
+fn want<'a>(doc: &'a Json, key: &str) -> Result<&'a Json, CorpusError> {
+    doc.get(key)
+        .ok_or_else(|| CorpusError::new(format!("missing key {key:?}")))
+}
+
+fn want_u64(doc: &Json, key: &str) -> Result<u64, CorpusError> {
+    want(doc, key)?
+        .as_u64()
+        .ok_or_else(|| CorpusError::new(format!("{key:?} is not an unsigned integer")))
+}
+
+fn want_f64(doc: &Json, key: &str) -> Result<f64, CorpusError> {
+    want(doc, key)?
+        .as_f64()
+        .ok_or_else(|| CorpusError::new(format!("{key:?} is not a number")))
+}
+
+fn want_str<'a>(doc: &'a Json, key: &str) -> Result<&'a str, CorpusError> {
+    want(doc, key)?
+        .as_str()
+        .ok_or_else(|| CorpusError::new(format!("{key:?} is not a string")))
+}
+
+fn want_array<'a>(doc: &'a Json, key: &str) -> Result<&'a [Json], CorpusError> {
+    want(doc, key)?
+        .as_array()
+        .ok_or_else(|| CorpusError::new(format!("{key:?} is not an array")))
+}
+
+/// Parses a `coefficient-golden/1` document back into a corpus file.
+///
+/// # Errors
+/// Returns [`CorpusError`] on a schema mismatch or any missing or
+/// mistyped field.
+pub fn corpus_from_json(doc: &Json) -> Result<CorpusFile, CorpusError> {
+    let schema = want_str(doc, "schema")?;
+    if schema != SCHEMA {
+        return Err(CorpusError::new(format!(
+            "schema {schema:?} is not {SCHEMA:?}"
+        )));
+    }
+    let tolerance = want(doc, "tolerance")?;
+    let tolerance = Tolerances {
+        ratio_abs: want_f64(tolerance, "ratio_abs")?,
+        scale_rel: want_f64(tolerance, "scale_rel")?,
+    };
+    let spec = spec_from_json(want(doc, "spec")?)?;
+    let cells = want_array(doc, "cells")?
+        .iter()
+        .map(cell_from_json)
+        .collect::<Result<Vec<_>, _>>()?;
+    let groups = want_array(doc, "groups")?
+        .iter()
+        .map(group_from_json)
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(CorpusFile {
+        spec,
+        corpus: GoldenCorpus {
+            name: want_str(doc, "name")?.to_string(),
+            tolerance,
+            cells,
+            groups,
+        },
+    })
+}
+
+fn spec_from_json(doc: &Json) -> Result<SweepSpec, CorpusError> {
+    let policies = want_array(doc, "policies")?
+        .iter()
+        .map(|p| {
+            p.as_str()
+                .and_then(parse_policy)
+                .ok_or_else(|| CorpusError::new(format!("unknown policy {p}")))
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    let scenarios = want_array(doc, "scenarios")?
+        .iter()
+        .map(|s| {
+            s.as_str()
+                .and_then(parse_scenario)
+                .ok_or_else(|| CorpusError::new(format!("unknown scenario {s}")))
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    let shared = want(doc, "shared_seeds")?
+        .as_bool()
+        .ok_or_else(|| CorpusError::new("\"shared_seeds\" is not a bool"))?;
+    Ok(SweepSpec {
+        minislots: want_u64(doc, "minislots")?,
+        horizon_ms: want_u64(doc, "horizon_ms")?,
+        seeds: want_u64(doc, "seeds")?,
+        master_seed: want_u64(doc, "master_seed")?,
+        threads: None,
+        policies,
+        scenarios,
+        strategy: if shared {
+            SeedStrategy::Shared
+        } else {
+            SeedStrategy::PerCell
+        },
+    })
+}
+
+fn cell_from_json(doc: &Json) -> Result<GoldenCell, CorpusError> {
+    let fingerprint = want_str(doc, "fingerprint")?;
+    let fingerprint = u64::from_str_radix(fingerprint, 16)
+        .map_err(|_| CorpusError::new(format!("fingerprint {fingerprint:?} is not hex")))?;
+    Ok(GoldenCell {
+        coord: CellCoord {
+            policy: want_u64(doc, "policy_index")? as usize,
+            scenario: want_u64(doc, "scenario_index")? as usize,
+            seed: want_u64(doc, "seed_index")? as usize,
+        },
+        policy: want_str(doc, "policy")?.to_string(),
+        scenario: want_str(doc, "scenario")?.to_string(),
+        seed: want_u64(doc, "seed")?,
+        fingerprint,
+        metrics: metrics_from_json(want(doc, "metrics")?)?,
+        counters: counters_from_json(want(doc, "counters")?)?,
+    })
+}
+
+fn metrics_from_json(doc: &Json) -> Result<GoldenMetrics, CorpusError> {
+    Ok(GoldenMetrics {
+        running_time_ms: want_f64(doc, "running_time_ms")?,
+        utilization: want_f64(doc, "utilization")?,
+        wire_utilization: want_f64(doc, "wire_utilization")?,
+        static_miss_ratio: want_f64(doc, "static_miss_ratio")?,
+        dynamic_miss_ratio: want_f64(doc, "dynamic_miss_ratio")?,
+        miss_ratio: want_f64(doc, "miss_ratio")?,
+        delivery_ratio: want_f64(doc, "delivery_ratio")?,
+        delivered_per_second: want_f64(doc, "delivered_per_second")?,
+        static_latency_mean_ms: want_f64(doc, "static_latency_mean_ms")?,
+        static_latency_max_ms: want_f64(doc, "static_latency_max_ms")?,
+        dynamic_latency_mean_ms: want_f64(doc, "dynamic_latency_mean_ms")?,
+        dynamic_latency_max_ms: want_f64(doc, "dynamic_latency_max_ms")?,
+    })
+}
+
+fn counters_from_json(doc: &Json) -> Result<RunCounters, CorpusError> {
+    Ok(RunCounters {
+        steal_attempts: want_u64(doc, "steal_attempts")?,
+        steal_granted: want_u64(doc, "steal_granted")?,
+        steal_denied: want_u64(doc, "steal_denied")?,
+        early_copies_sent: want_u64(doc, "early_copies_sent")?,
+        dropped_copies: want_u64(doc, "dropped_copies")?,
+        retransmission_budget_used: want_u64(doc, "retransmission_budget_used")?,
+        preemptions: want_u64(doc, "preemptions")?,
+        frames_checked: want_u64(doc, "frames_checked")?,
+        faults_injected: want_u64(doc, "faults_injected")?,
+        faults_recovered: want_u64(doc, "faults_recovered")?,
+    })
+}
+
+fn group_from_json(doc: &Json) -> Result<GoldenGroup, CorpusError> {
+    let triple = |prefix: &str| -> Result<[f64; 3], CorpusError> {
+        Ok([
+            want_f64(doc, &format!("{prefix}_p50"))?,
+            want_f64(doc, &format!("{prefix}_p90"))?,
+            want_f64(doc, &format!("{prefix}_p99"))?,
+        ])
+    };
+    Ok(GoldenGroup {
+        policy: want_u64(doc, "policy_index")? as usize,
+        scenario: want_u64(doc, "scenario_index")? as usize,
+        static_latency_ms_p: triple("static_latency_ms")?,
+        dynamic_latency_ms_p: triple("dynamic_latency_ms")?,
+        miss_ratio_p: triple("miss_ratio")?,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// file I/O
+// ---------------------------------------------------------------------------
+
+/// Writes a corpus file to `path` (pretty-printed, creating parent
+/// directories, with a trailing newline so it diffs cleanly in git).
+///
+/// # Errors
+/// Propagates filesystem errors.
+pub fn save_corpus(path: &Path, file: &CorpusFile) -> io::Result<()> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            fs::create_dir_all(parent)?;
+        }
+    }
+    let mut text = corpus_to_json(file).pretty();
+    text.push('\n');
+    fs::write(path, text)
+}
+
+/// Reads and parses a corpus file from `path`.
+///
+/// # Errors
+/// Returns a rendered message for filesystem, JSON-syntax or schema
+/// defects (the CLI prints it verbatim).
+pub fn load_corpus(path: &Path) -> Result<CorpusFile, String> {
+    let text =
+        fs::read_to_string(path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let doc = Json::parse(&text).map_err(|e| format!("cannot parse {}: {e}", path.display()))?;
+    corpus_from_json(&doc).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_spec() -> SweepSpec {
+        SweepSpec {
+            horizon_ms: 20,
+            seeds: 2,
+            scenarios: vec![Scenario::ber7()],
+            threads: Some(2),
+            ..SweepSpec::default()
+        }
+    }
+
+    #[test]
+    fn golden_spec_is_a_12_cell_matrix() {
+        let matrix = golden_spec().build_matrix();
+        assert_eq!(matrix.cell_count(), 12);
+    }
+
+    #[test]
+    fn corpus_round_trips_through_json() {
+        let recorded = record_corpus("roundtrip", &tiny_spec()).unwrap();
+        let text = corpus_to_json(&recorded).pretty();
+        let parsed = corpus_from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(parsed.corpus, recorded.corpus);
+        assert_eq!(parsed.spec.minislots, recorded.spec.minislots);
+        assert_eq!(parsed.spec.horizon_ms, recorded.spec.horizon_ms);
+        assert_eq!(parsed.spec.seeds, recorded.spec.seeds);
+        assert_eq!(parsed.spec.master_seed, recorded.spec.master_seed);
+        assert_eq!(parsed.spec.policies, recorded.spec.policies);
+        let names = |spec: &SweepSpec| spec.scenarios.iter().map(|s| s.name).collect::<Vec<_>>();
+        assert_eq!(names(&parsed.spec), names(&recorded.spec));
+    }
+
+    #[test]
+    fn parsed_corpus_verifies_against_a_fresh_replay() {
+        let recorded = record_corpus("replay", &tiny_spec()).unwrap();
+        let text = corpus_to_json(&recorded).to_string();
+        let parsed = corpus_from_json(&Json::parse(&text).unwrap()).unwrap();
+        let report = verify_corpus(&parsed).unwrap();
+        assert!(report.passed(), "{report}");
+    }
+
+    #[test]
+    fn rejects_wrong_schema_and_broken_fields() {
+        let recorded = record_corpus("bad", &tiny_spec()).unwrap();
+        let good = corpus_to_json(&recorded).to_string();
+
+        let wrong_schema = good.replace("coefficient-golden/1", "coefficient-golden/999");
+        let err = corpus_from_json(&Json::parse(&wrong_schema).unwrap()).unwrap_err();
+        assert!(err.message.contains("schema"), "{err}");
+
+        let bad_policy = good.replace("\"CoEfficient\"", "\"NoSuchPolicy\"");
+        assert!(corpus_from_json(&Json::parse(&bad_policy).unwrap()).is_err());
+
+        let truncated = good.replace("\"steal_attempts\"", "\"renamed_counter\"");
+        assert!(corpus_from_json(&Json::parse(&truncated).unwrap()).is_err());
+    }
+
+    #[test]
+    fn save_and_load_round_trip_on_disk() {
+        let dir = std::env::temp_dir().join("coefficient-golden-test");
+        let path = dir.join("nested").join("golden.json");
+        let recorded = record_corpus("disk", &tiny_spec()).unwrap();
+        save_corpus(&path, &recorded).unwrap();
+        let loaded = load_corpus(&path).unwrap();
+        assert_eq!(loaded.corpus, recorded.corpus);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn load_reports_readable_errors() {
+        let missing = load_corpus(Path::new("/nonexistent/golden.json")).unwrap_err();
+        assert!(missing.contains("cannot read"), "{missing}");
+    }
+}

@@ -1,11 +1,14 @@
-//! Minimal JSON document model and writer.
+//! Minimal JSON document model, writer and parser.
 //!
 //! The bench binaries emit machine-readable reports (`--json`, sweep
-//! output). The workspace is built to compile with no external crates, so
-//! this module provides the small subset of a JSON serializer the reports
-//! need: objects with insertion-ordered keys, arrays, strings with full
-//! escaping, and numbers that round-trip (`u64` exactly, `f64` via Rust's
-//! shortest-representation formatter).
+//! output) and read the golden corpus back for verification. The
+//! workspace is built to compile with no external crates, so this module
+//! provides the small subset of JSON the reports need: objects with
+//! insertion-ordered keys, arrays, strings with full escaping, and
+//! numbers that round-trip (`u64` exactly via [`Json::UInt`], `f64` via
+//! Rust's shortest-representation formatter). [`Json::parse`] inverts
+//! the writer: any document this module emits parses back to an equal
+//! value (modulo non-finite floats, which serialize as `null`).
 //!
 //! ```
 //! use bench_harness::json::Json;
@@ -53,6 +56,79 @@ impl Json {
     /// Builds a string value.
     pub fn str(s: impl Into<String>) -> Json {
         Json::String(s.into())
+    }
+
+    /// Parses a JSON document (the inverse of the writer).
+    ///
+    /// Numbers without sign, fraction or exponent parse as [`Json::UInt`]
+    /// (exact for the full `u64` range — fingerprints and seeds survive
+    /// the round trip); everything else parses as [`Json::Float`].
+    ///
+    /// # Errors
+    /// A [`JsonParseError`] with the byte offset of the first defect.
+    pub fn parse(input: &str) -> Result<Json, JsonParseError> {
+        let mut p = Parser {
+            bytes: input.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let value = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(p.err("trailing characters after document"));
+        }
+        Ok(value)
+    }
+
+    /// Member lookup on an object; `None` for other variants.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Object(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as `u64` (exact integers only).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::UInt(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The value as `f64` ([`Json::UInt`] widens; [`Json::Null`] reads as
+    /// NaN, inverting the writer's NaN → `null` convention).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Float(v) => Some(*v),
+            Json::UInt(v) => Some(*v as f64),
+            Json::Null => Some(f64::NAN),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The value as a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
     }
 
     /// Pretty-prints with two-space indentation.
@@ -116,6 +192,254 @@ impl From<f64> for Json {
 impl From<&str> for Json {
     fn from(v: &str) -> Json {
         Json::String(v.to_owned())
+    }
+}
+
+/// A parse failure: what went wrong and the byte offset where.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonParseError {
+    /// Byte offset into the input.
+    pub offset: usize,
+    /// What the parser expected or rejected.
+    pub message: &'static str,
+}
+
+impl fmt::Display for JsonParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "JSON parse error at byte {}: {}",
+            self.offset, self.message
+        )
+    }
+}
+
+impl std::error::Error for JsonParseError {}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, message: &'static str) -> JsonParseError {
+        JsonParseError {
+            offset: self.pos,
+            message,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8, message: &'static str) -> Result<(), JsonParseError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(message))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, JsonParseError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.err("invalid literal"))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, JsonParseError> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => self.string().map(Json::String),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, JsonParseError> {
+        self.expect(b'[', "expected '['")?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Array(items));
+                }
+                _ => return Err(self.err("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, JsonParseError> {
+        self.expect(b'{', "expected '{'")?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Object(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':', "expected ':' after object key")?;
+            self.skip_ws();
+            let value = self.value()?;
+            pairs.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Object(pairs));
+                }
+                _ => return Err(self.err("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonParseError> {
+        self.expect(b'"', "expected '\"'")?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            // Fast path: a run of plain UTF-8 up to the next quote/escape.
+            while let Some(b) = self.peek() {
+                if b == b'"' || b == b'\\' || b < 0x20 {
+                    break;
+                }
+                self.pos += 1;
+            }
+            if self.pos > start {
+                let run = std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| self.err("invalid UTF-8 in string"))?;
+                out.push_str(run);
+            }
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    out.push(self.escape()?);
+                }
+                _ => return Err(self.err("unterminated string")),
+            }
+        }
+    }
+
+    fn escape(&mut self) -> Result<char, JsonParseError> {
+        let c = self.peek().ok_or_else(|| self.err("truncated escape"))?;
+        self.pos += 1;
+        Ok(match c {
+            b'"' => '"',
+            b'\\' => '\\',
+            b'/' => '/',
+            b'b' => '\u{8}',
+            b'f' => '\u{c}',
+            b'n' => '\n',
+            b'r' => '\r',
+            b't' => '\t',
+            b'u' => {
+                let hi = self.hex4()?;
+                let code = if (0xD800..0xDC00).contains(&hi) {
+                    // Surrogate pair: a second \uXXXX must follow.
+                    if self.peek() != Some(b'\\') {
+                        return Err(self.err("lone high surrogate"));
+                    }
+                    self.pos += 1;
+                    if self.peek() != Some(b'u') {
+                        return Err(self.err("lone high surrogate"));
+                    }
+                    self.pos += 1;
+                    let lo = self.hex4()?;
+                    if !(0xDC00..0xE000).contains(&lo) {
+                        return Err(self.err("invalid low surrogate"));
+                    }
+                    0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
+                } else {
+                    hi
+                };
+                char::from_u32(code).ok_or_else(|| self.err("invalid unicode escape"))?
+            }
+            _ => return Err(self.err("unknown escape character")),
+        })
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonParseError> {
+        let mut v: u32 = 0;
+        for _ in 0..4 {
+            let d = self
+                .peek()
+                .ok_or_else(|| self.err("truncated \\u escape"))?;
+            let nibble = match d {
+                b'0'..=b'9' => u32::from(d - b'0'),
+                b'a'..=b'f' => u32::from(d - b'a') + 10,
+                b'A'..=b'F' => u32::from(d - b'A') + 10,
+                _ => return Err(self.err("invalid hex digit in \\u escape")),
+            };
+            v = (v << 4) | nibble;
+            self.pos += 1;
+        }
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Json, JsonParseError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut fractional = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    fractional = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text =
+            std::str::from_utf8(&self.bytes[start..self.pos]).expect("number bytes are ASCII");
+        if text.is_empty() || text == "-" {
+            return Err(self.err("malformed number"));
+        }
+        if !fractional && !text.starts_with('-') {
+            if let Ok(v) = text.parse::<u64>() {
+                return Ok(Json::UInt(v));
+            }
+        }
+        text.parse::<f64>()
+            .map(Json::Float)
+            .map_err(|_| JsonParseError {
+                offset: start,
+                message: "malformed number",
+            })
     }
 }
 
@@ -235,5 +559,89 @@ mod tests {
     fn empty_containers_stay_compact_in_pretty() {
         let doc = Json::object([("a", Json::Array(vec![])), ("o", Json::Object(vec![]))]);
         assert_eq!(doc.pretty(), "{\n  \"a\": [],\n  \"o\": {}\n}");
+    }
+
+    #[test]
+    fn parse_round_trips_writer_output() {
+        let doc = Json::object([
+            ("schema", Json::str("coefficient-golden/1")),
+            ("fingerprint", Json::str("00ffee0123456789")),
+            ("seed", Json::UInt(u64::MAX)),
+            ("ratio", Json::Float(0.125)),
+            ("neg", Json::Float(-3.5)),
+            ("whole", Json::Float(3.0)),
+            ("flag", Json::Bool(false)),
+            ("none", Json::Null),
+            (
+                "cells",
+                Json::array([Json::UInt(1), Json::str("a\"b\\c\nd"), Json::Object(vec![])]),
+            ),
+        ]);
+        for text in [doc.to_string(), doc.pretty()] {
+            assert_eq!(Json::parse(&text).unwrap(), doc, "failed on: {text}");
+        }
+    }
+
+    #[test]
+    fn parse_scalars_and_numbers() {
+        assert_eq!(Json::parse("null").unwrap(), Json::Null);
+        assert_eq!(Json::parse(" true ").unwrap(), Json::Bool(true));
+        assert_eq!(
+            Json::parse("18446744073709551615").unwrap(),
+            Json::UInt(u64::MAX),
+            "u64::MAX must parse exactly, not via f64"
+        );
+        assert_eq!(Json::parse("-2").unwrap(), Json::Float(-2.0));
+        assert_eq!(Json::parse("1e3").unwrap(), Json::Float(1000.0));
+        assert_eq!(Json::parse("2.5").unwrap(), Json::Float(2.5));
+        // Beyond u64: falls back to float.
+        assert_eq!(
+            Json::parse("99999999999999999999").unwrap(),
+            Json::Float(1e20)
+        );
+    }
+
+    #[test]
+    fn parse_string_escapes() {
+        assert_eq!(
+            Json::parse(r#""a\"b\\c\ndAé""#).unwrap(),
+            Json::str("a\"b\\c\ndAé")
+        );
+        // Surrogate pair → astral char.
+        assert_eq!(Json::parse(r#""😀""#).unwrap(), Json::str("\u{1F600}"));
+    }
+
+    #[test]
+    fn parse_rejects_defects() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "{\"a\":}",
+            "tru",
+            "\"unterminated",
+            "1 2",
+            "{\"a\" 1}",
+            "nan",
+            "-",
+            r#""\ud83d""#,
+            r#""\q""#,
+        ] {
+            assert!(Json::parse(bad).is_err(), "accepted: {bad:?}");
+        }
+    }
+
+    #[test]
+    fn accessors_navigate_documents() {
+        let doc = Json::parse(r#"{"a":{"b":[1,2.5,"x",null]},"f":true}"#).unwrap();
+        let b = doc.get("a").and_then(|a| a.get("b")).unwrap();
+        let items = b.as_array().unwrap();
+        assert_eq!(items[0].as_u64(), Some(1));
+        assert_eq!(items[1].as_f64(), Some(2.5));
+        assert_eq!(items[2].as_str(), Some("x"));
+        assert!(items[3].as_f64().unwrap().is_nan(), "null reads as NaN");
+        assert_eq!(doc.get("f").and_then(Json::as_bool), Some(true));
+        assert_eq!(doc.get("missing"), None);
+        assert_eq!(items[0].as_str(), None);
     }
 }

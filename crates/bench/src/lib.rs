@@ -11,6 +11,7 @@
 //! side in `EXPERIMENTS.md`.
 
 pub mod experiments;
+pub mod golden;
 pub mod json;
 pub mod sweep;
 pub mod table;

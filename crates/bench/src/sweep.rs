@@ -190,6 +190,15 @@ pub fn cell_json(c: &CellOutcome) -> Json {
         ("produced", Json::from(r.produced)),
         ("delivered", Json::from(r.delivered)),
         ("corrupted", Json::from(r.corrupted)),
+        (
+            "counters",
+            Json::object(
+                r.counters
+                    .fields()
+                    .iter()
+                    .map(|&(name, value)| (name, Json::from(value))),
+            ),
+        ),
     ])
 }
 

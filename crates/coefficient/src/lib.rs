@@ -53,6 +53,7 @@
 #![warn(missing_debug_implementations)]
 
 mod assignment;
+pub mod golden;
 mod instance;
 mod policy;
 mod runner;
@@ -60,9 +61,10 @@ mod scenario;
 pub mod sweep;
 
 pub use assignment::{AllocationError, CopyPlacement, StaticAllocation};
+pub use golden::{GoldenCell, GoldenCorpus, GoldenMetrics, Tolerances, VerifyReport};
 pub use instance::{InstanceStatus, InstanceTracker, MessageClass};
 pub use policy::{CoefficientOptions, Policy, Scheduler, SchedulerError};
-pub use runner::{RunConfig, RunReport, Runner, StopCondition};
+pub use runner::{RunConfig, RunCounters, RunReport, Runner, StopCondition};
 pub use scenario::{FaultModel, Scenario};
 pub use sweep::{
     run_parallel, run_parallel_with_options, CellCoord, CellOutcome, GroupSummary, SeedStrategy,

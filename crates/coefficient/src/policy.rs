@@ -165,6 +165,13 @@ pub struct Scheduler {
     cooperative_static_serves: u64,
     /// Statistics: early static copies sent through free slack.
     early_copies_sent: u64,
+    /// Statistics: free static positions offered while dynamic backlog
+    /// was pending (each such offer is a steal attempt; it is granted
+    /// when an entry fits the slot, denied otherwise).
+    steal_attempts: u64,
+    /// Statistics: steal attempts where no backlogged entry fit the
+    /// static slot capacity.
+    steal_denied: u64,
 }
 
 /// Errors constructing a [`Scheduler`].
@@ -422,6 +429,8 @@ impl Scheduler {
             copy_transmissions: 0,
             cooperative_static_serves: 0,
             early_copies_sent: 0,
+            steal_attempts: 0,
+            steal_denied: 0,
         })
     }
 
@@ -459,6 +468,31 @@ impl Scheduler {
     /// CoEfficient: planned copies dropped for lack of fitting slack.
     pub fn dropped_copies(&self) -> u64 {
         self.dropped_copies
+    }
+
+    /// Free static positions offered to the dynamic backlog (slack-steal
+    /// attempts). `steal_attempts == cooperative_static_serves +
+    /// steal_denied` by construction.
+    pub fn steal_attempts(&self) -> u64 {
+        self.steal_attempts
+    }
+
+    /// Steal attempts where no backlogged entry fit the slot.
+    pub fn steal_denied(&self) -> u64 {
+        self.steal_denied
+    }
+
+    /// The scheduler's steal/early-copy decisions as the shared
+    /// [`tasks::ScheduleCounters`] record (preemptions stay zero: FlexRay
+    /// slots are non-preemptive).
+    pub fn schedule_counters(&self) -> tasks::ScheduleCounters {
+        tasks::ScheduleCounters {
+            preemptions: 0,
+            steal_attempts: self.steal_attempts,
+            steal_granted: self.cooperative_static_serves,
+            steal_denied: self.steal_denied,
+            early_copies: self.early_copies_sent,
+        }
     }
 
     /// Total backlogged dynamic-segment entries across both channels.
@@ -608,8 +642,11 @@ impl Scheduler {
         if !self.options.dual_channel && channel == ChannelId::B {
             return None; // single-channel ablation leaves B untouched
         }
-        // 1. Serve the dynamic backlog (lowest frame id first).
-        if self.options.cooperative_dynamic {
+        // 1. Serve the dynamic backlog (lowest frame id first). A free
+        // position offered while backlog is pending is a steal attempt:
+        // granted if an entry fits the slot, denied otherwise.
+        if self.options.cooperative_dynamic && !self.queues[channel.index()].is_empty() {
+            self.steal_attempts += 1;
             let q = &mut self.queues[channel.index()];
             if let Some(pos) = q.iter().position(|(_, e)| {
                 // Static-slot coding has no DTS, so the fit check uses the
@@ -627,6 +664,7 @@ impl Scheduler {
                     produced_at: inst.produced_at,
                 });
             }
+            self.steal_denied += 1;
         }
         if !self.options.early_copies {
             return None;
@@ -1015,6 +1053,25 @@ mod tests {
             s.cooperative_static_serves() > 0,
             "static slack must serve dynamic backlog"
         );
+        let c = s.schedule_counters();
+        assert!(c.steal_attempts > 0);
+        assert!(
+            c.steal_identity_holds(),
+            "granted {} + denied {} != attempts {}",
+            c.steal_granted,
+            c.steal_denied,
+            c.steal_attempts
+        );
+    }
+
+    #[test]
+    fn steal_counters_stay_zero_without_backlog() {
+        let mut s = scheduler(Policy::CoEfficient);
+        s.produce_static(1, SimTime::ZERO);
+        let mut engine = BusEngine::new(config());
+        engine.run_cycle(0, &mut s);
+        assert_eq!(s.steal_attempts(), 0, "no dynamic backlog, no attempts");
+        assert!(s.schedule_counters().steal_identity_holds());
     }
 
     #[test]

@@ -58,6 +58,68 @@ pub struct RunConfig {
     pub seed: u64,
 }
 
+/// Structured counters aggregated across every layer of one run: the
+/// scheduler's steal decisions ([`tasks::ScheduleCounters`]), the fault
+/// processes' injection counts ([`reliability::fault::FaultCounters`]),
+/// and the instance tracker's recovery accounting. These explain *why*
+/// two run fingerprints differ; the golden corpus diffs them field by
+/// field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RunCounters {
+    /// Free static positions offered while dynamic backlog was pending.
+    pub steal_attempts: u64,
+    /// Steal attempts that served a backlogged dynamic entry.
+    pub steal_granted: u64,
+    /// Steal attempts where no backlogged entry fit the slot.
+    pub steal_denied: u64,
+    /// Early static copies sent through free slack.
+    pub early_copies_sent: u64,
+    /// Planned retransmission copies dropped for lack of fitting slack.
+    pub dropped_copies: u64,
+    /// Retransmission copies actually transmitted — the consumed part of
+    /// the planned retransmission budget (Theorem 1's `k_i` copies).
+    pub retransmission_budget_used: u64,
+    /// Job resumptions after interruption (always zero on the FlexRay
+    /// bus — slots are non-preemptive — but kept so CPU-side schedules
+    /// share the same record shape).
+    pub preemptions: u64,
+    /// Frames the fault processes were consulted about (both channels).
+    pub frames_checked: u64,
+    /// Frames the fault processes corrupted (both channels).
+    pub faults_injected: u64,
+    /// Instances that suffered ≥ 1 corrupted transmission yet were still
+    /// delivered — faults masked by retransmission redundancy.
+    pub faults_recovered: u64,
+}
+
+impl RunCounters {
+    /// Every counter as a `(name, value)` pair, in a fixed order — the
+    /// golden corpus serializes and diffs counters through this list so
+    /// a field added here is automatically recorded and compared.
+    pub fn fields(&self) -> [(&'static str, u64); 10] {
+        [
+            ("steal_attempts", self.steal_attempts),
+            ("steal_granted", self.steal_granted),
+            ("steal_denied", self.steal_denied),
+            ("early_copies_sent", self.early_copies_sent),
+            ("dropped_copies", self.dropped_copies),
+            (
+                "retransmission_budget_used",
+                self.retransmission_budget_used,
+            ),
+            ("preemptions", self.preemptions),
+            ("frames_checked", self.frames_checked),
+            ("faults_injected", self.faults_injected),
+            ("faults_recovered", self.faults_recovered),
+        ]
+    }
+
+    /// `true` iff every steal attempt was resolved one way or the other.
+    pub fn steal_identity_holds(&self) -> bool {
+        self.steal_granted + self.steal_denied == self.steal_attempts
+    }
+}
+
 /// The measured results of one run.
 #[derive(Debug, Clone)]
 pub struct RunReport {
@@ -100,6 +162,9 @@ pub struct RunReport {
     pub early_copies_sent: u64,
     /// Retransmission copies transmitted.
     pub copy_transmissions: u64,
+    /// Structured counters from every layer (steal decisions, fault
+    /// injection/recovery, retransmission budget).
+    pub counters: RunCounters,
     /// `true` if the run hit the safety cycle cap before draining.
     pub truncated: bool,
 }
@@ -149,6 +214,9 @@ impl RunReport {
         d.push(self.cooperative_static_serves);
         d.push(self.early_copies_sent);
         d.push(self.copy_transmissions);
+        for (_, value) in self.counters.fields() {
+            d.push(value);
+        }
         d.push(u64::from(self.truncated));
         d.finish()
     }
@@ -377,6 +445,28 @@ impl Runner {
         let utilization_a = a.occupied_utilization(elapsed);
         let utilization_b = b.occupied_utilization(elapsed);
         let wire_utilization = (a.utilization(elapsed) + b.utilization(elapsed)) / 2.0;
+        let sched = self.scheduler.schedule_counters();
+        let faults = self
+            .engine
+            .fault_counters(ChannelId::A)
+            .merged(self.engine.fault_counters(ChannelId::B));
+        let faults_recovered = tracker
+            .instances()
+            .iter()
+            .filter(|i| i.corrupted > 0 && i.is_delivered())
+            .count() as u64;
+        let counters = RunCounters {
+            steal_attempts: sched.steal_attempts,
+            steal_granted: sched.steal_granted,
+            steal_denied: sched.steal_denied,
+            early_copies_sent: sched.early_copies,
+            dropped_copies: self.scheduler.dropped_copies(),
+            retransmission_budget_used: self.scheduler.copy_transmissions(),
+            preemptions: sched.preemptions,
+            frames_checked: faults.frames_checked,
+            faults_injected: faults.faults_injected,
+            faults_recovered,
+        };
         RunReport {
             policy: self.scheduler.policy(),
             scenario: self.cfg.scenario.name,
@@ -396,6 +486,7 @@ impl Runner {
             cooperative_static_serves: self.scheduler.cooperative_static_serves(),
             early_copies_sent: self.scheduler.early_copies_sent(),
             copy_transmissions: self.scheduler.copy_transmissions(),
+            counters,
             truncated,
         }
     }
@@ -610,6 +701,49 @@ mod tests {
         assert!(report.delivered > 0);
         // Burstiness changes the fault pattern, not feasibility.
         assert!(report.delivered * 10 >= report.produced * 9);
+    }
+
+    #[test]
+    fn run_counters_are_consistent_with_legacy_fields() {
+        let report = Runner::new(base_config(
+            Policy::CoEfficient,
+            StopCondition::Horizon(SimDuration::from_millis(200)),
+        ))
+        .unwrap()
+        .run();
+        let c = report.counters;
+        assert!(c.steal_identity_holds(), "{c:?}");
+        assert_eq!(c.steal_granted, report.cooperative_static_serves);
+        assert_eq!(c.early_copies_sent, report.early_copies_sent);
+        assert_eq!(c.retransmission_budget_used, report.copy_transmissions);
+        assert_eq!(
+            c.faults_injected, report.corrupted,
+            "fault-process injections must equal bus-observed corruptions"
+        );
+        assert!(c.frames_checked >= report.frames);
+        assert_eq!(c.preemptions, 0, "FlexRay slots are non-preemptive");
+        assert!(
+            c.faults_recovered <= c.faults_injected,
+            "cannot recover more instances than frames corrupted"
+        );
+    }
+
+    #[test]
+    fn counters_feed_the_fingerprint() {
+        let report = Runner::new(base_config(
+            Policy::CoEfficient,
+            StopCondition::Horizon(SimDuration::from_millis(100)),
+        ))
+        .unwrap()
+        .run();
+        let base = report.fingerprint();
+        let mut perturbed = report.clone();
+        perturbed.counters.faults_recovered += 1;
+        assert_ne!(
+            base,
+            perturbed.fingerprint(),
+            "a counter change must move the fingerprint"
+        );
     }
 
     #[test]

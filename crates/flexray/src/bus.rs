@@ -216,6 +216,12 @@ impl BusEngine {
         &self.stats[channel.index()]
     }
 
+    /// Injection counters of `channel`'s fault process (frames consulted
+    /// and faults injected so far).
+    pub fn fault_counters(&self, channel: ChannelId) -> reliability::fault::FaultCounters {
+        self.faults[channel.index()].counters()
+    }
+
     /// Recorded outcomes (empty unless [`record_outcomes`] was enabled).
     ///
     /// [`record_outcomes`]: Self::record_outcomes

@@ -18,6 +18,31 @@ use event_sim::rng::substream;
 
 use crate::ber::Ber;
 
+/// Cumulative fault-injection counters a [`FaultProcess`] maintains.
+///
+/// `faults_injected` counts frames the process corrupted; recovery
+/// accounting (how many corrupted *instances* were still delivered via
+/// planned retransmissions) lives with the instance tracker, because a
+/// fault process cannot know whether a later copy succeeded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FaultCounters {
+    /// Frames this process was consulted about.
+    pub frames_checked: u64,
+    /// Frames it decided to corrupt.
+    pub faults_injected: u64,
+}
+
+impl FaultCounters {
+    /// Field-wise sum of two counter sets (e.g. across channels).
+    #[must_use]
+    pub fn merged(self, other: FaultCounters) -> FaultCounters {
+        FaultCounters {
+            frames_checked: self.frames_checked + other.frames_checked,
+            faults_injected: self.faults_injected + other.faults_injected,
+        }
+    }
+}
+
 /// A source of per-frame transient faults.
 ///
 /// Implementations are stateful (they own an RNG and possibly a channel
@@ -30,6 +55,13 @@ pub trait FaultProcess: std::fmt::Debug + Send {
     /// The long-run probability that a frame of `bits` bits is corrupted
     /// (used by analysis code; need not be exact for bursty models).
     fn frame_failure_probability(&self, bits: u32) -> f64;
+
+    /// Cumulative injection counters. The default (all zeros) is only
+    /// appropriate for processes that never corrupt anything, such as
+    /// [`NoFaults`]; stateful processes must count.
+    fn counters(&self) -> FaultCounters {
+        FaultCounters::default()
+    }
 }
 
 /// Independent per-frame Bernoulli faults derived from a bit error rate.
@@ -44,6 +76,7 @@ pub trait FaultProcess: std::fmt::Debug + Send {
 pub struct BernoulliFaults {
     ber: Ber,
     rng: SmallRng,
+    counters: FaultCounters,
 }
 
 impl BernoulliFaults {
@@ -52,6 +85,7 @@ impl BernoulliFaults {
         BernoulliFaults {
             ber,
             rng: substream(seed, "fault/bernoulli"),
+            counters: FaultCounters::default(),
         }
     }
 
@@ -64,11 +98,18 @@ impl BernoulliFaults {
 impl FaultProcess for BernoulliFaults {
     fn corrupts(&mut self, bits: u32) -> bool {
         let p = self.ber.frame_failure_probability(bits);
-        p > 0.0 && self.rng.gen::<f64>() < p
+        let hit = p > 0.0 && self.rng.gen::<f64>() < p;
+        self.counters.frames_checked += 1;
+        self.counters.faults_injected += u64::from(hit);
+        hit
     }
 
     fn frame_failure_probability(&self, bits: u32) -> f64 {
         self.ber.frame_failure_probability(bits)
+    }
+
+    fn counters(&self) -> FaultCounters {
+        self.counters
     }
 }
 
@@ -89,6 +130,7 @@ pub struct GilbertElliott {
     p_bg: f64,
     in_bad: bool,
     rng: SmallRng,
+    counters: FaultCounters,
 }
 
 impl GilbertElliott {
@@ -106,6 +148,7 @@ impl GilbertElliott {
             p_bg,
             in_bad: false,
             rng: substream(seed, "fault/gilbert-elliott"),
+            counters: FaultCounters::default(),
         }
     }
 
@@ -135,6 +178,8 @@ impl FaultProcess for GilbertElliott {
         };
         let p = ber.frame_failure_probability(bits);
         let hit = p > 0.0 && self.rng.gen::<f64>() < p;
+        self.counters.frames_checked += 1;
+        self.counters.faults_injected += u64::from(hit);
         // State transition after the frame.
         let flip = if self.in_bad { self.p_bg } else { self.p_gb };
         if self.rng.gen::<f64>() < flip {
@@ -147,6 +192,10 @@ impl FaultProcess for GilbertElliott {
         let pb = self.stationary_bad_fraction();
         pb * self.bad_ber.frame_failure_probability(bits)
             + (1.0 - pb) * self.good_ber.frame_failure_probability(bits)
+    }
+
+    fn counters(&self) -> FaultCounters {
+        self.counters
     }
 }
 
@@ -173,6 +222,7 @@ pub struct ChannelOutage<P> {
     base: P,
     outage_after: u64,
     frames_seen: u64,
+    injected: u64,
 }
 
 impl<P: FaultProcess> ChannelOutage<P> {
@@ -183,6 +233,7 @@ impl<P: FaultProcess> ChannelOutage<P> {
             base,
             outage_after,
             frames_seen: 0,
+            injected: 0,
         }
     }
 
@@ -196,11 +247,9 @@ impl<P: FaultProcess> FaultProcess for ChannelOutage<P> {
     fn corrupts(&mut self, bits: u32) -> bool {
         let down = self.is_down();
         self.frames_seen += 1;
-        if down {
-            true
-        } else {
-            self.base.corrupts(bits)
-        }
+        let hit = if down { true } else { self.base.corrupts(bits) };
+        self.injected += u64::from(hit);
+        hit
     }
 
     fn frame_failure_probability(&self, bits: u32) -> f64 {
@@ -208,6 +257,16 @@ impl<P: FaultProcess> FaultProcess for ChannelOutage<P> {
             1.0
         } else {
             self.base.frame_failure_probability(bits)
+        }
+    }
+
+    fn counters(&self) -> FaultCounters {
+        // Count frames and injections at this layer (the base is only
+        // consulted while the channel is up, so its own counters under-
+        // report once the outage strikes).
+        FaultCounters {
+            frames_checked: self.frames_seen,
+            faults_injected: self.injected,
         }
     }
 }
@@ -306,6 +365,45 @@ mod tests {
         assert_eq!(faults_in_good, 0, "good state has BER 0");
         assert!(frames_in_good > 0 && frames_in_bad > 0);
         assert!(faults_in_bad > 0, "bad state must produce faults");
+    }
+
+    #[test]
+    fn counters_track_checks_and_injections() {
+        let ber = Ber::new(0.9).unwrap();
+        let mut f = BernoulliFaults::new(ber, 1);
+        let mut observed = 0u64;
+        for _ in 0..100 {
+            observed += u64::from(f.corrupts(10_000));
+        }
+        assert_eq!(f.counters().frames_checked, 100);
+        assert_eq!(f.counters().faults_injected, observed);
+        assert!(observed > 0, "BER 0.9 on long frames must corrupt");
+
+        let mut ge = GilbertElliott::new(Ber::ZERO, Ber::new(0.5).unwrap(), 0.5, 0.5, 7);
+        let mut hits = 0u64;
+        for _ in 0..200 {
+            hits += u64::from(ge.corrupts(1_000));
+        }
+        assert_eq!(ge.counters().frames_checked, 200);
+        assert_eq!(ge.counters().faults_injected, hits);
+
+        let mut outage = ChannelOutage::new(NoFaults, 2);
+        let _ = outage.corrupts(1);
+        let _ = outage.corrupts(1);
+        let _ = outage.corrupts(1);
+        let _ = outage.corrupts(1);
+        assert_eq!(
+            outage.counters(),
+            FaultCounters {
+                frames_checked: 4,
+                faults_injected: 2,
+            }
+        );
+
+        assert_eq!(NoFaults.counters(), FaultCounters::default());
+        let merged = f.counters().merged(ge.counters());
+        assert_eq!(merged.frames_checked, 300);
+        assert_eq!(merged.faults_injected, observed + hits);
     }
 
     #[test]

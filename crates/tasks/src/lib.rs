@@ -56,4 +56,7 @@ pub use slack::SlackTable;
 pub use stealer::{SlackStealer, StealerOutcome};
 pub use task::{PeriodicTask, TaskError, TaskId};
 pub use taskset::TaskSet;
-pub use trace::{ExecutionTrace, JobCompletion, JobSource, Slice, SliceKind, TraceError};
+pub use trace::{
+    preemption_count, ExecutionTrace, JobCompletion, JobSource, ScheduleCounters, Slice, SliceKind,
+    TraceError,
+};

@@ -20,7 +20,7 @@ use event_sim::{SimDuration, SimTime};
 
 use crate::aperiodic::AperiodicJob;
 use crate::taskset::TaskSet;
-use crate::trace::{ExecutionTrace, JobCompletion, JobSource, Slice, SliceKind};
+use crate::trace::{ExecutionTrace, JobCompletion, JobSource, ScheduleCounters, Slice, SliceKind};
 
 /// Result of a slack-stealing run.
 #[derive(Debug, Clone)]
@@ -32,6 +32,14 @@ impl StealerOutcome {
     /// The full execution trace.
     pub fn trace(&self) -> &ExecutionTrace {
         &self.trace
+    }
+
+    /// Structured counters recorded while scheduling (steal decisions,
+    /// preemptions). Background service does not count as a steal: it
+    /// runs only while the processor would otherwise idle, so no slack
+    /// is consulted or consumed.
+    pub fn counters(&self) -> ScheduleCounters {
+        self.trace.counters()
     }
 
     /// `true` if no periodic job missed its deadline — the stealer's core
@@ -94,7 +102,12 @@ impl SlackStealer {
         let mut st = StealState::new(&self.set, aperiodics, self.horizon);
         st.run();
         StealerOutcome {
-            trace: ExecutionTrace::new(st.slices, st.completions, self.horizon),
+            trace: ExecutionTrace::with_counters(
+                st.slices,
+                st.completions,
+                self.horizon,
+                st.counters,
+            ),
         }
     }
 }
@@ -109,6 +122,7 @@ struct StealState<'a> {
     now: SimTime,
     slices: Vec<Slice>,
     completions: Vec<JobCompletion>,
+    counters: ScheduleCounters,
 }
 
 impl<'a> StealState<'a> {
@@ -133,6 +147,7 @@ impl<'a> StealState<'a> {
             now: SimTime::ZERO,
             slices: Vec::new(),
             completions: Vec::new(),
+            counters: ScheduleCounters::default(),
         }
     }
 
@@ -289,11 +304,14 @@ impl<'a> StealState<'a> {
                     continue;
                 }
                 let slack = self.lookahead_slack();
+                self.counters.steal_attempts += 1;
                 if !slack.is_zero() {
+                    self.counters.steal_granted += 1;
                     let budget = slack.min(next_change - self.now);
                     self.run_aperiodic(budget);
                     continue;
                 }
+                self.counters.steal_denied += 1;
             }
             if !self.ready.is_empty() {
                 self.run_periodic(next_change);
@@ -457,6 +475,59 @@ mod tests {
             })
             .collect();
         assert_eq!(order, vec![10, 11]);
+    }
+
+    #[test]
+    fn steal_counters_satisfy_identity_on_hand_built_schedule() {
+        // A tight top-priority task (wcet == deadline < period) has zero
+        // slack while its job runs, and a light low-priority task keeps
+        // the ready queue non-empty afterwards. The aperiodic arriving at
+        // t = 0 is therefore denied at the tight release and granted once
+        // the tight job completes and only the light backlog remains.
+        let tight = PeriodicTask::new(1, ms(4), ms(16), ms(4));
+        let light = PeriodicTask::new(2, ms(1), ms(8), ms(8));
+        let s = TaskSet::with_explicit_priorities(vec![tight, light]).unwrap();
+        let stealer = SlackStealer::new(s, SimTime::from_millis(32));
+        let aps = vec![AperiodicJob::soft(70, SimTime::ZERO, ms(1))];
+        let out = stealer.run(&aps);
+        assert!(out.no_periodic_miss());
+        let c = out.counters();
+        assert!(c.steal_attempts > 0, "hand-built schedule must attempt");
+        assert!(c.steal_denied > 0, "t = 0 attempt must be denied: {c:?}");
+        assert!(c.steal_granted > 0, "t = 9 attempt must be granted: {c:?}");
+        assert!(
+            c.steal_identity_holds(),
+            "granted {} + denied {} != attempts {}",
+            c.steal_granted,
+            c.steal_denied,
+            c.steal_attempts
+        );
+    }
+
+    #[test]
+    fn background_service_is_not_a_steal() {
+        // Single aperiodic arriving while the processor is idle: it runs
+        // as background service without consulting slack at all.
+        let s = set(vec![task(1, 1, 8)]);
+        let stealer = SlackStealer::new(s, SimTime::from_millis(8));
+        let ap = AperiodicJob::soft(5, SimTime::from_millis(2), ms(1));
+        let out = stealer.run(std::slice::from_ref(&ap));
+        let c = out.counters();
+        assert_eq!(c.steal_attempts, 0, "{c:?}");
+        assert!(c.steal_identity_holds());
+        assert_eq!(out.aperiodic_completions().count(), 1);
+    }
+
+    #[test]
+    fn preemptions_counted_when_aperiodic_splits_periodic_work() {
+        // Aperiodic with slack preempts the periodic job mid-execution;
+        // the periodic resumes afterwards → one preemption.
+        let s = set(vec![task(1, 2, 8)]);
+        let stealer = SlackStealer::new(s, SimTime::from_millis(8));
+        let ap = AperiodicJob::soft(3, SimTime::from_millis(1), ms(1));
+        let out = stealer.run(std::slice::from_ref(&ap));
+        assert!(out.no_periodic_miss());
+        assert!(out.counters().preemptions >= 1, "{:?}", out.counters());
     }
 
     #[test]

@@ -116,6 +116,73 @@ impl fmt::Display for TraceError {
 
 impl std::error::Error for TraceError {}
 
+/// Structured counters a schedule producer records while it runs.
+///
+/// The counters travel with the [`ExecutionTrace`] so that downstream
+/// consumers (the `coefficient` runner, the sweep JSON, the golden
+/// corpus) can explain *why* two schedules differ, not just *that* they
+/// do. Producers that never steal (e.g. [`crate::simulate`]'s background
+/// service) leave the steal counters at zero; the invariant
+/// `steal_granted + steal_denied == steal_attempts` holds for every
+/// producer by construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ScheduleCounters {
+    /// Times a job resumed execution after being interrupted by
+    /// higher-priority work (counted per resumption, not per interrupting
+    /// job).
+    pub preemptions: u64,
+    /// Times the scheduler consulted slack with aperiodic work pending
+    /// while periodic work was also ready.
+    pub steal_attempts: u64,
+    /// Steal attempts where positive slack existed and aperiodic work ran
+    /// at the top priority.
+    pub steal_granted: u64,
+    /// Steal attempts where slack was zero and the aperiodic work had to
+    /// wait behind the periodic backlog.
+    pub steal_denied: u64,
+    /// Proactive early copies sent (populated by bus-level schedulers
+    /// that embed these counters; always zero for pure CPU schedules).
+    pub early_copies: u64,
+}
+
+impl ScheduleCounters {
+    /// Field-wise sum of two counter sets.
+    #[must_use]
+    pub fn merged(self, other: ScheduleCounters) -> ScheduleCounters {
+        ScheduleCounters {
+            preemptions: self.preemptions + other.preemptions,
+            steal_attempts: self.steal_attempts + other.steal_attempts,
+            steal_granted: self.steal_granted + other.steal_granted,
+            steal_denied: self.steal_denied + other.steal_denied,
+            early_copies: self.early_copies + other.early_copies,
+        }
+    }
+
+    /// `true` iff every steal attempt was resolved one way or the other.
+    pub fn steal_identity_holds(&self) -> bool {
+        self.steal_granted + self.steal_denied == self.steal_attempts
+    }
+}
+
+/// Preemptions evidenced by a slice sequence: because producers coalesce
+/// adjacent slices of identical kind, a job appearing in `n > 1` slices
+/// was interrupted and resumed `n − 1` times.
+pub fn preemption_count(slices: &[Slice]) -> u64 {
+    let mut seen = std::collections::HashMap::new();
+    let mut preemptions = 0u64;
+    for s in slices {
+        let key = match s.kind {
+            SliceKind::Periodic { task, job, .. } => (0u8, u64::from(task), job),
+            SliceKind::Aperiodic { job } => (1u8, 0, job),
+            SliceKind::Idle => continue,
+        };
+        if *seen.entry(key).and_modify(|n| *n += 1u64).or_insert(1) > 1 {
+            preemptions += 1;
+        }
+    }
+    preemptions
+}
+
 /// The complete record of a simulated schedule over `[0, horizon)`.
 ///
 /// Invariants (checked by [`validate`](Self::validate), and by
@@ -129,16 +196,50 @@ pub struct ExecutionTrace {
     slices: Vec<Slice>,
     completions: Vec<JobCompletion>,
     horizon: SimTime,
+    counters: ScheduleCounters,
 }
 
 impl ExecutionTrace {
-    /// Assembles a trace; intended for schedule producers.
+    /// Assembles a trace; intended for schedule producers. Preemptions
+    /// are derived from the slice sequence; producers with extra state
+    /// (steal decisions) should use [`with_counters`](Self::with_counters).
     pub fn new(slices: Vec<Slice>, completions: Vec<JobCompletion>, horizon: SimTime) -> Self {
+        let counters = ScheduleCounters {
+            preemptions: preemption_count(&slices),
+            ..ScheduleCounters::default()
+        };
         ExecutionTrace {
             slices,
             completions,
             horizon,
+            counters,
         }
+    }
+
+    /// Assembles a trace with producer-supplied counters (the producer is
+    /// trusted for the steal fields; preemptions are still derived from
+    /// the slices so they cannot drift from the schedule itself).
+    pub fn with_counters(
+        slices: Vec<Slice>,
+        completions: Vec<JobCompletion>,
+        horizon: SimTime,
+        counters: ScheduleCounters,
+    ) -> Self {
+        let counters = ScheduleCounters {
+            preemptions: preemption_count(&slices),
+            ..counters
+        };
+        ExecutionTrace {
+            slices,
+            completions,
+            horizon,
+            counters,
+        }
+    }
+
+    /// Structured counters recorded while producing this schedule.
+    pub fn counters(&self) -> ScheduleCounters {
+        self.counters
     }
 
     /// The recorded slices in time order.
@@ -398,6 +499,67 @@ mod tests {
             t(3),
         );
         assert_eq!(tr.level_idle_between(5, t(0), t(3)), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn preemptions_derived_from_slices() {
+        // Task 0 job 0 runs, is preempted by task 1, resumes, and an
+        // aperiodic job is split across two slices as well.
+        let tr = ExecutionTrace::new(
+            vec![
+                slice(0, 2, periodic(1)),
+                slice(2, 3, periodic(0)),
+                slice(3, 4, periodic(1)),
+                slice(4, 5, SliceKind::Aperiodic { job: 9 }),
+                slice(5, 6, periodic(0)),
+                slice(6, 7, SliceKind::Aperiodic { job: 9 }),
+            ],
+            vec![],
+            t(7),
+        );
+        assert_eq!(tr.counters().preemptions, 3);
+        assert!(tr.counters().steal_identity_holds());
+    }
+
+    #[test]
+    fn with_counters_keeps_steal_fields_and_rederives_preemptions() {
+        let supplied = ScheduleCounters {
+            preemptions: 999, // ignored: derived from slices
+            steal_attempts: 5,
+            steal_granted: 3,
+            steal_denied: 2,
+            early_copies: 0,
+        };
+        let tr =
+            ExecutionTrace::with_counters(vec![slice(0, 2, periodic(0))], vec![], t(2), supplied);
+        assert_eq!(tr.counters().preemptions, 0);
+        assert_eq!(tr.counters().steal_attempts, 5);
+        assert!(tr.counters().steal_identity_holds());
+    }
+
+    #[test]
+    fn counters_merge_fieldwise() {
+        let a = ScheduleCounters {
+            preemptions: 1,
+            steal_attempts: 2,
+            steal_granted: 1,
+            steal_denied: 1,
+            early_copies: 4,
+        };
+        let b = ScheduleCounters {
+            preemptions: 10,
+            steal_attempts: 20,
+            steal_granted: 15,
+            steal_denied: 5,
+            early_copies: 0,
+        };
+        let m = a.merged(b);
+        assert_eq!(m.preemptions, 11);
+        assert_eq!(m.steal_attempts, 22);
+        assert_eq!(m.steal_granted, 16);
+        assert_eq!(m.steal_denied, 6);
+        assert_eq!(m.early_copies, 4);
+        assert!(m.steal_identity_holds());
     }
 
     #[test]
