@@ -31,8 +31,8 @@
 //! raw rows as JSON to stdout (for plotting).
 
 use bench_harness::experiments::{
-    ablation, fault_model_ablation, fig3_bandwidth, fig4_latency, fig5_miss_ratio,
-    fig_running_time, verify_reproduction, Segment,
+    ablation, dynamic_experiment_statics, fault_model_ablation, fig3_bandwidth, fig4_latency,
+    fig5_miss_ratio, fig_running_time, run_once, verify_reproduction, Segment,
 };
 use std::path::Path;
 
@@ -44,7 +44,9 @@ use bench_harness::sweep::{
     cell_json, parse_policy, parse_scenario, policy_label, sweep_report_json, SweepSpec,
 };
 use bench_harness::table::print_table;
-use coefficient::{CellCoord, Scenario, SeedStrategy, SweepRunner};
+use coefficient::{CellCoord, Policy, Scenario, SeedStrategy, StopCondition, SweepRunner};
+use event_sim::SimDuration;
+use flexray::config::ClusterConfig;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -53,6 +55,7 @@ fn main() {
         Some("replay") => run_replay(&args[1..]),
         Some("golden") => run_golden(&args[1..]),
         Some("determinism") => run_determinism(&args[1..]),
+        Some("storm-smoke") => run_storm_smoke(&args[1..]),
         _ => run_figures(&args),
     }
 }
@@ -311,6 +314,88 @@ fn run_determinism(args: &[String]) {
         std::process::exit(1);
     }
     println!("determinism: all {} runs agree", thread_counts.len());
+}
+
+// ---------------------------------------------------------------------------
+// storm smoke
+// ---------------------------------------------------------------------------
+
+/// Pinned seed of the scripted CI fault storm (see `run_storm_smoke`).
+const STORM_SMOKE_SEED: u64 = 1;
+
+/// `experiments storm-smoke [--seed N] [--horizon-ms H]`: runs CoEfficient
+/// through one scripted `BER-7-storm` fault storm on the paper's mixed
+/// geometry and checks the fault-storm resilience contract — hard
+/// (static) messages miss zero deadlines while soft dynamic traffic is
+/// shed during the storm and nominal service is restored after it. Exits
+/// non-zero if any check fails; CI runs this as the fault-storm gate.
+///
+/// The default seed/horizon pin a storm script in which every mechanism
+/// engages (asymmetric bursts on both channels, a recovery window at the
+/// end); the run is deterministic, so the gate is exact, not statistical.
+fn run_storm_smoke(args: &[String]) {
+    let seed = parse_number(args, "--seed").unwrap_or(STORM_SMOKE_SEED);
+    let horizon_ms: u64 = parse_number(args, "--horizon-ms").unwrap_or(200);
+    let report = run_once(
+        ClusterConfig::paper_mixed(50),
+        Scenario::ber7().storm(),
+        dynamic_experiment_statics(),
+        workloads::sae::message_set(workloads::sae::IdRange::For80Slots, seed),
+        Policy::CoEfficient,
+        StopCondition::Horizon(SimDuration::from_millis(horizon_ms)),
+        seed,
+    );
+    let c = report.counters;
+    println!(
+        "storm-smoke: seed {seed}, horizon {horizon_ms} ms, fingerprint {:016x}",
+        report.fingerprint()
+    );
+    println!(
+        "  frames {} ({} corrupted; channel A {}/{}, channel B {}/{})",
+        report.frames,
+        report.corrupted,
+        report.channel_faults[0].faults_injected,
+        report.channel_faults[0].frames_checked,
+        report.channel_faults[1].faults_injected,
+        report.channel_faults[1].frames_checked,
+    );
+    println!(
+        "  static deadlines {}/{} met, dynamic {}/{} met",
+        report.static_deadlines.met(),
+        report.static_deadlines.met() + report.static_deadlines.missed(),
+        report.dynamic_deadlines.met(),
+        report.dynamic_deadlines.met() + report.dynamic_deadlines.missed(),
+    );
+    println!(
+        "  health: {} transitions, {} storm entries, {} restores",
+        c.health_transitions, c.storm_entries, c.service_restores
+    );
+    println!(
+        "  degraded mode: {} soft shed, {} extra hard copies, {} failover mirrors",
+        c.soft_shed, c.degraded_extra_copies, c.failover_mirrors
+    );
+    let checks: [(&str, bool); 5] = [
+        (
+            "hard (static) messages miss zero deadlines",
+            report.static_deadlines.missed() == 0,
+        ),
+        ("a storm was detected", c.storm_entries >= 1),
+        ("soft traffic was shed", c.soft_shed > 0),
+        (
+            "freed slack bought extra hard copies",
+            c.degraded_extra_copies > 0,
+        ),
+        ("nominal service was restored", c.service_restores >= 1),
+    ];
+    let mut failed = false;
+    for (claim, pass) in checks {
+        println!("  [{}] {claim}", if pass { "PASS" } else { "FAIL" });
+        failed |= !pass;
+    }
+    if failed {
+        eprintln!("storm-smoke FAILED");
+        std::process::exit(1);
+    }
 }
 
 // ---------------------------------------------------------------------------

@@ -30,10 +30,14 @@ use crate::sweep::{parse_policy, parse_scenario, policy_label, SweepSpec};
 /// Default on-disk location of the checked-in corpus.
 pub const DEFAULT_CORPUS_PATH: &str = "corpus/golden.json";
 
-/// The pinned spec of the CI regression gate: 2 policies × 2 scenarios ×
-/// 3 seeds = 12 cells on the paper's mixed geometry, with a horizon
+/// The pinned spec of the CI regression gate: 2 policies × 3 scenarios ×
+/// 3 seeds = 18 cells on the paper's mixed geometry, with a horizon
 /// short enough for every CI run but long enough that faults, steals and
-/// early copies all occur in every cell.
+/// early copies all occur in every cell. The `BER-7-storm` column pins
+/// the resilience subsystem: monitor transitions, degraded-mode shedding
+/// and dual-channel failover all engage there and their counters are
+/// part of the recorded fingerprints. Per-cell seeds key on the scenario
+/// *name*, so adding a scenario never shifts the older cells' seeds.
 pub fn golden_spec() -> SweepSpec {
     SweepSpec {
         minislots: 50,
@@ -42,7 +46,7 @@ pub fn golden_spec() -> SweepSpec {
         master_seed: SEED,
         threads: None,
         policies: vec![Policy::CoEfficient, Policy::Fspec],
-        scenarios: vec![Scenario::ber7(), Scenario::ber9()],
+        scenarios: vec![Scenario::ber7(), Scenario::ber9(), Scenario::ber7().storm()],
         strategy: SeedStrategy::PerCell,
     }
 }
@@ -339,6 +343,20 @@ fn metrics_from_json(doc: &Json) -> Result<GoldenMetrics, CorpusError> {
     })
 }
 
+/// Reads an optional counter, defaulting to zero when the key is absent.
+/// The resilience counters joined the schema after the first corpora were
+/// recorded; corpora from before then simply never engaged the subsystem,
+/// so zero is the faithful value (and the conditional fingerprint folding
+/// makes an all-zero resilience block digest-neutral).
+fn opt_u64(doc: &Json, key: &str) -> Result<u64, CorpusError> {
+    match doc.get(key) {
+        None => Ok(0),
+        Some(v) => v
+            .as_u64()
+            .ok_or_else(|| CorpusError::new(format!("{key:?} is not an unsigned integer"))),
+    }
+}
+
 fn counters_from_json(doc: &Json) -> Result<RunCounters, CorpusError> {
     Ok(RunCounters {
         steal_attempts: want_u64(doc, "steal_attempts")?,
@@ -351,6 +369,12 @@ fn counters_from_json(doc: &Json) -> Result<RunCounters, CorpusError> {
         frames_checked: want_u64(doc, "frames_checked")?,
         faults_injected: want_u64(doc, "faults_injected")?,
         faults_recovered: want_u64(doc, "faults_recovered")?,
+        health_transitions: opt_u64(doc, "health_transitions")?,
+        storm_entries: opt_u64(doc, "storm_entries")?,
+        service_restores: opt_u64(doc, "service_restores")?,
+        soft_shed: opt_u64(doc, "soft_shed")?,
+        degraded_extra_copies: opt_u64(doc, "degraded_extra_copies")?,
+        failover_mirrors: opt_u64(doc, "failover_mirrors")?,
     })
 }
 
@@ -418,9 +442,11 @@ mod tests {
     }
 
     #[test]
-    fn golden_spec_is_a_12_cell_matrix() {
-        let matrix = golden_spec().build_matrix();
-        assert_eq!(matrix.cell_count(), 12);
+    fn golden_spec_is_an_18_cell_matrix_with_a_storm_column() {
+        let spec = golden_spec();
+        let matrix = spec.build_matrix();
+        assert_eq!(matrix.cell_count(), 18);
+        assert!(spec.scenarios.iter().any(|s| s.name == "BER-7-storm"));
     }
 
     #[test]

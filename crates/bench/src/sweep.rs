@@ -104,12 +104,16 @@ pub fn parse_policy(s: &str) -> Option<Policy> {
 }
 
 /// Parses a scenario flag value (`ber7` / `ber9` / `fault-free`, with a
-/// `-bursty` suffix selecting the Gilbert–Elliott variant).
+/// `-bursty` suffix selecting the Gilbert–Elliott variant and a `-storm`
+/// suffix the fault-storm variant).
 pub fn parse_scenario(s: &str) -> Option<Scenario> {
     let lower = s.to_ascii_lowercase();
-    let (base, bursty) = match lower.strip_suffix("-bursty") {
-        Some(base) => (base, true),
-        None => (lower.as_str(), false),
+    let (base, variant) = if let Some(base) = lower.strip_suffix("-bursty") {
+        (base, Some(Scenario::bursty as fn(Scenario) -> Scenario))
+    } else if let Some(base) = lower.strip_suffix("-storm") {
+        (base, Some(Scenario::storm as fn(Scenario) -> Scenario))
+    } else {
+        (lower.as_str(), None)
     };
     let scenario = match base {
         "ber7" | "ber-7" => Scenario::ber7(),
@@ -117,7 +121,10 @@ pub fn parse_scenario(s: &str) -> Option<Scenario> {
         "fault-free" | "faultfree" => Scenario::fault_free(),
         _ => return None,
     };
-    Some(if bursty { scenario.bursty() } else { scenario })
+    Some(match variant {
+        Some(f) => f(scenario),
+        None => scenario,
+    })
 }
 
 /// Human-readable policy label (matches the table output).
@@ -313,6 +320,8 @@ mod tests {
         assert_eq!(parse_scenario("BER-9").unwrap().name, "BER-9");
         assert_eq!(parse_scenario("fault-free").unwrap().name, "fault-free");
         assert!(parse_scenario("ber7-bursty").is_some());
+        assert_eq!(parse_scenario("ber7-storm").unwrap().name, "BER-7-storm");
+        assert_eq!(parse_scenario("BER-9-storm").unwrap().name, "BER-9-storm");
         assert!(parse_scenario("nope").is_none());
     }
 

@@ -22,8 +22,9 @@ use flexray::config::ClusterConfig;
 use flexray::schedule::MessageId;
 use flexray::signal::Signal;
 use flexray::ChannelId;
+use reliability::monitor::HealthState;
 use reliability::{MessageReliability, RetransmissionPlanner};
-use workloads::AperiodicMessage;
+use workloads::{AperiodicMessage, Criticality};
 
 use crate::assignment::{AllocationError, OccupantKind, StaticAllocation};
 use crate::instance::{InstanceId, InstanceTracker, MessageClass};
@@ -172,6 +173,22 @@ pub struct Scheduler {
     /// Statistics: steal attempts where no backlogged entry fit the
     /// static slot capacity.
     steal_denied: u64,
+    /// Effective bus health (set by the runner from its reliability
+    /// monitors before each cycle). Only CoEfficient acts on it; the
+    /// baselines have no degraded mode.
+    health: HealthState,
+    /// Per-channel health ([A, B]) driving dual-channel failover.
+    channel_health: [HealthState; 2],
+    /// Degraded mode: soft dynamic instances shed (produced and tracked,
+    /// but refused admission to the transmit queues).
+    soft_shed: u64,
+    /// Degraded mode: extra hard-message retransmission copies sent
+    /// through slack freed by shedding (beyond the Theorem-1 plan and the
+    /// single nominal early copy).
+    degraded_extra_copies: u64,
+    /// Failover: hard frames mirrored into their slot on the healthy
+    /// channel while the owning channel was in `Storm`.
+    failover_mirrors: u64,
 }
 
 /// Errors constructing a [`Scheduler`].
@@ -431,6 +448,11 @@ impl Scheduler {
             early_copies_sent: 0,
             steal_attempts: 0,
             steal_denied: 0,
+            health: HealthState::Nominal,
+            channel_health: [HealthState::Nominal; 2],
+            soft_shed: 0,
+            degraded_extra_copies: 0,
+            failover_mirrors: 0,
         })
     }
 
@@ -482,6 +504,40 @@ impl Scheduler {
         self.steal_denied
     }
 
+    /// Updates the health states the degraded-mode logic acts on: the
+    /// effective bus health plus the per-channel classifications
+    /// (`[A, B]`). The [`crate::Runner`] calls this once per cycle from
+    /// its reliability monitors; only [`Policy::CoEfficient`] changes
+    /// behaviour in response.
+    pub fn set_health(&mut self, overall: HealthState, per_channel: [HealthState; 2]) {
+        self.health = overall;
+        self.channel_health = per_channel;
+    }
+
+    /// The effective bus health last supplied via
+    /// [`set_health`](Self::set_health).
+    pub fn health(&self) -> HealthState {
+        self.health
+    }
+
+    /// Soft dynamic instances shed by the degraded mode (produced but
+    /// never enqueued; they count as losses in the tracker).
+    pub fn soft_shed(&self) -> u64 {
+        self.soft_shed
+    }
+
+    /// Extra hard-message copies sent while degraded, beyond the
+    /// Theorem-1 plan and the nominal early copy.
+    pub fn degraded_extra_copies(&self) -> u64 {
+        self.degraded_extra_copies
+    }
+
+    /// Hard frames mirrored to the healthy channel during a channel
+    /// storm.
+    pub fn failover_mirrors(&self) -> u64 {
+        self.failover_mirrors
+    }
+
     /// The scheduler's steal/early-copy decisions as the shared
     /// [`tasks::ScheduleCounters`] record (preemptions stay zero: FlexRay
     /// slots are non-preemptive).
@@ -492,6 +548,7 @@ impl Scheduler {
             steal_granted: self.cooperative_static_serves,
             steal_denied: self.steal_denied,
             early_copies: self.early_copies_sent,
+            degraded_sheds: self.soft_shed,
         }
     }
 
@@ -568,9 +625,29 @@ impl Scheduler {
         let deadline = now + info.spec.deadline;
         let expires = deadline + info.spec.min_interarrival;
         let (copies, home, payload) = (info.copies, info.home_channel, info.payload_bytes);
+        let criticality = info.spec.criticality;
         let instance =
             self.tracker
                 .produce(dyn_key(frame_id), MessageClass::Dynamic, now, deadline);
+        // Degraded mode (CoEfficient only): shed soft traffic by
+        // criticality — `Stressed` drops the lowest class, `Storm` keeps
+        // only the highest. The instance stays tracked (a shed arrival is
+        // a miss the metrics must see); nominal service resumes
+        // automatically once the monitor recovers, because admission is
+        // re-evaluated per arrival.
+        if self.policy == Policy::CoEfficient {
+            let kept_floor = match self.health {
+                HealthState::Nominal => None,
+                HealthState::Stressed => Some(Criticality::Medium),
+                HealthState::Storm => Some(Criticality::High),
+            };
+            if let Some(floor) = kept_floor {
+                if criticality < floor {
+                    self.soft_shed += 1;
+                    return instance;
+                }
+            }
+        }
         // First transmission on the home channel, copies alternating from
         // the other one.
         self.enqueue_dynamic(
@@ -641,6 +718,15 @@ impl Scheduler {
         let capacity = self.config.static_slot_capacity_bits();
         if !self.options.dual_channel && channel == ChannelId::B {
             return None; // single-channel ablation leaves B untouched
+        }
+        // 0. Degraded mode: the slack freed by shedding soft traffic is
+        // re-planned into extra copies of hard messages — undelivered
+        // static instances get retransmitted ahead of any dynamic backlog
+        // (the online counterpart of the offline Theorem-1 plan).
+        if self.health.is_degraded() && self.options.early_copies {
+            if let Some(payload) = self.degraded_hard_copy(slot_start, capacity) {
+                return Some(payload);
+            }
         }
         // 1. Serve the dynamic backlog (lowest frame id first). A free
         // position offered while backlog is pending is a steal attempt:
@@ -721,6 +807,121 @@ impl Scheduler {
             });
         }
         None
+    }
+
+    /// Degraded-mode online re-plan: one more copy of the most urgent
+    /// undelivered static instance through this free position. The
+    /// per-instance opportunistic budget (`early_copies`) rises from the
+    /// nominal 1 to 2 (`Stressed`) or 3 (`Storm`), and — unlike the
+    /// nominal early copy — the primary may already have fired and been
+    /// corrupted: a burst eating the planned copies is exactly the case
+    /// the offline Theorem-1 plan cannot cover.
+    fn degraded_hard_copy(
+        &mut self,
+        slot_start: SimTime,
+        capacity: u64,
+    ) -> Option<OutboundPayload> {
+        let budget = match self.health {
+            HealthState::Nominal => return None,
+            HealthState::Stressed => 2,
+            HealthState::Storm => 3,
+        };
+        let mut best: Option<(SimTime, MessageId, InstanceId, u16)> = None;
+        for (id, info) in &self.statics {
+            if info.wire_bits > capacity {
+                continue;
+            }
+            let Some(instance) = self.tracker.newest_at_or_before(*id, slot_start) else {
+                continue;
+            };
+            let inst = self.tracker.get(instance);
+            if inst.is_delivered() || inst.early_copies >= budget {
+                continue;
+            }
+            if slot_start >= inst.deadline {
+                continue; // past the deadline, a copy cannot save it
+            }
+            if !self.static_instance_window_open(instance, slot_start) {
+                continue;
+            }
+            let deadline = self.tracker.get(instance).deadline;
+            if best.is_none_or(|(d, ..)| deadline < d) {
+                best = Some((deadline, *id, instance, info.payload_bytes));
+            }
+        }
+        let (_, message, instance, payload_bytes) = best?;
+        self.tracker.get_mut(instance).early_copies += 1;
+        self.degraded_extra_copies += 1;
+        self.copy_transmissions += 1;
+        let produced_at = self.tracker.get(instance).produced_at;
+        self.in_flight.push_back(instance);
+        Some(OutboundPayload {
+            message,
+            payload_bytes,
+            produced_at,
+        })
+    }
+
+    /// Dual-channel failover: when the *other* channel is degraded and
+    /// strictly sicker than this one, this channel is the only one whose
+    /// transmissions can be trusted — the sick channel's share of an
+    /// instance's protection (its primary, or its planned copies) is
+    /// effectively stranded in the burst. A free position here therefore
+    /// re-hosts the most urgent undelivered hard instance, ahead of any
+    /// planned occurrence still scheduled on the storming channel. The
+    /// per-instance budget is one step above the `Storm` degraded-copy
+    /// budget, so a failover retransmission is available even after the
+    /// degraded re-plan spent its allowance.
+    fn failover_mirror(
+        &mut self,
+        channel: ChannelId,
+        slot_start: SimTime,
+    ) -> Option<OutboundPayload> {
+        const FAILOVER_BUDGET: u32 = 4;
+        if !self.options.dual_channel {
+            return None;
+        }
+        let other = channel.other();
+        if !self.channel_health[other.index()].is_degraded()
+            || self.channel_health[other.index()] <= self.channel_health[channel.index()]
+        {
+            return None;
+        }
+        let capacity = self.config.static_slot_capacity_bits();
+        let mut best: Option<(SimTime, MessageId, InstanceId, u16)> = None;
+        for (id, info) in &self.statics {
+            if info.wire_bits > capacity {
+                continue;
+            }
+            let Some(instance) = self.tracker.newest_at_or_before(*id, slot_start) else {
+                continue;
+            };
+            let inst = self.tracker.get(instance);
+            if inst.is_delivered() || inst.early_copies >= FAILOVER_BUDGET {
+                continue;
+            }
+            if slot_start >= inst.deadline {
+                continue;
+            }
+            if !self.static_instance_window_open(instance, slot_start) {
+                continue;
+            }
+            let deadline = inst.deadline;
+            if best.is_none_or(|(d, ..)| deadline < d) {
+                best = Some((deadline, *id, instance, info.payload_bytes));
+            }
+        }
+        let (_, message, instance, payload_bytes) = best?;
+        self.tracker.get_mut(instance).early_copies += 1;
+        self.failover_mirrors += 1;
+        self.copy_transmissions += 1;
+        let produced_at = self.tracker.get(instance).produced_at;
+        self.in_flight.push_back(instance);
+        Some(OutboundPayload {
+            message,
+            payload_bytes,
+            produced_at,
+        })
     }
 }
 
@@ -820,6 +1021,12 @@ impl TrafficSource for Scheduler {
         }
         match self.policy {
             Policy::CoEfficient => {
+                // Failover outranks cooperative filling: a hard frame
+                // stranded on a storming channel takes the free position
+                // before any soft backlog or opportunistic copy.
+                if let Some(payload) = self.failover_mirror(channel, slot_start) {
+                    return Some(payload);
+                }
                 self.cooperative_fill(cycle, cycle_counter, slot, channel, slot_start)
             }
             // The baselines schedule the segments separately: free static

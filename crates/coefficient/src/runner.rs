@@ -13,7 +13,8 @@ use flexray::signal::Signal;
 use flexray::ChannelId;
 use metrics::{DeadlineTracker, Summary};
 use rand::Rng;
-use reliability::fault::{BernoulliFaults, FaultProcess, GilbertElliott};
+use reliability::fault::{BernoulliFaults, FaultCounters, FaultProcess, GilbertElliott};
+use reliability::monitor::{HealthState, MonitorConfig, ReliabilityMonitor};
 use reliability::Ber;
 use workloads::AperiodicMessage;
 
@@ -90,13 +91,29 @@ pub struct RunCounters {
     /// Instances that suffered ≥ 1 corrupted transmission yet were still
     /// delivered — faults masked by retransmission redundancy.
     pub faults_recovered: u64,
+    /// Health-state changes of the effective bus health (overall monitor
+    /// ⊔ per-channel monitors), in either direction.
+    pub health_transitions: u64,
+    /// Transitions of the effective health into `Storm`.
+    pub storm_entries: u64,
+    /// Recoveries of the effective health back to `Nominal` from a
+    /// degraded state (each one restores nominal soft-traffic service).
+    pub service_restores: u64,
+    /// Soft dynamic instances shed by the degraded mode (produced but
+    /// refused admission by criticality).
+    pub soft_shed: u64,
+    /// Extra hard-message copies sent through slack freed by shedding
+    /// (beyond the Theorem-1 plan and the nominal early copy).
+    pub degraded_extra_copies: u64,
+    /// Hard frames mirrored to the healthy channel while the owning
+    /// channel was in `Storm`.
+    pub failover_mirrors: u64,
 }
 
 impl RunCounters {
-    /// Every counter as a `(name, value)` pair, in a fixed order — the
-    /// golden corpus serializes and diffs counters through this list so
-    /// a field added here is automatically recorded and compared.
-    pub fn fields(&self) -> [(&'static str, u64); 10] {
+    /// The baseline counters (the `coefficient-golden/1` schema as first
+    /// recorded) as `(name, value)` pairs, in a fixed order.
+    pub fn legacy_fields(&self) -> [(&'static str, u64); 10] {
         [
             ("steal_attempts", self.steal_attempts),
             ("steal_granted", self.steal_granted),
@@ -112,6 +129,31 @@ impl RunCounters {
             ("faults_injected", self.faults_injected),
             ("faults_recovered", self.faults_recovered),
         ]
+    }
+
+    /// The resilience counters (monitor transitions, shedding, failover)
+    /// added with the fault-storm subsystem, as `(name, value)` pairs.
+    pub fn resilience_fields(&self) -> [(&'static str, u64); 6] {
+        [
+            ("health_transitions", self.health_transitions),
+            ("storm_entries", self.storm_entries),
+            ("service_restores", self.service_restores),
+            ("soft_shed", self.soft_shed),
+            ("degraded_extra_copies", self.degraded_extra_copies),
+            ("failover_mirrors", self.failover_mirrors),
+        ]
+    }
+
+    /// Every counter as a `(name, value)` pair, in a fixed order — the
+    /// golden corpus serializes and diffs counters through this list so
+    /// a field added here is automatically recorded and compared.
+    pub fn fields(&self) -> [(&'static str, u64); 16] {
+        let legacy = self.legacy_fields();
+        let resilience = self.resilience_fields();
+        let mut all = [("", 0u64); 16];
+        all[..10].copy_from_slice(&legacy);
+        all[10..].copy_from_slice(&resilience);
+        all
     }
 
     /// `true` iff every steal attempt was resolved one way or the other.
@@ -165,6 +207,10 @@ pub struct RunReport {
     /// Structured counters from every layer (steal decisions, fault
     /// injection/recovery, retransmission budget).
     pub counters: RunCounters,
+    /// Per-channel fault-process counters (A, B) — the merged totals are
+    /// `counters.frames_checked` / `counters.faults_injected`; the split
+    /// view shows which channel the storm hit.
+    pub channel_faults: [FaultCounters; 2],
     /// `true` if the run hit the safety cycle cap before draining.
     pub truncated: bool,
 }
@@ -214,8 +260,19 @@ impl RunReport {
         d.push(self.cooperative_static_serves);
         d.push(self.early_copies_sent);
         d.push(self.copy_transmissions);
-        for (_, value) in self.counters.fields() {
+        for (_, value) in self.counters.legacy_fields() {
             d.push(value);
+        }
+        // The resilience counters joined the schema after the baseline
+        // corpus was recorded. Each folds in only when it engaged — tagged
+        // with its index so distinct fields cannot alias — which keeps the
+        // digest of every run where the subsystem stayed idle identical to
+        // its recorded baseline.
+        for (i, (_, value)) in self.counters.resilience_fields().into_iter().enumerate() {
+            if value != 0 {
+                d.push(0x5245_5349_4c00 | i as u64);
+                d.push(value);
+            }
         }
         d.push(u64::from(self.truncated));
         d.finish()
@@ -233,6 +290,14 @@ pub struct Runner {
     engine: BusEngine,
     /// Arrival phase per dynamic message (index-aligned).
     dynamic_phases: Vec<SimDuration>,
+    /// Bus-wide reliability monitor over the merged fault counters; the
+    /// engine holds the per-channel monitors.
+    monitor: ReliabilityMonitor,
+    /// Worst of (overall, channel A, channel B) health at the last cycle.
+    effective_health: HealthState,
+    health_transitions: u64,
+    storm_entries: u64,
+    service_restores: u64,
 }
 
 impl Runner {
@@ -278,9 +343,17 @@ impl Runner {
                 }
             }
         };
+        // Thresholds sit a safe factor above the frame-failure rate the
+        // offline plan assumed (a representative 1000-bit frame at the
+        // scenario's good-state BER), so nominal runs never trip the
+        // monitor while a Gilbert–Elliott bad state does within windows.
+        let monitor_cfg = MonitorConfig::for_expected_fault_rate(
+            cfg.scenario.ber.frame_failure_probability(1000),
+        );
         let engine = BusEngine::new(cfg.cluster.clone())
             .with_coding(coding)
-            .with_faults(fault(cfg.seed ^ 0xA), fault(cfg.seed ^ 0xB));
+            .with_faults(fault(cfg.seed ^ 0xA), fault(cfg.seed ^ 0xB))
+            .with_health_monitoring(monitor_cfg);
         let mut rng = substream(cfg.seed, "runner/dynamic-phases");
         let dynamic_phases = cfg
             .dynamic_messages
@@ -295,6 +368,11 @@ impl Runner {
             scheduler,
             engine,
             dynamic_phases,
+            monitor: ReliabilityMonitor::new(monitor_cfg),
+            effective_health: HealthState::Nominal,
+            health_transitions: 0,
+            storm_entries: 0,
+            service_restores: 0,
         })
     }
 
@@ -406,6 +484,7 @@ impl Runner {
 
             self.engine.run_cycle(cycle, &mut self.scheduler);
             cycle += 1;
+            self.observe_health();
             let elapsed = self.engine.elapsed();
 
             // Stop checks.
@@ -437,6 +516,36 @@ impl Runner {
         self.report(truncated)
     }
 
+    /// Feeds the bus-wide monitor the merged fault counters, combines it
+    /// with the engine's per-channel health into the *effective* health
+    /// (the worst of the three — a single-channel storm must degrade
+    /// service even when the merged rate is diluted by the healthy
+    /// channel), counts transitions, and pushes the result into the
+    /// scheduler for the next cycle's degraded-mode decisions.
+    fn observe_health(&mut self) {
+        let merged = self
+            .engine
+            .fault_counters(ChannelId::A)
+            .merged(self.engine.fault_counters(ChannelId::B));
+        let overall = self.monitor.observe(merged);
+        let channels = [
+            self.engine.channel_health(ChannelId::A),
+            self.engine.channel_health(ChannelId::B),
+        ];
+        let effective = overall.max(channels[0]).max(channels[1]);
+        if effective != self.effective_health {
+            self.health_transitions += 1;
+            if effective == HealthState::Storm {
+                self.storm_entries += 1;
+            }
+            if effective == HealthState::Nominal {
+                self.service_restores += 1;
+            }
+            self.effective_health = effective;
+        }
+        self.scheduler.set_health(effective, channels);
+    }
+
     fn report(self, truncated: bool) -> RunReport {
         let elapsed = self.engine.elapsed();
         let a = self.engine.stats(ChannelId::A);
@@ -466,6 +575,12 @@ impl Runner {
             frames_checked: faults.frames_checked,
             faults_injected: faults.faults_injected,
             faults_recovered,
+            health_transitions: self.health_transitions,
+            storm_entries: self.storm_entries,
+            service_restores: self.service_restores,
+            soft_shed: sched.degraded_sheds,
+            degraded_extra_copies: self.scheduler.degraded_extra_copies(),
+            failover_mirrors: self.scheduler.failover_mirrors(),
         };
         RunReport {
             policy: self.scheduler.policy(),
@@ -487,6 +602,10 @@ impl Runner {
             early_copies_sent: self.scheduler.early_copies_sent(),
             copy_transmissions: self.scheduler.copy_transmissions(),
             counters,
+            channel_faults: [
+                self.engine.fault_counters(ChannelId::A),
+                self.engine.fault_counters(ChannelId::B),
+            ],
             truncated,
         }
     }

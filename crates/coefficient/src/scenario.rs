@@ -95,6 +95,36 @@ impl Scenario {
         self
     }
 
+    /// A fault-storm variant of this scenario: same good-state channel,
+    /// but the Gilbert–Elliott bad state multiplies the BER by 1500× —
+    /// far beyond what the Theorem-1 plan budgeted for — and bursts last
+    /// ~167 frames on average (`1/p_bg`, roughly 20 FlexRay cycles under
+    /// the paper's workloads), with the channel spending
+    /// `p_gb / (p_gb + p_bg)` = 25% of its time in the bad state. This is
+    /// the regime the runtime resilience subsystem exists for: the
+    /// reliability monitor classifies the burst as `Stressed`/`Storm`,
+    /// degraded mode sheds soft traffic into extra hard copies, and hard
+    /// frames fail over to the healthier channel. Fault processes are
+    /// seeded independently per channel, so asymmetric storms (one
+    /// channel bad, the other good) are the common case.
+    ///
+    /// Like [`Scenario::bursty`], the name changes with the model so
+    /// matrix cells and per-cell seeds never alias the base scenario.
+    pub fn storm(mut self) -> Scenario {
+        self.name = match self.name {
+            "BER-7" => "BER-7-storm",
+            "BER-9" => "BER-9-storm",
+            "fault-free" => "fault-free-storm",
+            other => other,
+        };
+        self.fault_model = FaultModel::GilbertElliott {
+            bad_factor: 1500.0,
+            p_gb: 0.002,
+            p_bg: 0.006,
+        };
+        self
+    }
+
     /// A fault-free scenario (testing / calibration).
     pub fn fault_free() -> Scenario {
         Scenario {
@@ -130,5 +160,27 @@ mod tests {
     fn goal_complements_gamma() {
         let s = Scenario::ber7();
         assert!((s.reliability_goal() + s.gamma - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn storm_renames_and_goes_bursty() {
+        let s = Scenario::ber7().storm();
+        assert_eq!(s.name, "BER-7-storm");
+        assert_eq!(s.ber, Scenario::ber7().ber, "good state keeps the BER");
+        let FaultModel::GilbertElliott {
+            bad_factor,
+            p_gb,
+            p_bg,
+        } = s.fault_model
+        else {
+            panic!("storm must use the Gilbert–Elliott model");
+        };
+        // Much nastier and much longer-lived than the `bursty` ablation.
+        assert!(bad_factor > 50.0);
+        assert!(p_bg < 0.098);
+        // A quarter of the timeline sits in the bad state.
+        let stationary = p_gb / (p_gb + p_bg);
+        assert!((stationary - 0.25).abs() < 1e-12);
+        assert_eq!(Scenario::ber9().storm().name, "BER-9-storm");
     }
 }

@@ -15,6 +15,7 @@
 use event_sim::{SimDuration, SimTime};
 
 use reliability::fault::{FaultProcess, NoFaults};
+use reliability::monitor::{HealthState, MonitorConfig, ReliabilityMonitor};
 
 use crate::channel::ChannelId;
 use crate::codec::FrameCoding;
@@ -158,6 +159,11 @@ pub struct BusEngine {
     coding: FrameCoding,
     faults: [Box<dyn FaultProcess>; 2],
     stats: [ChannelStats; 2],
+    /// Optional per-channel reliability monitors, fed each cycle from the
+    /// fault processes' counters (see [`with_health_monitoring`]).
+    ///
+    /// [`with_health_monitoring`]: Self::with_health_monitoring
+    monitors: Option<[ReliabilityMonitor; 2]>,
     record: bool,
     outcomes: Vec<TransmissionOutcome>,
     cycles_run: u64,
@@ -180,8 +186,9 @@ impl BusEngine {
         BusEngine {
             config,
             coding: FrameCoding::default(),
-            faults: [Box::new(NoFaults), Box::new(NoFaults)],
+            faults: [Box::new(NoFaults::new()), Box::new(NoFaults::new())],
             stats: [ChannelStats::default(), ChannelStats::default()],
+            monitors: None,
             record: false,
             outcomes: Vec::new(),
             cycles_run: 0,
@@ -197,6 +204,17 @@ impl BusEngine {
     /// Installs independent fault processes for channels A and B.
     pub fn with_faults(mut self, a: Box<dyn FaultProcess>, b: Box<dyn FaultProcess>) -> Self {
         self.faults = [a, b];
+        self
+    }
+
+    /// Enables per-channel health monitoring: each channel's fault
+    /// counters feed an independent [`ReliabilityMonitor`] at the end of
+    /// every cycle, and [`channel_health`](Self::channel_health) exposes
+    /// the resulting [`HealthState`]s. Monitoring never perturbs the
+    /// transmission schedule or the fault RNGs, so enabling it does not
+    /// change a run's outcomes.
+    pub fn with_health_monitoring(mut self, cfg: MonitorConfig) -> Self {
+        self.monitors = Some([ReliabilityMonitor::new(cfg), ReliabilityMonitor::new(cfg)]);
         self
     }
 
@@ -220,6 +238,21 @@ impl BusEngine {
     /// and faults injected so far).
     pub fn fault_counters(&self, channel: ChannelId) -> reliability::fault::FaultCounters {
         self.faults[channel.index()].counters()
+    }
+
+    /// The health classification of `channel` from its reliability
+    /// monitor. Always [`HealthState::Nominal`] when monitoring was not
+    /// enabled via [`with_health_monitoring`](Self::with_health_monitoring).
+    pub fn channel_health(&self, channel: ChannelId) -> HealthState {
+        self.monitors
+            .as_ref()
+            .map_or(HealthState::Nominal, |m| m[channel.index()].state())
+    }
+
+    /// The reliability monitor watching `channel`, if monitoring is
+    /// enabled.
+    pub fn channel_monitor(&self, channel: ChannelId) -> Option<&ReliabilityMonitor> {
+        self.monitors.as_ref().map(|m| &m[channel.index()])
     }
 
     /// Recorded outcomes (empty unless [`record_outcomes`] was enabled).
@@ -252,6 +285,11 @@ impl BusEngine {
         for channel in ChannelId::BOTH {
             self.run_static_segment(cycle, cycle_counter, channel, source);
             self.run_dynamic_segment(cycle, channel, source);
+        }
+        if let Some(monitors) = self.monitors.as_mut() {
+            for (i, monitor) in monitors.iter_mut().enumerate() {
+                let _ = monitor.observe(self.faults[i].counters());
+            }
         }
         self.cycles_run += 1;
     }
@@ -726,5 +764,89 @@ mod tests {
         assert_eq!(engine.max_dynamic_payload(0, 20), 0);
         // Huge budget clamps at the 254-byte FlexRay maximum.
         assert_eq!(engine.max_dynamic_payload(10_000, 20), 254);
+    }
+
+    /// Fills every static slot on both channels for `cycles` cycles.
+    fn saturating_script(cycles: u64) -> Script {
+        let mut src = Script::default();
+        for cycle in 0..cycles {
+            for slot in 1..=4u16 {
+                for ch in ChannelId::BOTH {
+                    src.static_payloads
+                        .push((cycle, slot, ch, payload(u32::from(slot), 8)));
+                }
+            }
+        }
+        src
+    }
+
+    #[test]
+    fn health_monitoring_flags_only_the_sick_channel() {
+        // Channel A corrupts every frame, channel B none: the monitors
+        // must diverge, and the healthy channel must stay Nominal.
+        let ber = Ber::new(0.9).unwrap();
+        let mut engine = BusEngine::new(config())
+            .with_faults(
+                Box::new(BernoulliFaults::new(ber, 1)),
+                Box::new(NoFaults::new()),
+            )
+            .with_health_monitoring(MonitorConfig {
+                min_window_frames: 4,
+                ..MonitorConfig::default()
+            });
+        let mut src = saturating_script(8);
+        for cycle in 0..8 {
+            engine.run_cycle(cycle, &mut src);
+        }
+        assert_eq!(engine.channel_health(ChannelId::A), HealthState::Storm);
+        assert_eq!(engine.channel_health(ChannelId::B), HealthState::Nominal);
+        let monitor_a = engine.channel_monitor(ChannelId::A).unwrap();
+        assert!(monitor_a.counters().storm_entries >= 1);
+        assert!(monitor_a.ewma_fault_rate() > 0.5);
+    }
+
+    #[test]
+    fn health_monitoring_defaults_to_nominal_when_disabled() {
+        let engine = BusEngine::new(config());
+        for ch in ChannelId::BOTH {
+            assert_eq!(engine.channel_health(ch), HealthState::Nominal);
+            assert!(engine.channel_monitor(ch).is_none());
+        }
+    }
+
+    #[test]
+    fn per_channel_fault_counters_merge_to_the_bus_total() {
+        let ber = Ber::new(0.3).unwrap();
+        let run = |monitored: bool| {
+            let mut engine = BusEngine::new(config()).with_faults(
+                Box::new(BernoulliFaults::new(ber, 7)),
+                Box::new(BernoulliFaults::new(ber, 8)),
+            );
+            if monitored {
+                engine = engine.with_health_monitoring(MonitorConfig::default());
+            }
+            let mut src = saturating_script(6);
+            for cycle in 0..6 {
+                engine.run_cycle(cycle, &mut src);
+            }
+            let a = engine.fault_counters(ChannelId::A);
+            let b = engine.fault_counters(ChannelId::B);
+            let total = a.merged(b);
+            // Every transmitted frame consulted exactly one fault process.
+            let frames: u64 = ChannelId::BOTH
+                .iter()
+                .map(|&c| engine.stats(c).frames)
+                .sum();
+            let corrupted: u64 = ChannelId::BOTH
+                .iter()
+                .map(|&c| engine.stats(c).corrupted)
+                .sum();
+            assert_eq!(total.frames_checked, frames);
+            assert_eq!(total.faults_injected, corrupted);
+            (a, b)
+        };
+        // Observation must not perturb the fault processes: replaying with
+        // monitoring on reproduces the identical per-channel counters.
+        assert_eq!(run(false), run(true));
     }
 }

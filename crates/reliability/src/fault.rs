@@ -56,12 +56,12 @@ pub trait FaultProcess: std::fmt::Debug + Send {
     /// (used by analysis code; need not be exact for bursty models).
     fn frame_failure_probability(&self, bits: u32) -> f64;
 
-    /// Cumulative injection counters. The default (all zeros) is only
-    /// appropriate for processes that never corrupt anything, such as
-    /// [`NoFaults`]; stateful processes must count.
-    fn counters(&self) -> FaultCounters {
-        FaultCounters::default()
-    }
+    /// Cumulative injection counters. Every process must count
+    /// `frames_checked` on each [`corrupts`](Self::corrupts) consultation
+    /// — even fault-free ones like [`NoFaults`] — so that counter diffs
+    /// (golden verify) and the reliability monitor see the same frame
+    /// totals regardless of the fault model.
+    fn counters(&self) -> FaultCounters;
 }
 
 /// Independent per-frame Bernoulli faults derived from a bit error rate.
@@ -200,16 +200,36 @@ impl FaultProcess for GilbertElliott {
 }
 
 /// A fault process that never corrupts anything (fault-free runs).
+///
+/// It still counts every consultation in `frames_checked`, so fault-free
+/// and faulty runs report comparable frame totals.
 #[derive(Debug, Clone, Copy, Default)]
-pub struct NoFaults;
+pub struct NoFaults {
+    frames_checked: u64,
+}
+
+impl NoFaults {
+    /// Creates the process with zeroed counters.
+    pub fn new() -> Self {
+        NoFaults::default()
+    }
+}
 
 impl FaultProcess for NoFaults {
     fn corrupts(&mut self, _bits: u32) -> bool {
+        self.frames_checked += 1;
         false
     }
 
     fn frame_failure_probability(&self, _bits: u32) -> f64 {
         0.0
+    }
+
+    fn counters(&self) -> FaultCounters {
+        FaultCounters {
+            frames_checked: self.frames_checked,
+            faults_injected: 0,
+        }
     }
 }
 
@@ -305,9 +325,18 @@ mod tests {
 
     #[test]
     fn no_faults_process() {
-        let mut f = NoFaults;
+        let mut f = NoFaults::new();
         assert!(!f.corrupts(u32::MAX));
         assert_eq!(f.frame_failure_probability(123), 0.0);
+        // Consultations are counted even though nothing is ever corrupted.
+        assert!(!f.corrupts(1));
+        assert_eq!(
+            f.counters(),
+            FaultCounters {
+                frames_checked: 2,
+                faults_injected: 0,
+            }
+        );
     }
 
     #[test]
@@ -387,7 +416,7 @@ mod tests {
         assert_eq!(ge.counters().frames_checked, 200);
         assert_eq!(ge.counters().faults_injected, hits);
 
-        let mut outage = ChannelOutage::new(NoFaults, 2);
+        let mut outage = ChannelOutage::new(NoFaults::new(), 2);
         let _ = outage.corrupts(1);
         let _ = outage.corrupts(1);
         let _ = outage.corrupts(1);
@@ -400,7 +429,10 @@ mod tests {
             }
         );
 
-        assert_eq!(NoFaults.counters(), FaultCounters::default());
+        let mut quiet = NoFaults::new();
+        assert!(!quiet.corrupts(64));
+        assert_eq!(quiet.counters().frames_checked, 1);
+        assert_eq!(quiet.counters().faults_injected, 0);
         let merged = f.counters().merged(ge.counters());
         assert_eq!(merged.frames_checked, 300);
         assert_eq!(merged.faults_injected, observed + hits);
@@ -408,7 +440,7 @@ mod tests {
 
     #[test]
     fn channel_outage_kills_after_threshold() {
-        let mut ch = ChannelOutage::new(NoFaults, 3);
+        let mut ch = ChannelOutage::new(NoFaults::new(), 3);
         assert!(!ch.is_down());
         assert!(!ch.corrupts(100)); // frame 0
         assert!(!ch.corrupts(100)); // frame 1
@@ -433,7 +465,7 @@ mod tests {
 
     #[test]
     fn outage_at_zero_is_dead_from_the_start() {
-        let mut ch = ChannelOutage::new(NoFaults, 0);
+        let mut ch = ChannelOutage::new(NoFaults::new(), 0);
         assert!(ch.is_down());
         assert!(ch.corrupts(1));
     }

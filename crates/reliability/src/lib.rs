@@ -16,7 +16,11 @@
 //!   best-effort baseline);
 //! * [`fault`] — stochastic fault processes used by the bus simulator:
 //!   independent per-frame Bernoulli faults and a bursty Gilbert–Elliott
-//!   extension.
+//!   extension;
+//! * [`monitor`] — the *online* counterpart of the offline plan: an
+//!   EWMA-over-fault-windows [`ReliabilityMonitor`](monitor::ReliabilityMonitor)
+//!   that classifies a channel as `Nominal`/`Stressed`/`Storm` with
+//!   hysteresis, driving degraded-mode scheduling and channel failover.
 //!
 //! # Example: planning retransmissions for a reliability goal
 //!
@@ -42,6 +46,7 @@
 mod ber;
 pub mod fault;
 mod message;
+pub mod monitor;
 mod plan;
 mod sil;
 mod theorem;

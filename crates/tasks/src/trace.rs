@@ -143,6 +143,10 @@ pub struct ScheduleCounters {
     /// Proactive early copies sent (populated by bus-level schedulers
     /// that embed these counters; always zero for pure CPU schedules).
     pub early_copies: u64,
+    /// Soft jobs refused admission while the producer operated in a
+    /// degraded (fault-storm) mode — mixed-criticality shedding. Always
+    /// zero for producers without a degraded mode.
+    pub degraded_sheds: u64,
 }
 
 impl ScheduleCounters {
@@ -155,6 +159,7 @@ impl ScheduleCounters {
             steal_granted: self.steal_granted + other.steal_granted,
             steal_denied: self.steal_denied + other.steal_denied,
             early_copies: self.early_copies + other.early_copies,
+            degraded_sheds: self.degraded_sheds + other.degraded_sheds,
         }
     }
 
@@ -529,6 +534,7 @@ mod tests {
             steal_granted: 3,
             steal_denied: 2,
             early_copies: 0,
+            degraded_sheds: 0,
         };
         let tr =
             ExecutionTrace::with_counters(vec![slice(0, 2, periodic(0))], vec![], t(2), supplied);
@@ -545,6 +551,7 @@ mod tests {
             steal_granted: 1,
             steal_denied: 1,
             early_copies: 4,
+            degraded_sheds: 2,
         };
         let b = ScheduleCounters {
             preemptions: 10,
@@ -552,6 +559,7 @@ mod tests {
             steal_granted: 15,
             steal_denied: 5,
             early_copies: 0,
+            degraded_sheds: 1,
         };
         let m = a.merged(b);
         assert_eq!(m.preemptions, 11);
@@ -559,6 +567,7 @@ mod tests {
         assert_eq!(m.steal_granted, 16);
         assert_eq!(m.steal_denied, 6);
         assert_eq!(m.early_copies, 4);
+        assert_eq!(m.degraded_sheds, 3);
         assert!(m.steal_identity_holds());
     }
 

@@ -28,6 +28,41 @@ pub mod synthetic;
 
 use event_sim::SimDuration;
 
+/// Coarse mixed-criticality class of a soft (dynamic-segment) message.
+///
+/// Ordered by importance, so `criticality >= Criticality::Medium` reads
+/// naturally in shedding policies: under a fault storm, a degraded-mode
+/// scheduler sheds low classes first and keeps high-criticality soft
+/// traffic flowing for as long as possible. Hard periodic signals are
+/// never shed and carry no criticality field — they are implicitly above
+/// [`Criticality::High`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Criticality {
+    /// Comfort/telemetry traffic: first to be shed.
+    Low,
+    /// Operator-relevant but not safety-relevant traffic.
+    Medium,
+    /// Safety-adjacent soft traffic: shed only in a full storm — never
+    /// before the lower classes.
+    High,
+}
+
+impl Criticality {
+    /// Default class derived from a relative deadline: tight deadlines
+    /// indicate control-loop traffic, long ones telemetry. Message sets
+    /// with explicit classes override this via
+    /// [`AperiodicMessage::with_criticality`].
+    pub fn from_deadline(deadline: SimDuration) -> Self {
+        if deadline <= SimDuration::from_millis(10) {
+            Criticality::High
+        } else if deadline <= SimDuration::from_millis(30) {
+            Criticality::Medium
+        } else {
+            Criticality::Low
+        }
+    }
+}
+
 /// An event-triggered (dynamic-segment) message specification.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AperiodicMessage {
@@ -41,10 +76,13 @@ pub struct AperiodicMessage {
     pub deadline: SimDuration,
     /// Message size in bits.
     pub size_bits: u32,
+    /// Mixed-criticality class (drives degraded-mode shedding order).
+    pub criticality: Criticality,
 }
 
 impl AperiodicMessage {
-    /// Creates a validated aperiodic message.
+    /// Creates a validated aperiodic message; the criticality defaults to
+    /// [`Criticality::from_deadline`].
     ///
     /// # Panics
     /// Panics if the inter-arrival, deadline or size is zero.
@@ -65,6 +103,45 @@ impl AperiodicMessage {
             min_interarrival,
             deadline,
             size_bits,
+            criticality: Criticality::from_deadline(deadline),
         }
+    }
+
+    /// Overrides the deadline-derived criticality class.
+    #[must_use]
+    pub fn with_criticality(mut self, criticality: Criticality) -> Self {
+        self.criticality = criticality;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn criticality_defaults_follow_the_deadline() {
+        let mk = |ms| {
+            AperiodicMessage::new(
+                1,
+                SimDuration::from_millis(50),
+                SimDuration::from_millis(ms),
+                8,
+            )
+        };
+        assert_eq!(mk(5).criticality, Criticality::High);
+        assert_eq!(mk(10).criticality, Criticality::High);
+        assert_eq!(mk(20).criticality, Criticality::Medium);
+        assert_eq!(mk(50).criticality, Criticality::Low);
+        assert_eq!(
+            mk(50).with_criticality(Criticality::High).criticality,
+            Criticality::High
+        );
+    }
+
+    #[test]
+    fn criticality_orders_low_to_high() {
+        assert!(Criticality::Low < Criticality::Medium);
+        assert!(Criticality::Medium < Criticality::High);
     }
 }

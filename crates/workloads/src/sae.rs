@@ -12,7 +12,7 @@ use event_sim::rng::substream;
 use event_sim::SimDuration;
 use rand::Rng;
 
-use crate::AperiodicMessage;
+use crate::{AperiodicMessage, Criticality};
 
 /// Which frame-id range the aperiodic set uses. Dynamic frame ids must be
 /// *reachable*: the dynamic slot counter starts at `static slots + 1` and
@@ -58,12 +58,24 @@ pub const PERIOD: SimDuration = SimDuration::from_millis(50);
 
 /// Builds the 30-message aperiodic set with sizes seeded by `seed`
 /// (8–64 bits, CAN-class short payloads).
+///
+/// The 50 ms deadlines would all derive [`Criticality::Low`], so the set
+/// instead cycles `High → Medium → Low` by index: an even third per
+/// class, which gives degraded-mode shedding policies a meaningful
+/// criticality gradient to act on (SAE class-C practice mixes door
+/// switches with driveline signals in the same event-triggered band).
 pub fn message_set(range: IdRange, seed: u64) -> Vec<AperiodicMessage> {
     let mut rng = substream(seed, "workload/sae");
     (0..MESSAGE_COUNT)
         .map(|i| {
             let bits = rng.gen_range(1..=8) * 8;
+            let class = match i % 3 {
+                0 => Criticality::High,
+                1 => Criticality::Medium,
+                _ => Criticality::Low,
+            };
             AperiodicMessage::new(range.first_id() + i, PERIOD, PERIOD, bits)
+                .with_criticality(class)
         })
         .collect()
 }
@@ -97,6 +109,18 @@ mod tests {
             assert_eq!(m.min_interarrival, SimDuration::from_millis(50));
             assert_eq!(m.deadline, SimDuration::from_millis(50));
         }
+    }
+
+    #[test]
+    fn criticality_cycles_through_the_classes() {
+        let set = message_set(IdRange::For80Slots, 1);
+        let count = |c| set.iter().filter(|m| m.criticality == c).count();
+        assert_eq!(count(Criticality::High), 10);
+        assert_eq!(count(Criticality::Medium), 10);
+        assert_eq!(count(Criticality::Low), 10);
+        assert_eq!(set[0].criticality, Criticality::High);
+        assert_eq!(set[1].criticality, Criticality::Medium);
+        assert_eq!(set[2].criticality, Criticality::Low);
     }
 
     #[test]

@@ -44,8 +44,8 @@ fn main() {
         )
         .expect("valid configuration");
         let mut engine = BusEngine::new(cluster.clone()).with_faults(
-            Box::new(ChannelOutage::new(NoFaults, 500)),
-            Box::new(NoFaults),
+            Box::new(ChannelOutage::new(NoFaults::new(), 500)),
+            Box::new(NoFaults::new()),
         );
 
         let horizon_cycles = 400u64; // 400 ms

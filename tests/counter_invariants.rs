@@ -58,11 +58,87 @@ proptest! {
     }
 }
 
+/// The dual-channel bus keeps one `FaultCounters` per channel and the run
+/// counters carry their merge. The split must tile the total — every
+/// consulted frame and every injected fault belongs to exactly one
+/// channel — and the whole decomposition must be replay-stable, or the
+/// per-channel health monitors would drift from the overall one.
+#[test]
+fn per_channel_fault_counters_sum_to_the_run_totals() {
+    let matrix = SweepMatrix {
+        scenarios: vec![Scenario::ber7(), Scenario::ber7().storm()],
+        ..single_cell_matrix(Policy::CoEfficient, 11, 60)
+    };
+    let runner = SweepRunner::new(matrix);
+    for scenario in 0..2 {
+        let coord = CellCoord { scenario, ..ORIGIN };
+        let first = runner.replay(coord).expect("cell is schedulable");
+        let [a, b] = first.report.channel_faults;
+        let merged = a.merged(b);
+        assert_eq!(merged.frames_checked, first.report.counters.frames_checked);
+        assert_eq!(
+            merged.faults_injected,
+            first.report.counters.faults_injected
+        );
+        // Both channels actually carried traffic; the identity is not vacuous.
+        assert!(a.frames_checked > 0, "channel A idle: {a:?}");
+        assert!(b.frames_checked > 0, "channel B idle: {b:?}");
+
+        let second = runner.replay(coord).expect("cell is schedulable");
+        assert_eq!(first.report.channel_faults, second.report.channel_faults);
+    }
+}
+
+/// The fault-storm resilience contract, end to end on the scripted CI
+/// storm (same cell as `experiments storm-smoke`): hard static messages
+/// ride through the storm without a single deadline miss while the
+/// degraded-mode policy sheds soft dynamic traffic, buys extra hard
+/// copies from the freed slack, mirrors hard frames onto the healthier
+/// channel, and restores nominal service afterwards.
+#[test]
+fn scripted_storm_sheds_soft_traffic_but_never_a_hard_deadline() {
+    // Same workload as `experiments storm-smoke`: the synthetic 40-message
+    // static set of the paper's dynamic experiments, with the smoke's
+    // pinned seed.
+    let statics = workloads::synthetic::message_set(
+        &workloads::synthetic::SyntheticSpec {
+            count: 40,
+            ..Default::default()
+        },
+        20140630,
+    );
+    let matrix = SweepMatrix {
+        static_messages: statics,
+        scenarios: vec![Scenario::ber7().storm()],
+        ..single_cell_matrix(Policy::CoEfficient, 1, 300)
+    };
+    let cell = SweepRunner::new(matrix)
+        .replay(ORIGIN)
+        .expect("cell is schedulable");
+    let c = cell.report.counters;
+    assert_eq!(
+        cell.report.static_deadlines.missed(),
+        0,
+        "hard deadline missed under the scripted storm: {c:?}"
+    );
+    assert!(c.storm_entries >= 1, "storm never detected: {c:?}");
+    assert!(c.soft_shed > 0, "no soft traffic shed: {c:?}");
+    assert!(
+        c.degraded_extra_copies > 0,
+        "no degraded hard copies: {c:?}"
+    );
+    assert!(c.failover_mirrors > 0, "failover never engaged: {c:?}");
+    assert!(
+        c.service_restores >= 1,
+        "nominal service never restored: {c:?}"
+    );
+}
+
 #[test]
 fn counters_agree_across_thread_counts() {
     let matrix = SweepMatrix {
         policies: vec![Policy::CoEfficient, Policy::Fspec],
-        scenarios: vec![Scenario::ber7(), Scenario::ber9()],
+        scenarios: vec![Scenario::ber7(), Scenario::ber9(), Scenario::ber7().storm()],
         seeds: vec![5, 6],
         ..single_cell_matrix(Policy::CoEfficient, 5, 30)
     };

@@ -200,6 +200,56 @@ proptest! {
     }
 }
 
+/// `GilbertElliott::frame_failure_probability` advertises the *stationary*
+/// failure rate — the good/bad mixture weighted by `p_gb / (p_gb + p_bg)`.
+/// The reliability monitor and the retransmission planner both budget
+/// against that number, so it must match what the process actually does:
+/// over a long deterministic run, the empirical corruption rate has to
+/// land on the advertised probability. Checked at several
+/// (good/bad BER, transition-probability) operating points, from the
+/// fast-mixing symmetric channel to the slow storm bursts used by the
+/// `BER-7-storm` scenario. The runs are seeded, so the tolerance is
+/// exact for CI, not statistical.
+#[test]
+fn gilbert_elliott_advertised_rate_matches_empirical_rate() {
+    use reliability::fault::{FaultProcess, GilbertElliott};
+
+    // (good BER, bad BER, p_gb, p_bg, frame bits)
+    let points = [
+        // Fast symmetric mixing, half the time in the bad state.
+        (1e-7, 5e-5, 0.05, 0.05, 1_000u32),
+        // Paper-style bursty channel: quarter of the time bad.
+        (1e-7, 1e-4, 0.01, 0.03, 2_000),
+        // The storm scenario's slow, deep bursts (mean burst ~167 frames).
+        (1e-7, 1.5e-4, 0.002, 0.006, 2_000),
+    ];
+    const FRAMES: u64 = 1_000_000;
+    for (i, &(good, bad, p_gb, p_bg, bits)) in points.iter().enumerate() {
+        let mut ge = GilbertElliott::new(
+            Ber::new(good).unwrap(),
+            Ber::new(bad).unwrap(),
+            p_gb,
+            p_bg,
+            0xC0EF + i as u64,
+        );
+        let advertised = ge.frame_failure_probability(bits);
+        let mut hits = 0u64;
+        for _ in 0..FRAMES {
+            hits += u64::from(ge.corrupts(bits));
+        }
+        let empirical = hits as f64 / FRAMES as f64;
+        let tolerance = 0.2 * advertised;
+        assert!(
+            (empirical - advertised).abs() < tolerance,
+            "point {i}: empirical {empirical:.5} vs advertised {advertised:.5} \
+             (tolerance {tolerance:.5})"
+        );
+        // The counters must account for exactly this run.
+        assert_eq!(ge.counters().frames_checked, FRAMES);
+        assert_eq!(ge.counters().faults_injected, hits);
+    }
+}
+
 proptest! {
     // Each case runs four full end-to-end simulations; keep the count modest.
     #![proptest_config(ProptestConfig::with_cases(16))]
