@@ -7,6 +7,9 @@
 //!                    [--horizon-ms H] [--threads T] [--policy P]...
 //!                    [--scenario S]... [--shared-seeds] [--json] [--pretty]
 //! experiments replay --cell POLICY,SCENARIO,SEED [sweep flags]
+//! experiments trace  --cell POLICY,SCENARIO,SEED [--golden] [--out PATH]
+//!                    [--format chrome|json] [--capacity N]
+//!                    [--sample-every N] [sweep flags]
 //! experiments golden record [--out PATH] [--name NAME]
 //! experiments golden verify [--corpus PATH]
 //! experiments determinism [--thread-counts 1,2,8] [sweep flags]
@@ -19,6 +22,14 @@
 //! `replay` re-runs one cell of that matrix from its coordinates and
 //! prints its fingerprint — it must match the cell in any sweep of the
 //! same flags, at any thread count.
+//!
+//! `trace` replays one cell with structured event tracing enabled and
+//! writes either a Chrome `trace_event` file (`--format chrome`, openable
+//! in <https://ui.perfetto.dev>) or a `coefficient-trace/1` document
+//! (`--format json`, the default). The cell is run twice and the event
+//! streams must compare bit-for-bit; the traced fingerprint must equal an
+//! untraced replay's. `--golden` selects the golden-corpus matrix instead
+//! of the sweep flags.
 //!
 //! `golden record` runs the pinned 12-cell regression matrix and writes
 //! the `coefficient-golden/1` corpus (default `corpus/golden.json`);
@@ -44,7 +55,10 @@ use bench_harness::sweep::{
     cell_json, parse_policy, parse_scenario, policy_label, sweep_report_json, SweepSpec,
 };
 use bench_harness::table::print_table;
-use coefficient::{CellCoord, Policy, Scenario, SeedStrategy, StopCondition, SweepRunner};
+use bench_harness::trace::{counter_names, trace_json, validate_trace};
+use coefficient::{
+    CellCoord, Policy, Scenario, SeedStrategy, StopCondition, SweepRunner, TraceConfig,
+};
 use event_sim::SimDuration;
 use flexray::config::ClusterConfig;
 
@@ -53,6 +67,7 @@ fn main() {
     match args.first().map(String::as_str) {
         Some("sweep") => run_sweep(&args[1..]),
         Some("replay") => run_replay(&args[1..]),
+        Some("trace") => run_trace(&args[1..]),
         Some("golden") => run_golden(&args[1..]),
         Some("determinism") => run_determinism(&args[1..]),
         Some("storm-smoke") => run_storm_smoke(&args[1..]),
@@ -184,10 +199,10 @@ fn run_sweep(args: &[String]) {
     );
 }
 
-fn run_replay(args: &[String]) {
-    let spec = parse_spec(args);
+/// Parses `--cell P,S,SEED` and bounds-checks it against `matrix`.
+fn parse_cell(args: &[String], matrix: &coefficient::SweepMatrix, subcommand: &str) -> CellCoord {
     let Some(cell) = flag_value(args, "--cell") else {
-        eprintln!("replay requires --cell POLICY_INDEX,SCENARIO_INDEX,SEED_INDEX");
+        eprintln!("{subcommand} requires --cell POLICY_INDEX,SCENARIO_INDEX,SEED_INDEX");
         std::process::exit(2);
     };
     let indices: Vec<usize> = cell
@@ -208,8 +223,6 @@ fn run_replay(args: &[String]) {
         scenario,
         seed,
     };
-    let runner = SweepRunner::new(spec.build_matrix());
-    let matrix = runner.matrix();
     if coord.policy >= matrix.policies.len()
         || coord.scenario >= matrix.scenarios.len()
         || coord.seed >= matrix.seeds.len()
@@ -222,11 +235,134 @@ fn run_replay(args: &[String]) {
         );
         std::process::exit(2);
     }
+    coord
+}
+
+fn run_replay(args: &[String]) {
+    let spec = parse_spec(args);
+    let runner = SweepRunner::new(spec.build_matrix());
+    let coord = parse_cell(args, runner.matrix(), "replay");
     let outcome = runner.replay(coord).unwrap_or_else(|e| {
         eprintln!("replayed cell is unschedulable: {e:?}");
         std::process::exit(1);
     });
     println!("{}", cell_json(&outcome).pretty());
+}
+
+// ---------------------------------------------------------------------------
+// trace
+// ---------------------------------------------------------------------------
+
+/// `experiments trace`: replays one cell with tracing on and exports the
+/// event stream. Runs the cell twice and refuses to write anything if the
+/// two streams differ or if the traced fingerprint diverges from an
+/// untraced replay — the export is only as useful as its determinism.
+fn run_trace(args: &[String]) {
+    let spec = if args.iter().any(|a| a == "--golden") {
+        golden_spec()
+    } else {
+        parse_spec(args)
+    };
+    let matrix = spec.build_matrix();
+    let coord = parse_cell(args, &matrix, "trace");
+    let capacity: usize = parse_number(args, "--capacity").unwrap_or(1 << 20);
+    let sample_every: u64 = parse_number(args, "--sample-every").unwrap_or(10);
+    let format = flag_value(args, "--format").unwrap_or("json");
+    if !matches!(format, "json" | "chrome") {
+        eprintln!("unknown --format: {format} (expected chrome|json)");
+        std::process::exit(2);
+    }
+
+    let mut cfg = matrix.config(coord);
+    cfg.trace = TraceConfig::ring(capacity).sample_every(sample_every);
+    let run = |cfg: coefficient::RunConfig| {
+        coefficient::Runner::new(cfg)
+            .unwrap_or_else(|e| {
+                eprintln!("traced cell is unschedulable: {e:?}");
+                std::process::exit(1);
+            })
+            .run()
+    };
+    let first = run(cfg.clone());
+    let second = run(cfg);
+    if first.trace != second.trace {
+        eprintln!("trace FAILED: two replays of the same cell produced different event streams");
+        std::process::exit(1);
+    }
+    let untraced = SweepRunner::new(matrix.clone())
+        .replay(coord)
+        .unwrap_or_else(|e| {
+            eprintln!("replayed cell is unschedulable: {e:?}");
+            std::process::exit(1);
+        });
+    if first.fingerprint() != untraced.fingerprint {
+        eprintln!(
+            "trace FAILED: traced fingerprint {:016x} != untraced {:016x} — tracing perturbed the run",
+            first.fingerprint(),
+            untraced.fingerprint
+        );
+        std::process::exit(1);
+    }
+
+    let cell = coefficient::CellOutcome {
+        coord,
+        policy: matrix.policies[coord.policy],
+        scenario: matrix.scenarios[coord.scenario].name,
+        seed: matrix.cell_seed(coord),
+        fingerprint: first.fingerprint(),
+        report: first,
+    };
+    let log = cell.report.trace.as_ref().expect("tracing was enabled");
+    let names = counter_names();
+    let (content, default_name) = match format {
+        "chrome" => (
+            observe::chrome_trace_json(log, &names),
+            format!(
+                "trace-{}-{}-{}.chrome.json",
+                coord.policy, coord.scenario, coord.seed
+            ),
+        ),
+        _ => {
+            let doc = trace_json(&cell).expect("trace is present");
+            // Round-trip the document through the parser and the schema
+            // validator before letting it out of the process.
+            let parsed = Json::parse(&doc.to_string()).unwrap_or_else(|e| {
+                eprintln!("trace FAILED: exported JSON does not parse: {e}");
+                std::process::exit(1);
+            });
+            if let Err(defect) = validate_trace(&parsed) {
+                eprintln!("trace FAILED: exported JSON violates coefficient-trace/1: {defect}");
+                std::process::exit(1);
+            }
+            (
+                doc.to_string(),
+                format!(
+                    "trace-{}-{}-{}.json",
+                    coord.policy, coord.scenario, coord.seed
+                ),
+            )
+        }
+    };
+    let out = flag_value(args, "--out")
+        .map(String::from)
+        .unwrap_or(default_name);
+    std::fs::write(&out, &content).unwrap_or_else(|e| {
+        eprintln!("cannot write {out}: {e}");
+        std::process::exit(1);
+    });
+    println!(
+        "trace: {} {} seed {} -> {out}",
+        policy_label(cell.policy),
+        cell.scenario,
+        cell.seed
+    );
+    println!(
+        "  {} events ({} dropped, capacity {}), fingerprint {:016x} (= untraced replay)",
+        log.events.len(),
+        log.dropped,
+        log.capacity,
+        cell.fingerprint
+    );
 }
 
 // ---------------------------------------------------------------------------

@@ -53,6 +53,7 @@ pub fn run_once(
         policy,
         stop,
         seed,
+        trace: Default::default(),
     })
     .expect("experiment configuration must be schedulable")
     .run()
@@ -131,6 +132,7 @@ pub fn fig_running_time(scenario: &Scenario, message_counts: &[u64]) -> Vec<Runn
                         policy,
                         stop: StopCondition::DeliveredInstances(n),
                         seed: SEED,
+                        trace: Default::default(),
                     });
                 }
             }
@@ -195,6 +197,7 @@ pub fn fig3_bandwidth() -> Vec<BandwidthRow> {
                 policy,
                 stop: StopCondition::Horizon(SimDuration::from_secs(1)),
                 seed: SEED,
+                trace: Default::default(),
             });
         }
     }
@@ -262,6 +265,7 @@ pub fn fig4_latency(workload: &'static str) -> Vec<LatencyRow> {
                     policy,
                     stop: StopCondition::Horizon(SimDuration::from_secs(2)),
                     seed: SEED,
+                    trace: Default::default(),
                 });
             }
         }
@@ -322,6 +326,7 @@ pub fn fig5_miss_ratio() -> Vec<MissRatioRow> {
                     policy,
                     stop: StopCondition::Horizon(SimDuration::from_secs(1)),
                     seed: SEED,
+                    trace: Default::default(),
                 });
             }
         }
@@ -673,6 +678,7 @@ pub fn ablation() -> Vec<AblationRow> {
                     policy,
                     stop: StopCondition::Horizon(SimDuration::from_secs(1)),
                     seed: SEED,
+                    trace: Default::default(),
                 },
                 options,
             )
@@ -738,6 +744,7 @@ pub fn fault_model_ablation() -> Vec<FaultModelRow> {
                 policy,
                 stop: StopCondition::Horizon(SimDuration::from_secs(1)),
                 seed: SEED,
+                trace: Default::default(),
             });
         }
     }

@@ -16,5 +16,6 @@ pub mod json;
 pub mod sweep;
 pub mod table;
 pub mod timing;
+pub mod trace;
 
 pub use experiments::*;

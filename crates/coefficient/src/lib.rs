@@ -43,6 +43,7 @@
 //!     policy: Policy::CoEfficient,
 //!     stop: StopCondition::ProducedInstances(200),
 //!     seed: 1,
+//!     trace: Default::default(),
 //! })
 //! .unwrap()
 //! .run();
@@ -61,8 +62,11 @@ mod scenario;
 pub mod sweep;
 
 pub use assignment::{AllocationError, CopyPlacement, StaticAllocation};
+// Re-exported so downstream users can configure [`RunConfig::trace`] and
+// consume [`RunReport::trace`] without naming the `observe` crate.
 pub use golden::{GoldenCell, GoldenCorpus, GoldenMetrics, Tolerances, VerifyReport};
 pub use instance::{InstanceStatus, InstanceTracker, MessageClass};
+pub use observe::{TraceConfig, TraceLog, TraceMode};
 pub use policy::{CoefficientOptions, Policy, Scheduler, SchedulerError};
 pub use runner::{RunConfig, RunCounters, RunReport, Runner, StopCondition};
 pub use scenario::{FaultModel, Scenario};

@@ -22,6 +22,7 @@ use flexray::config::ClusterConfig;
 use flexray::schedule::MessageId;
 use flexray::signal::Signal;
 use flexray::ChannelId;
+use observe::{EventKind, Tracer};
 use reliability::monitor::HealthState;
 use reliability::{MessageReliability, RetransmissionPlanner};
 use workloads::{AperiodicMessage, Criticality};
@@ -189,6 +190,9 @@ pub struct Scheduler {
     /// Failover: hard frames mirrored into their slot on the healthy
     /// channel while the owning channel was in `Storm`.
     failover_mirrors: u64,
+    /// Structured event tracer (disabled by default; see
+    /// [`set_tracer`](Self::set_tracer)).
+    tracer: Tracer,
 }
 
 /// Errors constructing a [`Scheduler`].
@@ -453,7 +457,16 @@ impl Scheduler {
             soft_shed: 0,
             degraded_extra_copies: 0,
             failover_mirrors: 0,
+            tracer: Tracer::disabled(),
         })
+    }
+
+    /// Attaches a structured event tracer. The scheduler emits steal
+    /// grants/denials, early and retransmission copies, degraded-mode
+    /// shedding and failover mirrors through it. Tracing observes — it
+    /// never changes a scheduling decision.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     /// The policy this scheduler runs.
@@ -644,6 +657,15 @@ impl Scheduler {
             if let Some(floor) = kept_floor {
                 if criticality < floor {
                     self.soft_shed += 1;
+                    if self.tracer.is_enabled() {
+                        self.tracer.emit(
+                            now,
+                            EventKind::SoftShed {
+                                frame_id: u64::from(frame_id),
+                                criticality: criticality as u8,
+                            },
+                        );
+                    }
                     return instance;
                 }
             }
@@ -725,6 +747,16 @@ impl Scheduler {
         // (the online counterpart of the offline Theorem-1 plan).
         if self.health.is_degraded() && self.options.early_copies {
             if let Some(payload) = self.degraded_hard_copy(slot_start, capacity) {
+                if self.tracer.is_enabled() {
+                    self.tracer.emit(
+                        slot_start,
+                        EventKind::DegradedCopy {
+                            channel: channel.index() as u8,
+                            slot: u64::from(slot),
+                            frame_id: u64::from(payload.message),
+                        },
+                    );
+                }
                 return Some(payload);
             }
         }
@@ -744,6 +776,16 @@ impl Scheduler {
                 self.cooperative_static_serves += 1;
                 let inst = self.tracker.get(entry.instance);
                 self.in_flight.push_back(entry.instance);
+                if self.tracer.is_enabled() {
+                    self.tracer.emit(
+                        slot_start,
+                        EventKind::StealGranted {
+                            channel: channel.index() as u8,
+                            slot: u64::from(slot),
+                            frame_id: u64::from(inst.message),
+                        },
+                    );
+                }
                 return Some(OutboundPayload {
                     message: inst.message,
                     payload_bytes: entry.payload_bytes,
@@ -751,6 +793,15 @@ impl Scheduler {
                 });
             }
             self.steal_denied += 1;
+            if self.tracer.is_enabled() {
+                self.tracer.emit(
+                    slot_start,
+                    EventKind::StealDenied {
+                        channel: channel.index() as u8,
+                        slot: u64::from(slot),
+                    },
+                );
+            }
         }
         if !self.options.early_copies {
             return None;
@@ -798,6 +849,16 @@ impl Scheduler {
         if let Some((_, message, instance, payload_bytes)) = best {
             self.tracker.get_mut(instance).early_copies += 1;
             self.early_copies_sent += 1;
+            if self.tracer.is_enabled() {
+                self.tracer.emit(
+                    slot_start,
+                    EventKind::EarlyCopy {
+                        channel: channel.index() as u8,
+                        slot: u64::from(slot),
+                        frame_id: u64::from(message),
+                    },
+                );
+            }
             let produced_at = self.tracker.get(instance).produced_at;
             self.in_flight.push_back(instance);
             return Some(OutboundPayload {
@@ -990,6 +1051,15 @@ impl TrafficSource for Scheduler {
                 }
                 if is_copy {
                     self.copy_transmissions += 1;
+                    if self.tracer.is_enabled() {
+                        self.tracer.emit(
+                            slot_start,
+                            EventKind::RetransmissionCopy {
+                                channel: channel.index() as u8,
+                                frame_id: u64::from(occ.message),
+                            },
+                        );
+                    }
                 }
                 let info = &self.statics[&occ.message];
                 let payload = OutboundPayload {
@@ -1010,6 +1080,15 @@ impl TrafficSource for Scheduler {
             let info = &self.statics[&occ.message];
             if occ.kind != OccupantKind::Primary {
                 self.copy_transmissions += 1;
+                if self.tracer.is_enabled() {
+                    self.tracer.emit(
+                        slot_start,
+                        EventKind::RetransmissionCopy {
+                            channel: channel.index() as u8,
+                            frame_id: u64::from(occ.message),
+                        },
+                    );
+                }
             }
             let payload = OutboundPayload {
                 message: occ.message,
@@ -1025,6 +1104,16 @@ impl TrafficSource for Scheduler {
                 // stranded on a storming channel takes the free position
                 // before any soft backlog or opportunistic copy.
                 if let Some(payload) = self.failover_mirror(channel, slot_start) {
+                    if self.tracer.is_enabled() {
+                        self.tracer.emit(
+                            slot_start,
+                            EventKind::FailoverMirror {
+                                channel: channel.index() as u8,
+                                slot: u64::from(slot),
+                                frame_id: u64::from(payload.message),
+                            },
+                        );
+                    }
                     return Some(payload);
                 }
                 self.cooperative_fill(cycle, cycle_counter, slot, channel, slot_start)
@@ -1037,7 +1126,7 @@ impl TrafficSource for Scheduler {
 
     fn dynamic_frame(
         &mut self,
-        _cycle: u64,
+        cycle: u64,
         channel: ChannelId,
         slot_counter: u64,
         max_payload_bytes: u16,
@@ -1053,6 +1142,18 @@ impl TrafficSource for Scheduler {
         let inst = self.tracker.get(entry.instance);
         if inst.class == MessageClass::Static {
             self.copy_transmissions += 1;
+            if self.tracer.is_enabled() {
+                // The scheduler doesn't know the exact minislot here; the
+                // dynamic-segment start keeps the stamp between this
+                // cycle's static slots and the MinislotFrame that follows.
+                self.tracer.emit(
+                    self.config.cycle_start(cycle) + self.config.dynamic_segment_offset(),
+                    EventKind::RetransmissionCopy {
+                        channel: channel.index() as u8,
+                        frame_id: u64::from(inst.message),
+                    },
+                );
+            }
         }
         let payload = OutboundPayload {
             message: inst.message,

@@ -4,6 +4,8 @@
 //! [`flexray::bus::BusEngine`], produces workload instances cycle by
 //! cycle, and collects the paper's four metrics into a [`RunReport`].
 
+use std::sync::{Arc, Mutex};
+
 use event_sim::rng::substream;
 use event_sim::{SimDuration, SimTime};
 use flexray::bus::BusEngine;
@@ -12,6 +14,9 @@ use flexray::config::ClusterConfig;
 use flexray::signal::Signal;
 use flexray::ChannelId;
 use metrics::{DeadlineTracker, Summary};
+use observe::{
+    CounterSampler, EventKind, RingBufferSink, TraceConfig, TraceLog, TraceMode, Tracer,
+};
 use rand::Rng;
 use reliability::fault::{BernoulliFaults, FaultCounters, FaultProcess, GilbertElliott};
 use reliability::monitor::{HealthState, MonitorConfig, ReliabilityMonitor};
@@ -57,6 +62,10 @@ pub struct RunConfig {
     pub stop: StopCondition,
     /// Master seed (drives fault injection and arrival phases).
     pub seed: u64,
+    /// Structured event tracing (off by default). Tracing observes the
+    /// run without perturbing it: the [`RunReport::fingerprint`] of a
+    /// traced run equals the untraced one.
+    pub trace: TraceConfig,
 }
 
 /// Structured counters aggregated across every layer of one run: the
@@ -213,6 +222,11 @@ pub struct RunReport {
     pub channel_faults: [FaultCounters; 2],
     /// `true` if the run hit the safety cycle cap before draining.
     pub truncated: bool,
+    /// The captured event stream when [`RunConfig::trace`] was enabled
+    /// (`None` otherwise). Deliberately **excluded** from
+    /// [`fingerprint`](Self::fingerprint): traces describe a run, they
+    /// are not part of its measured result.
+    pub trace: Option<TraceLog>,
 }
 
 impl RunReport {
@@ -298,6 +312,11 @@ pub struct Runner {
     health_transitions: u64,
     storm_entries: u64,
     service_restores: u64,
+    /// The shared ring buffer behind `tracer` when tracing is enabled;
+    /// drained into [`RunReport::trace`] by [`report`](Self::report).
+    sink: Option<Arc<Mutex<RingBufferSink>>>,
+    tracer: Tracer,
+    sampler: CounterSampler,
 }
 
 impl Runner {
@@ -320,7 +339,19 @@ impl Runner {
         options: CoefficientOptions,
     ) -> Result<Self, SchedulerError> {
         let coding = FrameCoding::default();
-        let scheduler = Scheduler::new_with_options(
+        let (sink, tracer) = match cfg.trace.mode {
+            TraceMode::Off => (None, Tracer::disabled()),
+            TraceMode::Ring { capacity } => {
+                let sink = Arc::new(Mutex::new(RingBufferSink::new(capacity)));
+                (Some(sink.clone()), Tracer::new(sink))
+            }
+        };
+        let sampler = CounterSampler::new(if cfg.trace.is_enabled() {
+            cfg.trace.counter_sample_every
+        } else {
+            0
+        });
+        let mut scheduler = Scheduler::new_with_options(
             cfg.policy,
             cfg.cluster.clone(),
             coding,
@@ -329,6 +360,9 @@ impl Runner {
             &cfg.dynamic_messages,
             options,
         )?;
+        if tracer.is_enabled() {
+            scheduler.set_tracer(tracer.clone());
+        }
         let fault = |seed: u64| -> Box<dyn FaultProcess> {
             match cfg.scenario.fault_model {
                 FaultModel::Bernoulli => Box::new(BernoulliFaults::new(cfg.scenario.ber, seed)),
@@ -350,10 +384,17 @@ impl Runner {
         let monitor_cfg = MonitorConfig::for_expected_fault_rate(
             cfg.scenario.ber.frame_failure_probability(1000),
         );
-        let engine = BusEngine::new(cfg.cluster.clone())
+        let mut engine = BusEngine::new(cfg.cluster.clone())
             .with_coding(coding)
             .with_faults(fault(cfg.seed ^ 0xA), fault(cfg.seed ^ 0xB))
             .with_health_monitoring(monitor_cfg);
+        if tracer.is_enabled() {
+            engine.set_tracer(tracer.clone());
+        }
+        let mut monitor = ReliabilityMonitor::new(monitor_cfg);
+        if tracer.is_enabled() {
+            monitor.set_tracer(tracer.clone(), 2);
+        }
         let mut rng = substream(cfg.seed, "runner/dynamic-phases");
         let dynamic_phases = cfg
             .dynamic_messages
@@ -368,11 +409,14 @@ impl Runner {
             scheduler,
             engine,
             dynamic_phases,
-            monitor: ReliabilityMonitor::new(monitor_cfg),
+            monitor,
             effective_health: HealthState::Nominal,
             health_transitions: 0,
             storm_entries: 0,
             service_restores: 0,
+            sink,
+            tracer,
+            sampler,
         })
     }
 
@@ -486,6 +530,16 @@ impl Runner {
             cycle += 1;
             self.observe_health();
             let elapsed = self.engine.elapsed();
+            if self.sampler.should_sample(cycle) {
+                let counters = self.collect_counters();
+                self.tracer.emit(
+                    elapsed,
+                    EventKind::CounterSample {
+                        cycle,
+                        values: counters.fields().iter().map(|&(_, v)| v).collect(),
+                    },
+                );
+            }
 
             // Stop checks.
             match self.cfg.stop {
@@ -527,6 +581,8 @@ impl Runner {
             .engine
             .fault_counters(ChannelId::A)
             .merged(self.engine.fault_counters(ChannelId::B));
+        let now = self.engine.elapsed();
+        self.monitor.set_trace_clock(now);
         let overall = self.monitor.observe(merged);
         let channels = [
             self.engine.channel_health(ChannelId::A),
@@ -535,6 +591,16 @@ impl Runner {
         let effective = overall.max(channels[0]).max(channels[1]);
         if effective != self.effective_health {
             self.health_transitions += 1;
+            if self.tracer.is_enabled() {
+                self.tracer.emit(
+                    now,
+                    EventKind::HealthTransition {
+                        scope: 3,
+                        from: self.effective_health.as_u8(),
+                        to: effective.as_u8(),
+                    },
+                );
+            }
             if effective == HealthState::Storm {
                 self.storm_entries += 1;
             }
@@ -546,14 +612,12 @@ impl Runner {
         self.scheduler.set_health(effective, channels);
     }
 
-    fn report(self, truncated: bool) -> RunReport {
-        let elapsed = self.engine.elapsed();
-        let a = self.engine.stats(ChannelId::A);
-        let b = self.engine.stats(ChannelId::B);
+    /// Aggregates the run counters from every layer (scheduler steal
+    /// decisions, fault injection/recovery, health transitions). Shared by
+    /// the final [`report`](Self::report) and the periodic
+    /// [`EventKind::CounterSample`] emission.
+    fn collect_counters(&self) -> RunCounters {
         let tracker = self.scheduler.tracker();
-        let utilization_a = a.occupied_utilization(elapsed);
-        let utilization_b = b.occupied_utilization(elapsed);
-        let wire_utilization = (a.utilization(elapsed) + b.utilization(elapsed)) / 2.0;
         let sched = self.scheduler.schedule_counters();
         let faults = self
             .engine
@@ -564,7 +628,7 @@ impl Runner {
             .iter()
             .filter(|i| i.corrupted > 0 && i.is_delivered())
             .count() as u64;
-        let counters = RunCounters {
+        RunCounters {
             steal_attempts: sched.steal_attempts,
             steal_granted: sched.steal_granted,
             steal_denied: sched.steal_denied,
@@ -581,7 +645,22 @@ impl Runner {
             soft_shed: sched.degraded_sheds,
             degraded_extra_copies: self.scheduler.degraded_extra_copies(),
             failover_mirrors: self.scheduler.failover_mirrors(),
-        };
+        }
+    }
+
+    fn report(self, truncated: bool) -> RunReport {
+        let elapsed = self.engine.elapsed();
+        let counters = self.collect_counters();
+        let trace = self
+            .sink
+            .as_ref()
+            .map(|sink| sink.lock().expect("trace sink lock poisoned").take_log());
+        let a = self.engine.stats(ChannelId::A);
+        let b = self.engine.stats(ChannelId::B);
+        let tracker = self.scheduler.tracker();
+        let utilization_a = a.occupied_utilization(elapsed);
+        let utilization_b = b.occupied_utilization(elapsed);
+        let wire_utilization = (a.utilization(elapsed) + b.utilization(elapsed)) / 2.0;
         RunReport {
             policy: self.scheduler.policy(),
             scenario: self.cfg.scenario.name,
@@ -607,6 +686,7 @@ impl Runner {
                 self.engine.fault_counters(ChannelId::B),
             ],
             truncated,
+            trace,
         }
     }
 }
@@ -627,6 +707,7 @@ mod tests {
             policy,
             stop,
             seed: 42,
+            trace: TraceConfig::off(),
         }
     }
 

@@ -159,6 +159,7 @@ impl SweepMatrix {
             policy: self.policies[coord.policy],
             stop: self.stop,
             seed: self.cell_seed(coord),
+            trace: Default::default(),
         }
     }
 }

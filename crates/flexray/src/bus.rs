@@ -14,6 +14,7 @@
 
 use event_sim::{SimDuration, SimTime};
 
+use observe::{EventKind, Tracer};
 use reliability::fault::{FaultProcess, NoFaults};
 use reliability::monitor::{HealthState, MonitorConfig, ReliabilityMonitor};
 
@@ -167,6 +168,7 @@ pub struct BusEngine {
     record: bool,
     outcomes: Vec<TransmissionOutcome>,
     cycles_run: u64,
+    tracer: Tracer,
 }
 
 impl std::fmt::Debug for BusEngine {
@@ -192,6 +194,7 @@ impl BusEngine {
             record: false,
             outcomes: Vec::new(),
             cycles_run: 0,
+            tracer: Tracer::disabled(),
         }
     }
 
@@ -214,8 +217,29 @@ impl BusEngine {
     /// transmission schedule or the fault RNGs, so enabling it does not
     /// change a run's outcomes.
     pub fn with_health_monitoring(mut self, cfg: MonitorConfig) -> Self {
-        self.monitors = Some([ReliabilityMonitor::new(cfg), ReliabilityMonitor::new(cfg)]);
+        let mut monitors = [ReliabilityMonitor::new(cfg), ReliabilityMonitor::new(cfg)];
+        if self.tracer.is_enabled() {
+            for (i, monitor) in monitors.iter_mut().enumerate() {
+                monitor.set_tracer(self.tracer.clone(), i as u8);
+            }
+        }
+        self.monitors = Some(monitors);
         self
+    }
+
+    /// Attaches a structured event tracer. The engine emits cycle
+    /// boundaries, slot/minislot occupancy and fault hits through it,
+    /// and hands clones to the per-channel reliability monitors
+    /// (scopes 0 and 1) so health transitions are timestamped too.
+    /// Tracing observes — it never perturbs the schedule or the fault
+    /// RNGs.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        if let Some(monitors) = self.monitors.as_mut() {
+            for (i, monitor) in monitors.iter_mut().enumerate() {
+                monitor.set_tracer(tracer.clone(), i as u8);
+            }
+        }
+        self.tracer = tracer;
     }
 
     /// Enables in-memory recording of every [`TransmissionOutcome`]
@@ -281,13 +305,21 @@ impl BusEngine {
     /// maximum.
     pub fn run_cycle(&mut self, cycle: u64, source: &mut dyn TrafficSource) {
         assert_eq!(cycle, self.cycles_run, "cycles must be run in order");
+        if self.tracer.is_enabled() {
+            self.tracer.emit(
+                self.config.cycle_start(cycle),
+                EventKind::CycleStart { cycle },
+            );
+        }
         let cycle_counter = self.config.cycle_counter(cycle);
         for channel in ChannelId::BOTH {
             self.run_static_segment(cycle, cycle_counter, channel, source);
             self.run_dynamic_segment(cycle, channel, source);
         }
         if let Some(monitors) = self.monitors.as_mut() {
+            let cycle_end = self.config.cycle_start(cycle + 1);
             for (i, monitor) in monitors.iter_mut().enumerate() {
+                monitor.set_trace_clock(cycle_end);
                 let _ = monitor.observe(self.faults[i].counters());
             }
         }
@@ -333,6 +365,30 @@ impl BusEngine {
                     st.corrupted += u64::from(corrupted);
                     st.busy += duration;
                     st.occupied += self.config.static_slot_duration();
+                    if self.tracer.is_enabled() {
+                        let ch = channel.index() as u8;
+                        self.tracer.emit(
+                            start,
+                            EventKind::SlotFrame {
+                                channel: ch,
+                                slot: u64::from(slot_u16),
+                                frame_id: u64::from(outcome.message),
+                                payload_bits: wire_bits,
+                                duration,
+                                corrupted,
+                            },
+                        );
+                        if corrupted {
+                            self.tracer.emit(
+                                start,
+                                EventKind::FaultHit {
+                                    channel: ch,
+                                    frame_id: u64::from(outcome.message),
+                                    in_burst: self.faults[channel.index()].in_burst(),
+                                },
+                            );
+                        }
+                    }
                     source.on_outcome(&outcome);
                     if self.record {
                         self.outcomes.push(outcome);
@@ -405,6 +461,31 @@ impl BusEngine {
                     st.corrupted += u64::from(corrupted);
                     st.busy += duration;
                     st.occupied += self.config.minislot_duration() * used_ms;
+                    if self.tracer.is_enabled() {
+                        let ch = channel.index() as u8;
+                        self.tracer.emit(
+                            start,
+                            EventKind::MinislotFrame {
+                                channel: ch,
+                                slot_counter,
+                                minislot: ms,
+                                frame_id: u64::from(outcome.message),
+                                payload_bits: wire_bits,
+                                duration,
+                                corrupted,
+                            },
+                        );
+                        if corrupted {
+                            self.tracer.emit(
+                                start,
+                                EventKind::FaultHit {
+                                    channel: ch,
+                                    frame_id: u64::from(outcome.message),
+                                    in_burst: self.faults[channel.index()].in_burst(),
+                                },
+                            );
+                        }
+                    }
                     source.on_outcome(&outcome);
                     if self.record {
                         self.outcomes.push(outcome);

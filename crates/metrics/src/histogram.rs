@@ -175,6 +175,55 @@ mod tests {
     }
 
     #[test]
+    fn extreme_quantiles_of_empty_are_none() {
+        // p0 and p100 have no special casing that could invent a bound
+        // for a histogram with no samples.
+        let h = Histogram::new(us(1), 4);
+        assert_eq!(h.quantile_upper_bound(0.0), None);
+        assert_eq!(h.quantile_upper_bound(1.0), None);
+    }
+
+    #[test]
+    fn single_bucket_histogram_answers_every_quantile() {
+        // The degenerate one-bin geometry: every in-range sample lands in
+        // bin 0, so every quantile's upper bound is the bin's upper edge.
+        let mut h = Histogram::new(us(10), 1);
+        h.record(us(0));
+        h.record(us(9));
+        assert_eq!(h.num_bins(), 1);
+        for q in [0.0, 0.25, 0.5, 0.75, 1.0] {
+            assert_eq!(h.quantile_upper_bound(q), Some(us(10)), "q = {q}");
+        }
+    }
+
+    #[test]
+    fn p0_clamps_to_the_first_sample() {
+        // q = 0 must still demand one sample (not zero), so it skips
+        // leading empty bins and lands on the first occupied one.
+        let mut h = Histogram::new(us(10), 4);
+        h.record(us(25)); // bin 2 — bins 0 and 1 stay empty
+        assert_eq!(h.quantile_upper_bound(0.0), Some(us(30)));
+    }
+
+    #[test]
+    fn p100_is_the_last_occupied_bin_edge() {
+        let mut h = Histogram::new(us(10), 4);
+        h.record(us(5)); // bin 0
+        h.record(us(35)); // bin 3
+        assert_eq!(h.quantile_upper_bound(1.0), Some(us(40)));
+        // But p100 with any overflow sample is unbounded.
+        h.record(us(1000));
+        assert_eq!(h.quantile_upper_bound(1.0), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile out of range")]
+    fn quantile_above_one_rejected() {
+        let h = Histogram::new(us(1), 4);
+        let _ = h.quantile_upper_bound(1.5);
+    }
+
+    #[test]
     fn quantile_in_overflow_is_none() {
         let mut h = Histogram::new(us(1), 2);
         h.record(us(100));

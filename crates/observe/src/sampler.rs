@@ -1,0 +1,49 @@
+//! Periodic counter sampling.
+
+/// Decides which cycles snapshot the run counters into a
+/// [`EventKind::CounterSample`](crate::EventKind::CounterSample) event.
+///
+/// The sampler is pure arithmetic over the cycle number, so sampled runs
+/// stay deterministic at any worker-thread count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CounterSampler {
+    every: u64,
+}
+
+impl CounterSampler {
+    /// Samples every `every` cycles (`0` disables sampling).
+    pub const fn new(every: u64) -> Self {
+        CounterSampler { every }
+    }
+
+    /// The sampling period in cycles (`0` = disabled).
+    pub const fn period(&self) -> u64 {
+        self.every
+    }
+
+    /// Whether the counters should be sampled after `cycle` ran.
+    pub fn should_sample(&self, cycle: u64) -> bool {
+        self.every != 0 && cycle.is_multiple_of(self.every)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_period_never_samples() {
+        let s = CounterSampler::new(0);
+        assert!((0..100).all(|c| !s.should_sample(c)));
+        assert_eq!(s.period(), 0);
+    }
+
+    #[test]
+    fn samples_on_multiples() {
+        let s = CounterSampler::new(10);
+        assert!(s.should_sample(0));
+        assert!(s.should_sample(10));
+        assert!(!s.should_sample(11));
+        assert_eq!((0..=100).filter(|&c| s.should_sample(c)).count(), 11);
+    }
+}

@@ -62,6 +62,16 @@ pub trait FaultProcess: std::fmt::Debug + Send {
     /// (golden verify) and the reliability monitor see the same frame
     /// totals regardless of the fault model.
     fn counters(&self) -> FaultCounters;
+
+    /// Whether the process is currently inside a correlated fault burst.
+    ///
+    /// Memoryless models keep the default `false`; bursty models
+    /// ([`GilbertElliott`]'s bad state, a struck [`ChannelOutage`])
+    /// override it. Purely observational — the bus tracer uses it to tag
+    /// fault-hit events — and must not mutate state.
+    fn in_burst(&self) -> bool {
+        false
+    }
 }
 
 /// Independent per-frame Bernoulli faults derived from a bit error rate.
@@ -197,6 +207,10 @@ impl FaultProcess for GilbertElliott {
     fn counters(&self) -> FaultCounters {
         self.counters
     }
+
+    fn in_burst(&self) -> bool {
+        self.in_bad
+    }
 }
 
 /// A fault process that never corrupts anything (fault-free runs).
@@ -289,6 +303,10 @@ impl<P: FaultProcess> FaultProcess for ChannelOutage<P> {
             faults_injected: self.injected,
         }
     }
+
+    fn in_burst(&self) -> bool {
+        self.is_down() || self.base.in_burst()
+    }
 }
 
 #[cfg(test)]
@@ -337,6 +355,27 @@ mod tests {
                 faults_injected: 0,
             }
         );
+    }
+
+    #[test]
+    fn in_burst_tracks_burst_state() {
+        let mut quiet = BernoulliFaults::new(Ber::ZERO, 1);
+        assert!(!quiet.in_burst(), "memoryless models are never in a burst");
+        let _ = quiet.corrupts(100);
+        assert!(!quiet.in_burst());
+
+        let mut ge = GilbertElliott::new(Ber::ZERO, Ber::ZERO, 0.5, 0.5, 5);
+        let mut matched = true;
+        for _ in 0..200 {
+            let _ = ge.corrupts(100);
+            matched &= ge.in_burst() == ge.is_in_bad_state();
+        }
+        assert!(matched, "in_burst mirrors the bad state");
+
+        let mut outage = ChannelOutage::new(NoFaults::new(), 1);
+        assert!(!outage.in_burst());
+        let _ = outage.corrupts(100);
+        assert!(outage.in_burst(), "a struck outage reports a burst");
     }
 
     #[test]

@@ -25,6 +25,13 @@
 //!
 //! Everything here is pure arithmetic over counters: no clocks, no RNG,
 //! so monitored runs stay bit-for-bit replayable at any thread count.
+//! (Tracing does not break this: the owner *pushes* the current simulated
+//! time in via [`ReliabilityMonitor::set_trace_clock`] purely to stamp
+//! emitted [`observe::EventKind::HealthTransition`] events — the clock
+//! never feeds back into classification.)
+
+use event_sim::SimTime;
+use observe::{EventKind, Tracer};
 
 use crate::fault::FaultCounters;
 
@@ -49,6 +56,16 @@ impl HealthState {
     /// policies are active.
     pub fn is_degraded(self) -> bool {
         self != HealthState::Nominal
+    }
+
+    /// Compact encoding used by trace events: `0` = Nominal,
+    /// `1` = Stressed, `2` = Storm.
+    pub fn as_u8(self) -> u8 {
+        match self {
+            HealthState::Nominal => 0,
+            HealthState::Stressed => 1,
+            HealthState::Storm => 2,
+        }
     }
 }
 
@@ -183,6 +200,12 @@ pub struct ReliabilityMonitor {
     /// current state.
     downgrade_streak: u32,
     counters: MonitorCounters,
+    /// Observability: where health transitions are reported (disabled by
+    /// default), which scope tag they carry, and the simulated instant the
+    /// owner last pushed in to stamp them with.
+    tracer: Tracer,
+    trace_scope: u8,
+    trace_now: SimTime,
 }
 
 impl ReliabilityMonitor {
@@ -200,7 +223,25 @@ impl ReliabilityMonitor {
             pending: FaultCounters::default(),
             downgrade_streak: 0,
             counters: MonitorCounters::default(),
+            tracer: Tracer::disabled(),
+            trace_scope: 0,
+            trace_now: SimTime::ZERO,
         }
+    }
+
+    /// Reports health transitions through `tracer`, tagged with `scope`
+    /// (see [`observe::EventKind::HealthTransition`]). Tracing never
+    /// affects classification.
+    pub fn set_tracer(&mut self, tracer: Tracer, scope: u8) {
+        self.tracer = tracer;
+        self.trace_scope = scope;
+    }
+
+    /// Stamps subsequently emitted transition events with `now`. The
+    /// owner (which *does* know the simulated clock) calls this before
+    /// each [`observe`](Self::observe); the monitor itself stays clock-free.
+    pub fn set_trace_clock(&mut self, now: SimTime) {
+        self.trace_now = now;
     }
 
     /// Ingests the fault process's cumulative counters and returns the
@@ -274,6 +315,16 @@ impl ReliabilityMonitor {
         self.state = next;
         self.downgrade_streak = 0;
         self.counters.transitions += 1;
+        if self.tracer.is_enabled() {
+            self.tracer.emit(
+                self.trace_now,
+                EventKind::HealthTransition {
+                    scope: self.trace_scope,
+                    from: prev.as_u8(),
+                    to: next.as_u8(),
+                },
+            );
+        }
         if next == HealthState::Storm {
             self.counters.storm_entries += 1;
         }

@@ -51,7 +51,7 @@ mod taskset;
 mod trace;
 
 pub use aperiodic::AperiodicJob;
-pub use simulator::{simulate, SimulateOptions};
+pub use simulator::{simulate, simulate_with_tracer, AperiodicPolicy, SimulateOptions};
 pub use slack::SlackTable;
 pub use stealer::{SlackStealer, StealerOutcome};
 pub use task::{PeriodicTask, TaskError, TaskId};

@@ -94,6 +94,22 @@ pub fn simulate(
     ExecutionTrace::new(sim.slices, sim.completions, opts.horizon)
 }
 
+/// [`simulate`], but additionally emits every resulting schedule slice as
+/// an [`observe::EventKind::CpuSlice`] event through `tracer`.
+///
+/// The schedule itself is byte-identical to [`simulate`]'s — tracing is
+/// pure observation. With a disabled tracer this *is* [`simulate`].
+pub fn simulate_with_tracer(
+    set: &TaskSet,
+    aperiodics: &[AperiodicJob],
+    opts: SimulateOptions,
+    tracer: &observe::Tracer,
+) -> ExecutionTrace {
+    let trace = simulate(set, aperiodics, opts);
+    trace.emit_to(tracer);
+    trace
+}
+
 pub(crate) struct SimState<'a> {
     set: &'a TaskSet,
     opts: SimulateOptions,
@@ -448,5 +464,99 @@ mod tests {
             cursor = s.end;
         }
         assert_eq!(cursor, horizon);
+    }
+
+    #[test]
+    fn emit_drops_zero_length_slices() {
+        let set = TaskSet::rate_monotonic(vec![t(1, 1, 4)]).unwrap();
+        let mut sim = SimState::new(&set, &[], SimulateOptions::new(SimTime::from_millis(8)));
+        // Zero-length and inverted intervals must leave no trace...
+        sim.emit(
+            SimTime::from_millis(2),
+            SimTime::from_millis(2),
+            SliceKind::Idle,
+        );
+        sim.emit(
+            SimTime::from_millis(3),
+            SimTime::from_millis(1),
+            SliceKind::Idle,
+        );
+        assert!(sim.slices.is_empty());
+        // ...including between two coalescible slices: the real pair still
+        // merges across the dropped degenerate emit.
+        sim.emit(SimTime::ZERO, SimTime::from_millis(1), SliceKind::Idle);
+        sim.emit(
+            SimTime::from_millis(1),
+            SimTime::from_millis(1),
+            SliceKind::Idle,
+        );
+        sim.emit(
+            SimTime::from_millis(1),
+            SimTime::from_millis(2),
+            SliceKind::Idle,
+        );
+        assert_eq!(sim.slices.len(), 1);
+        assert_eq!(sim.slices[0].start, SimTime::ZERO);
+        assert_eq!(sim.slices[0].end, SimTime::from_millis(2));
+    }
+
+    #[test]
+    fn emit_coalesces_only_adjacent_same_kind() {
+        let set = TaskSet::rate_monotonic(vec![t(1, 1, 4)]).unwrap();
+        let mut sim = SimState::new(&set, &[], SimulateOptions::new(SimTime::from_millis(8)));
+        let periodic = SliceKind::Periodic {
+            task: 1,
+            job: 0,
+            level: 0,
+        };
+        sim.emit(SimTime::ZERO, SimTime::from_millis(1), periodic);
+        sim.emit(SimTime::from_millis(1), SimTime::from_millis(2), periodic);
+        assert_eq!(sim.slices.len(), 1, "same kind, adjacent: coalesce");
+        // Different kind at the boundary: new slice.
+        sim.emit(
+            SimTime::from_millis(2),
+            SimTime::from_millis(3),
+            SliceKind::Idle,
+        );
+        assert_eq!(sim.slices.len(), 2);
+        // Same kind but not adjacent (gap): new slice.
+        sim.emit(
+            SimTime::from_millis(5),
+            SimTime::from_millis(6),
+            SliceKind::Idle,
+        );
+        assert_eq!(sim.slices.len(), 3);
+    }
+
+    #[test]
+    fn simulate_with_tracer_mirrors_slices_and_changes_nothing() {
+        use std::sync::{Arc, Mutex};
+
+        use observe::{EventKind, RingBufferSink, Tracer};
+
+        let set = TaskSet::rate_monotonic(vec![t(1, 1, 3), t(2, 1, 5)]).unwrap();
+        let opts = SimulateOptions::new(SimTime::from_millis(15));
+        let plain = simulate(&set, &[], opts);
+        let sink = Arc::new(Mutex::new(RingBufferSink::new(256)));
+        let traced = simulate_with_tracer(&set, &[], opts, &Tracer::new(sink.clone()));
+        assert_eq!(plain, traced, "tracing must not perturb the schedule");
+
+        let log = sink.lock().unwrap().take_log();
+        assert_eq!(log.events.len(), plain.slices().len());
+        for (ev, s) in log.events.iter().zip(plain.slices()) {
+            assert_eq!(ev.at, s.start);
+            match ev.kind {
+                EventKind::CpuSlice { end, kind, .. } => {
+                    assert_eq!(end, s.end);
+                    let expect = match s.kind {
+                        SliceKind::Periodic { .. } => 0,
+                        SliceKind::Aperiodic { .. } => 1,
+                        SliceKind::Idle => 2,
+                    };
+                    assert_eq!(kind, expect);
+                }
+                ref other => panic!("unexpected event {other:?}"),
+            }
+        }
     }
 }

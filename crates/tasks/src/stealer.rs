@@ -17,6 +17,7 @@
 use std::collections::VecDeque;
 
 use event_sim::{SimDuration, SimTime};
+use observe::{EventKind, Tracer};
 
 use crate::aperiodic::AperiodicJob;
 use crate::taskset::TaskSet;
@@ -85,6 +86,7 @@ struct AJob {
 pub struct SlackStealer {
     set: TaskSet,
     horizon: SimTime,
+    tracer: Tracer,
 }
 
 impl SlackStealer {
@@ -94,21 +96,30 @@ impl SlackStealer {
     /// Panics if `horizon` is zero.
     pub fn new(set: TaskSet, horizon: SimTime) -> Self {
         assert!(horizon > SimTime::ZERO, "horizon must be positive");
-        SlackStealer { set, horizon }
+        SlackStealer {
+            set,
+            horizon,
+            tracer: Tracer::disabled(),
+        }
+    }
+
+    /// Attaches a tracer: steal decisions and the final schedule slices
+    /// are emitted as structured events. Scheduling decisions are
+    /// unaffected.
+    #[must_use]
+    pub fn with_tracer(mut self, tracer: Tracer) -> Self {
+        self.tracer = tracer;
+        self
     }
 
     /// Runs the joint schedule with the given aperiodic jobs.
     pub fn run(&self, aperiodics: &[AperiodicJob]) -> StealerOutcome {
-        let mut st = StealState::new(&self.set, aperiodics, self.horizon);
+        let mut st = StealState::new(&self.set, aperiodics, self.horizon, self.tracer.clone());
         st.run();
-        StealerOutcome {
-            trace: ExecutionTrace::with_counters(
-                st.slices,
-                st.completions,
-                self.horizon,
-                st.counters,
-            ),
-        }
+        let trace =
+            ExecutionTrace::with_counters(st.slices, st.completions, self.horizon, st.counters);
+        trace.emit_to(&self.tracer);
+        StealerOutcome { trace }
     }
 }
 
@@ -123,10 +134,16 @@ struct StealState<'a> {
     slices: Vec<Slice>,
     completions: Vec<JobCompletion>,
     counters: ScheduleCounters,
+    tracer: Tracer,
 }
 
 impl<'a> StealState<'a> {
-    fn new(set: &'a TaskSet, aperiodics: &[AperiodicJob], horizon: SimTime) -> Self {
+    fn new(
+        set: &'a TaskSet,
+        aperiodics: &[AperiodicJob],
+        horizon: SimTime,
+        tracer: Tracer,
+    ) -> Self {
         let mut sorted: Vec<AJob> = aperiodics
             .iter()
             .map(|j| AJob {
@@ -148,6 +165,7 @@ impl<'a> StealState<'a> {
             slices: Vec::new(),
             completions: Vec::new(),
             counters: ScheduleCounters::default(),
+            tracer,
         }
     }
 
@@ -308,10 +326,17 @@ impl<'a> StealState<'a> {
                 if !slack.is_zero() {
                     self.counters.steal_granted += 1;
                     let budget = slack.min(next_change - self.now);
+                    if self.tracer.is_enabled() {
+                        self.tracer
+                            .emit(self.now, EventKind::CpuStealGranted { budget });
+                    }
                     self.run_aperiodic(budget);
                     continue;
                 }
                 self.counters.steal_denied += 1;
+                if self.tracer.is_enabled() {
+                    self.tracer.emit(self.now, EventKind::CpuStealDenied);
+                }
             }
             if !self.ready.is_empty() {
                 self.run_periodic(next_change);
@@ -528,6 +553,49 @@ mod tests {
         let out = stealer.run(std::slice::from_ref(&ap));
         assert!(out.no_periodic_miss());
         assert!(out.counters().preemptions >= 1, "{:?}", out.counters());
+    }
+
+    #[test]
+    fn tracer_records_steal_decisions_without_perturbing() {
+        use std::sync::{Arc, Mutex};
+
+        use observe::RingBufferSink;
+
+        let tight = PeriodicTask::new(1, ms(4), ms(16), ms(4));
+        let light = PeriodicTask::new(2, ms(1), ms(8), ms(8));
+        let s = TaskSet::with_explicit_priorities(vec![tight, light]).unwrap();
+        let aps = vec![AperiodicJob::soft(70, SimTime::ZERO, ms(1))];
+
+        let plain = SlackStealer::new(s.clone(), SimTime::from_millis(32)).run(&aps);
+        let sink = Arc::new(Mutex::new(RingBufferSink::new(1024)));
+        let traced = SlackStealer::new(s, SimTime::from_millis(32))
+            .with_tracer(Tracer::new(sink.clone()))
+            .run(&aps);
+        assert_eq!(
+            plain.trace(),
+            traced.trace(),
+            "tracing must not perturb the schedule"
+        );
+
+        let log = sink.lock().unwrap().take_log();
+        let mut granted = 0u64;
+        let mut denied = 0u64;
+        let mut slices = 0usize;
+        for ev in &log.events {
+            match ev.kind {
+                EventKind::CpuStealGranted { budget } => {
+                    assert!(!budget.is_zero());
+                    granted += 1;
+                }
+                EventKind::CpuStealDenied => denied += 1,
+                EventKind::CpuSlice { .. } => slices += 1,
+                ref other => panic!("unexpected event {other:?}"),
+            }
+        }
+        let c = traced.counters();
+        assert_eq!(granted, c.steal_granted);
+        assert_eq!(denied, c.steal_denied);
+        assert_eq!(slices, traced.trace().slices().len());
     }
 
     #[test]

@@ -361,6 +361,34 @@ impl ExecutionTrace {
             .iter()
             .filter(|c| matches!(c.source, JobSource::Periodic { .. }) && c.missed_deadline())
     }
+
+    /// Emits one [`observe::EventKind::CpuSlice`] per recorded slice.
+    ///
+    /// Slice kinds map to the trace encoding 0 = periodic, 1 = aperiodic,
+    /// 2 = idle; the `task` field carries the periodic task id (0 for the
+    /// other kinds) and `job` the 0-based job index. A disabled tracer
+    /// makes this a no-op.
+    pub fn emit_to(&self, tracer: &observe::Tracer) {
+        if !tracer.is_enabled() {
+            return;
+        }
+        for s in &self.slices {
+            let (kind, task, job) = match s.kind {
+                SliceKind::Periodic { task, job, .. } => (0u8, u64::from(task), job),
+                SliceKind::Aperiodic { job } => (1, 0, job),
+                SliceKind::Idle => (2, 0, 0),
+            };
+            tracer.emit(
+                s.start,
+                observe::EventKind::CpuSlice {
+                    end: s.end,
+                    kind,
+                    task,
+                    job,
+                },
+            );
+        }
+    }
 }
 
 /// Is this slice idle from the point of view of priority level `level`?

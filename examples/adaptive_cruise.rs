@@ -32,6 +32,7 @@ fn main() {
                 policy,
                 stop: StopCondition::Horizon(SimDuration::from_secs(2)),
                 seed: 99,
+                trace: Default::default(),
             })
             .expect("ACC+SAE fits the cluster");
 

@@ -70,6 +70,7 @@ fn main() {
             policy,
             stop: StopCondition::Horizon(SimDuration::from_secs(1)),
             seed: 1,
+            trace: Default::default(),
         })
         .expect("BBW fits the cluster")
         .run();

@@ -65,6 +65,7 @@ fn main() {
             policy,
             stop: StopCondition::Horizon(SimDuration::from_millis(500)),
             seed: 7,
+            trace: Default::default(),
         })
         .expect("valid configuration")
         .run();

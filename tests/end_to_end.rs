@@ -17,6 +17,7 @@ fn config(policy: Policy, stop: StopCondition, seed: u64) -> RunConfig {
         policy,
         stop,
         seed,
+        trace: Default::default(),
     }
 }
 

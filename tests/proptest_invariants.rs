@@ -297,6 +297,7 @@ proptest! {
                 policy: Policy::CoEfficient,
                 stop: StopCondition::Horizon(SimDuration::from_millis(horizon_ms)),
                 seed: run_seed,
+                trace: Default::default(),
             };
             Runner::new_with_options(cfg, options)
                 .expect("palette keeps the allocation feasible")

@@ -190,7 +190,7 @@ pub mod collection {
         VecStrategy { element, size }
     }
 
-    /// See [`vec`].
+    /// See [`vec()`].
     #[derive(Debug)]
     pub struct VecStrategy<S> {
         element: S,
