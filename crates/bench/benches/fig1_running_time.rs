@@ -3,20 +3,16 @@
 
 use bench_harness::experiments::{bbw_acc_messages, run_once, SEED};
 use bench_harness::timing::bench;
-use coefficient::{Policy, Scenario, StopCondition};
+use coefficient::{Scenario, StopCondition};
 use flexray::config::ClusterConfig;
 use workloads::sae::IdRange;
 
 fn main() {
-    for policy in [Policy::CoEfficient, Policy::Fspec] {
+    for policy in [coefficient::COEFFICIENT, coefficient::FSPEC] {
         for scenario in [Scenario::ber7(), Scenario::ber9()] {
             let label = format!(
                 "fig1_running_time/bbw_acc_80slots_400msgs/{}/{}",
-                match policy {
-                    Policy::CoEfficient => "coefficient",
-                    Policy::Fspec => "fspec",
-                    Policy::Hosa => "hosa",
-                },
+                policy.key(),
                 scenario.name
             );
             bench(&label, 10, || {

@@ -3,7 +3,7 @@
 
 use bench_harness::experiments::{bbw_acc_messages, dynamic_experiment_statics, run_once, SEED};
 use bench_harness::timing::bench;
-use coefficient::{Policy, Scenario, StopCondition};
+use coefficient::{Scenario, StopCondition};
 use event_sim::SimDuration;
 use flexray::config::ClusterConfig;
 use workloads::sae::IdRange;
@@ -13,14 +13,10 @@ fn main() {
         ("synthetic", dynamic_experiment_statics()),
         ("bbw_acc", bbw_acc_messages()),
     ] {
-        for policy in [Policy::CoEfficient, Policy::Fspec] {
+        for policy in [coefficient::COEFFICIENT, coefficient::FSPEC] {
             let label = format!(
                 "fig4_latency/latency_50minislots_2s/{workload}/{}",
-                match policy {
-                    Policy::CoEfficient => "coefficient",
-                    Policy::Fspec => "fspec",
-                    Policy::Hosa => "hosa",
-                }
+                policy.key()
             );
             let statics = statics.clone();
             bench(&label, 10, move || {

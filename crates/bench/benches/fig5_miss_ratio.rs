@@ -3,22 +3,18 @@
 
 use bench_harness::experiments::{dynamic_experiment_statics, run_once, SEED};
 use bench_harness::timing::bench;
-use coefficient::{Policy, Scenario, StopCondition};
+use coefficient::{Scenario, StopCondition};
 use event_sim::SimDuration;
 use flexray::config::ClusterConfig;
 use workloads::sae::IdRange;
 
 fn main() {
     for scenario in [Scenario::ber7(), Scenario::ber9()] {
-        for policy in [Policy::CoEfficient, Policy::Fspec] {
+        for policy in [coefficient::COEFFICIENT, coefficient::FSPEC] {
             let label = format!(
                 "fig5_miss_ratio/miss_ratio_50minislots_1s/{}/{}",
                 scenario.name,
-                match policy {
-                    Policy::CoEfficient => "coefficient",
-                    Policy::Fspec => "fspec",
-                    Policy::Hosa => "hosa",
-                }
+                policy.key()
             );
             bench(&label, 10, || {
                 run_once(

@@ -31,7 +31,7 @@
 //! untraced replay's. `--golden` selects the golden-corpus matrix instead
 //! of the sweep flags.
 //!
-//! `golden record` runs the pinned 12-cell regression matrix and writes
+//! `golden record` runs the pinned 54-cell regression matrix and writes
 //! the `coefficient-golden/1` corpus (default `corpus/golden.json`);
 //! `golden verify` replays the corpus' own spec and exits non-zero on any
 //! fingerprint, counter or metric divergence, printing a counter-level
@@ -56,9 +56,7 @@ use bench_harness::sweep::{
 };
 use bench_harness::table::print_table;
 use bench_harness::trace::{counter_names, trace_json, validate_trace};
-use coefficient::{
-    CellCoord, Policy, Scenario, SeedStrategy, StopCondition, SweepRunner, TraceConfig,
-};
+use coefficient::{CellCoord, Scenario, SeedStrategy, StopCondition, SweepRunner, TraceConfig};
 use event_sim::SimDuration;
 use flexray::config::ClusterConfig;
 
@@ -124,8 +122,8 @@ fn parse_spec(args: &[String]) -> SweepSpec {
     let policies: Vec<_> = flag_values(args, "--policy")
         .into_iter()
         .map(|v| {
-            parse_policy(v).unwrap_or_else(|| {
-                eprintln!("unknown policy: {v} (expected coefficient|fspec|hosa)");
+            parse_policy(v).unwrap_or_else(|e| {
+                eprintln!("{e}");
                 std::process::exit(2);
             })
         })
@@ -477,7 +475,7 @@ fn run_storm_smoke(args: &[String]) {
         Scenario::ber7().storm(),
         dynamic_experiment_statics(),
         workloads::sae::message_set(workloads::sae::IdRange::For80Slots, seed),
-        Policy::CoEfficient,
+        coefficient::COEFFICIENT,
         StopCondition::Horizon(SimDuration::from_millis(horizon_ms)),
         seed,
     );

@@ -15,7 +15,7 @@ use event_sim::SimDuration;
 
 use coefficient::sweep::default_threads;
 use coefficient::{
-    run_parallel, run_parallel_with_options, Policy, RunConfig, RunReport, Runner, Scenario,
+    run_parallel, run_parallel_with_options, PolicyRef, RunConfig, RunReport, Runner, Scenario,
     StopCondition,
 };
 use flexray::config::ClusterConfig;
@@ -27,12 +27,8 @@ use workloads::AperiodicMessage;
 /// Default seed of the whole suite.
 pub const SEED: u64 = 20140630; // ICDCS 2014 ;-)
 
-fn policy_name(p: Policy) -> &'static str {
-    match p {
-        Policy::CoEfficient => "CoEfficient",
-        Policy::Fspec => "FSPEC",
-        Policy::Hosa => "HOSA",
-    }
+fn policy_name(p: PolicyRef) -> &'static str {
+    p.label()
 }
 
 /// Runs one configuration to a report.
@@ -41,7 +37,7 @@ pub fn run_once(
     scenario: Scenario,
     static_messages: Vec<Signal>,
     dynamic_messages: Vec<AperiodicMessage>,
-    policy: Policy,
+    policy: PolicyRef,
     stop: StopCondition,
     seed: u64,
 ) -> RunReport {
@@ -121,7 +117,7 @@ pub fn fig_running_time(scenario: &Scenario, message_counts: &[u64]) -> Vec<Runn
                 ),
             ),
         ] {
-            for policy in [Policy::CoEfficient, Policy::Fspec] {
+            for policy in [coefficient::COEFFICIENT, coefficient::FSPEC] {
                 for &n in message_counts {
                     meta.push((workload, slots, policy, n));
                     configs.push(RunConfig {
@@ -187,7 +183,7 @@ pub fn fig3_bandwidth() -> Vec<BandwidthRow> {
     let mut configs = Vec::new();
     for &ms in &[25u64, 50, 75, 100] {
         let cluster = ClusterConfig::paper_mixed(ms);
-        for policy in [Policy::CoEfficient, Policy::Fspec] {
+        for policy in [coefficient::COEFFICIENT, coefficient::FSPEC] {
             meta.push((ms, policy));
             configs.push(RunConfig {
                 cluster: cluster.clone(),
@@ -255,7 +251,7 @@ pub fn fig4_latency(workload: &'static str) -> Vec<LatencyRow> {
     for &ms in &[50u64, 100] {
         let cluster = ClusterConfig::paper_mixed(ms);
         for scenario in [Scenario::ber7(), Scenario::ber9()] {
-            for policy in [Policy::CoEfficient, Policy::Fspec] {
+            for policy in [coefficient::COEFFICIENT, coefficient::FSPEC] {
                 meta.push((ms, scenario.name, policy));
                 configs.push(RunConfig {
                     cluster: cluster.clone(),
@@ -316,7 +312,7 @@ pub fn fig5_miss_ratio() -> Vec<MissRatioRow> {
     for &ms in &[25u64, 50, 75, 100] {
         let cluster = ClusterConfig::paper_mixed(ms);
         for scenario in [Scenario::ber7(), Scenario::ber9()] {
-            for policy in [Policy::CoEfficient, Policy::Fspec] {
+            for policy in [coefficient::COEFFICIENT, coefficient::FSPEC] {
                 meta.push((ms, scenario.name, policy));
                 configs.push(RunConfig {
                     cluster: cluster.clone(),
@@ -625,15 +621,15 @@ pub struct AblationRow {
 /// `paper_mixed(50)` geometry, 1 s horizon).
 pub fn ablation() -> Vec<AblationRow> {
     use coefficient::CoefficientOptions;
-    let variants: Vec<(&'static str, Policy, CoefficientOptions)> = vec![
+    let variants: Vec<(&'static str, PolicyRef, CoefficientOptions)> = vec![
         (
             "CoEfficient (full)",
-            Policy::CoEfficient,
+            coefficient::COEFFICIENT,
             CoefficientOptions::default(),
         ),
         (
             "– early copies",
-            Policy::CoEfficient,
+            coefficient::COEFFICIENT,
             CoefficientOptions {
                 early_copies: false,
                 ..CoefficientOptions::default()
@@ -641,7 +637,7 @@ pub fn ablation() -> Vec<AblationRow> {
         ),
         (
             "– cooperative dynamic",
-            Policy::CoEfficient,
+            coefficient::COEFFICIENT,
             CoefficientOptions {
                 cooperative_dynamic: false,
                 ..CoefficientOptions::default()
@@ -649,7 +645,7 @@ pub fn ablation() -> Vec<AblationRow> {
         ),
         (
             "– channel B (single)",
-            Policy::CoEfficient,
+            coefficient::COEFFICIENT,
             CoefficientOptions {
                 dual_channel: false,
                 ..CoefficientOptions::default()
@@ -657,10 +653,10 @@ pub fn ablation() -> Vec<AblationRow> {
         ),
         (
             "HOSA (dual-channel)",
-            Policy::Hosa,
+            coefficient::HOSA,
             CoefficientOptions::default(),
         ),
-        ("FSPEC", Policy::Fspec, CoefficientOptions::default()),
+        ("FSPEC", coefficient::FSPEC, CoefficientOptions::default()),
     ];
     let mut statics = bbw_acc_messages();
     statics.truncate(40);
@@ -734,7 +730,7 @@ pub fn fault_model_ablation() -> Vec<FaultModelRow> {
     let mut meta = Vec::new();
     let mut configs = Vec::new();
     for (model, scenario) in scenarios {
-        for policy in [Policy::CoEfficient, Policy::Fspec] {
+        for policy in [coefficient::COEFFICIENT, coefficient::FSPEC] {
             meta.push((model, policy));
             configs.push(RunConfig {
                 cluster: ClusterConfig::paper_mixed(50),

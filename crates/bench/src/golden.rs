@@ -19,8 +19,8 @@ use std::path::Path;
 
 use coefficient::golden::{GoldenGroup, SCHEMA};
 use coefficient::{
-    CellCoord, GoldenCell, GoldenCorpus, GoldenMetrics, Policy, RunCounters, Scenario,
-    SchedulerError, SeedStrategy, Tolerances, VerifyReport,
+    CellCoord, GoldenCell, GoldenCorpus, GoldenMetrics, RunCounters, Scenario, SchedulerError,
+    SeedStrategy, Tolerances, VerifyReport,
 };
 
 use crate::experiments::SEED;
@@ -30,14 +30,17 @@ use crate::sweep::{parse_policy, parse_scenario, policy_label, SweepSpec};
 /// Default on-disk location of the checked-in corpus.
 pub const DEFAULT_CORPUS_PATH: &str = "corpus/golden.json";
 
-/// The pinned spec of the CI regression gate: 2 policies × 3 scenarios ×
-/// 3 seeds = 18 cells on the paper's mixed geometry, with a horizon
-/// short enough for every CI run but long enough that faults, steals and
-/// early copies all occur in every cell. The `BER-7-storm` column pins
-/// the resilience subsystem: monitor transitions, degraded-mode shedding
-/// and dual-channel failover all engage there and their counters are
-/// part of the recorded fingerprints. Per-cell seeds key on the scenario
-/// *name*, so adding a scenario never shifts the older cells' seeds.
+/// The pinned spec of the CI regression gate: every registered policy ×
+/// 3 scenarios × 3 seeds = 54 cells on the paper's mixed geometry, with
+/// a horizon short enough for every CI run but long enough that faults,
+/// steals and early copies all occur in every cell. The `BER-7-storm`
+/// column pins the resilience subsystem: monitor transitions,
+/// degraded-mode shedding and dual-channel failover all engage there and
+/// their counters are part of the recorded fingerprints. Per-cell seeds
+/// key on the scenario *name* (not the policy), and the registry lists
+/// the legacy pair first, so growing the policy axis appends columns
+/// without shifting the original CoEfficient/FSPEC cells' coordinates,
+/// seeds or digests.
 pub fn golden_spec() -> SweepSpec {
     SweepSpec {
         minislots: 50,
@@ -45,7 +48,7 @@ pub fn golden_spec() -> SweepSpec {
         seeds: 3,
         master_seed: SEED,
         threads: None,
-        policies: vec![Policy::CoEfficient, Policy::Fspec],
+        policies: coefficient::registry::all().to_vec(),
         scenarios: vec![Scenario::ber7(), Scenario::ber9(), Scenario::ber7().storm()],
         strategy: SeedStrategy::PerCell,
     }
@@ -275,9 +278,12 @@ fn spec_from_json(doc: &Json) -> Result<SweepSpec, CorpusError> {
     let policies = want_array(doc, "policies")?
         .iter()
         .map(|p| {
-            p.as_str()
-                .and_then(parse_policy)
-                .ok_or_else(|| CorpusError::new(format!("unknown policy {p}")))
+            let name = p
+                .as_str()
+                .ok_or_else(|| CorpusError::new(format!("policy {p} is not a string")))?;
+            // Surface the registry's own error so an unknown name in a
+            // corpus file lists every registered policy.
+            parse_policy(name).map_err(|e| CorpusError::new(e.to_string()))
         })
         .collect::<Result<Vec<_>, _>>()?;
     let scenarios = want_array(doc, "scenarios")?
@@ -442,11 +448,33 @@ mod tests {
     }
 
     #[test]
-    fn golden_spec_is_an_18_cell_matrix_with_a_storm_column() {
+    fn golden_spec_covers_the_whole_registry_with_a_storm_column() {
         let spec = golden_spec();
         let matrix = spec.build_matrix();
-        assert_eq!(matrix.cell_count(), 18);
+        assert_eq!(spec.policies.len(), coefficient::registry::all().len());
+        assert_eq!(matrix.cell_count(), 9 * spec.policies.len());
+        assert_eq!(matrix.cell_count(), 54);
+        // The legacy pair leads the axis, so its cells keep coordinates
+        // (and, via scenario-keyed seeds, digests) from the 18-cell era.
+        assert_eq!(spec.policies[0], coefficient::COEFFICIENT);
+        assert_eq!(spec.policies[1], coefficient::FSPEC);
         assert!(spec.scenarios.iter().any(|s| s.name == "BER-7-storm"));
+    }
+
+    #[test]
+    fn unknown_policy_in_a_corpus_file_lists_the_registry() {
+        let recorded = record_corpus("bad-policy", &tiny_spec()).unwrap();
+        let doc = corpus_to_json(&recorded)
+            .to_string()
+            .replace("\"CoEfficient\"", "\"NoSuchPolicy\"");
+        let err = corpus_from_json(&Json::parse(&doc).unwrap()).unwrap_err();
+        assert!(
+            err.message.contains("unknown policy \"NoSuchPolicy\""),
+            "{err}"
+        );
+        for policy in coefficient::registry::all() {
+            assert!(err.message.contains(policy.key()), "{err}");
+        }
     }
 
     #[test]

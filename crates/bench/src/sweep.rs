@@ -16,8 +16,8 @@ use std::time::Duration;
 
 use coefficient::sweep::default_threads;
 use coefficient::{
-    CellOutcome, GroupSummary, Policy, Scenario, SchedulerError, SeedStrategy, StopCondition,
-    SweepMatrix, SweepReport, SweepRunner,
+    CellOutcome, GroupSummary, PolicyRef, Scenario, SchedulerError, SeedStrategy, StopCondition,
+    SweepMatrix, SweepReport, SweepRunner, UnknownPolicy, COEFFICIENT, FSPEC,
 };
 use event_sim::SimDuration;
 use flexray::config::ClusterConfig;
@@ -41,7 +41,7 @@ pub struct SweepSpec {
     /// Worker threads; `None` means all available parallelism.
     pub threads: Option<usize>,
     /// Policies under test.
-    pub policies: Vec<Policy>,
+    pub policies: Vec<PolicyRef>,
     /// Scenarios under test.
     pub scenarios: Vec<Scenario>,
     /// Seed derivation discipline.
@@ -56,7 +56,7 @@ impl Default for SweepSpec {
             seeds: 8,
             master_seed: SEED,
             threads: None,
-            policies: vec![Policy::CoEfficient, Policy::Fspec],
+            policies: vec![COEFFICIENT, FSPEC],
             scenarios: vec![Scenario::ber7(), Scenario::ber9()],
             strategy: SeedStrategy::PerCell,
         }
@@ -93,14 +93,14 @@ impl SweepSpec {
     }
 }
 
-/// Parses a policy flag value (`coefficient` / `fspec` / `hosa`).
-pub fn parse_policy(s: &str) -> Option<Policy> {
-    match s.to_ascii_lowercase().as_str() {
-        "coefficient" | "co" => Some(Policy::CoEfficient),
-        "fspec" => Some(Policy::Fspec),
-        "hosa" => Some(Policy::Hosa),
-        _ => None,
-    }
+/// Parses a policy flag value against the [`coefficient::registry`]
+/// (keys, labels and aliases, case-insensitively).
+///
+/// # Errors
+/// Returns [`UnknownPolicy`] — whose message lists every registered
+/// name — when nothing in the registry matches.
+pub fn parse_policy(s: &str) -> Result<PolicyRef, UnknownPolicy> {
+    coefficient::registry::resolve(s)
 }
 
 /// Parses a scenario flag value (`ber7` / `ber9` / `fault-free`, with a
@@ -128,12 +128,8 @@ pub fn parse_scenario(s: &str) -> Option<Scenario> {
 }
 
 /// Human-readable policy label (matches the table output).
-pub fn policy_label(p: Policy) -> &'static str {
-    match p {
-        Policy::CoEfficient => "CoEfficient",
-        Policy::Fspec => "FSPEC",
-        Policy::Hosa => "HOSA",
-    }
+pub fn policy_label(p: PolicyRef) -> &'static str {
+    p.label()
 }
 
 fn hex64(v: u64) -> Json {
@@ -307,11 +303,18 @@ mod tests {
     }
 
     #[test]
-    fn parse_policy_accepts_known_names() {
-        assert_eq!(parse_policy("coefficient"), Some(Policy::CoEfficient));
-        assert_eq!(parse_policy("FSPEC"), Some(Policy::Fspec));
-        assert_eq!(parse_policy("hosa"), Some(Policy::Hosa));
-        assert_eq!(parse_policy("bogus"), None);
+    fn parse_policy_accepts_every_registered_name() {
+        assert_eq!(parse_policy("coefficient").unwrap(), COEFFICIENT);
+        assert_eq!(parse_policy("FSPEC").unwrap(), FSPEC);
+        for policy in coefficient::registry::all() {
+            assert_eq!(parse_policy(policy.key()).unwrap(), *policy);
+            assert_eq!(parse_policy(policy.label()).unwrap(), *policy);
+        }
+        let err = parse_policy("bogus").unwrap_err().to_string();
+        assert!(err.contains("unknown policy \"bogus\""), "{err}");
+        for policy in coefficient::registry::all() {
+            assert!(err.contains(policy.key()), "{err} missing {}", policy.key());
+        }
     }
 
     #[test]

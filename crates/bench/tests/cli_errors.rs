@@ -1,0 +1,111 @@
+//! CLI error-path contract for the `experiments` binary.
+//!
+//! An unknown policy name anywhere in the CLI — `sweep`, `replay`,
+//! `trace` or a corrupted golden corpus — must produce a diagnostic that
+//! *lists every registered policy name* and a clean non-zero exit, never
+//! a panic. The listing comes from `coefficient::registry`, so these
+//! tests stay correct as the zoo grows.
+
+use bench_harness::experiments::SEED;
+use bench_harness::golden::{corpus_to_json, record_corpus};
+use bench_harness::sweep::SweepSpec;
+use coefficient::Scenario;
+use std::process::{Command, Output};
+
+fn experiments(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_experiments"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+fn assert_lists_registry(stderr: &str, bad_name: &str) {
+    assert!(
+        stderr.contains(&format!("unknown policy \"{bad_name}\"")),
+        "diagnostic does not name the offender: {stderr}"
+    );
+    for policy in coefficient::registry::all() {
+        assert!(
+            stderr.contains(policy.key()),
+            "diagnostic does not list {:?}: {stderr}",
+            policy.key()
+        );
+    }
+}
+
+#[test]
+fn sweep_with_an_unknown_policy_lists_the_registered_names() {
+    let out = experiments(&["sweep", "--policy", "bogus"]);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(2), "stderr: {stderr}");
+    assert_lists_registry(&stderr, "bogus");
+}
+
+#[test]
+fn trace_with_an_unknown_policy_lists_the_registered_names() {
+    let out = experiments(&["trace", "--cell", "0,0,0", "--policy", "SPEC-F"]);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(2), "stderr: {stderr}");
+    assert_lists_registry(&stderr, "SPEC-F");
+}
+
+#[test]
+fn replay_with_an_unknown_policy_lists_the_registered_names() {
+    let out = experiments(&["replay", "--cell", "0,0,0", "--policy", "hosa2"]);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(2), "stderr: {stderr}");
+    assert_lists_registry(&stderr, "hosa2");
+}
+
+#[test]
+fn golden_verify_against_a_corpus_with_an_unknown_policy_lists_the_registry() {
+    // Record a real (tiny) corpus, then corrupt its policy column the way
+    // a stale file from a renamed policy would look.
+    let spec = SweepSpec {
+        horizon_ms: 8,
+        seeds: 1,
+        scenarios: vec![Scenario::ber7()],
+        threads: Some(2),
+        ..SweepSpec::default()
+    };
+    let recorded = record_corpus("cli-bad-policy", &spec).expect("tiny spec is schedulable");
+    let doc = corpus_to_json(&recorded)
+        .to_string()
+        .replace("\"CoEfficient\"", "\"NoSuchPolicy\"");
+    let path = std::env::temp_dir().join(format!("cli-bad-policy-{SEED}.json"));
+    std::fs::write(&path, doc).expect("temp corpus writes");
+
+    let out = experiments(&["golden", "verify", "--corpus", path.to_str().unwrap()]);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    let _ = std::fs::remove_file(&path);
+    assert_eq!(out.status.code(), Some(2), "stderr: {stderr}");
+    assert_lists_registry(&stderr, "NoSuchPolicy");
+}
+
+#[test]
+fn every_registered_name_is_accepted_by_the_sweep_cli() {
+    // The happy path of the same flag: each registry key parses and the
+    // single-cell sweep completes. Keeps the error tests honest — a typo
+    // in the registry keys would otherwise pass them vacuously.
+    for policy in coefficient::registry::all() {
+        let out = experiments(&[
+            "sweep",
+            "--policy",
+            policy.key(),
+            "--seeds",
+            "1",
+            "--horizon-ms",
+            "8",
+            "--scenario",
+            "ber7",
+            "--json",
+        ]);
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert_eq!(
+            out.status.code(),
+            Some(0),
+            "{:?} rejected: {stderr}",
+            policy.key()
+        );
+    }
+}

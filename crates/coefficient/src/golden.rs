@@ -575,7 +575,7 @@ impl fmt::Display for VerifyReport {
 mod tests {
     use super::*;
     use crate::sweep::{SeedStrategy, SweepMatrix, SweepRunner};
-    use crate::{Policy, Scenario, StopCondition};
+    use crate::{Scenario, StopCondition, COEFFICIENT, FSPEC, GREEDY};
     use event_sim::SimDuration;
     use flexray::config::ClusterConfig;
 
@@ -587,7 +587,7 @@ mod tests {
                 workloads::sae::IdRange::StartingAt(20),
                 1,
             ),
-            policies: vec![Policy::CoEfficient, Policy::Fspec],
+            policies: vec![COEFFICIENT, FSPEC],
             scenarios: vec![Scenario::ber7()],
             seeds: vec![11, 22],
             stop: StopCondition::Horizon(SimDuration::from_millis(20)),
@@ -662,6 +662,60 @@ mod tests {
         assert!(corpus.cells[0].metrics.dynamic_latency_mean_ms.is_nan());
         let report = corpus.verify(&run());
         assert!(report.passed(), "{report}");
+    }
+
+    #[test]
+    fn a_new_policy_column_cannot_mask_an_old_column_regression() {
+        // The corpus grows by appending policy columns. The per-cell
+        // checks must stay anchored to coordinates, so a widened corpus
+        // still rejects a perturbed cell in one of the *original*
+        // columns even though every new-policy cell verifies clean.
+        let mut wide = small_matrix();
+        wide.policies.push(GREEDY);
+        let run = || {
+            SweepRunner::new(wide.clone())
+                .threads(2)
+                .run()
+                .expect("widened matrix is schedulable")
+        };
+        let labels = &["coefficient", "fspec", "greedy"];
+        let mut corpus = GoldenCorpus::record("test", &run(), labels);
+        assert_eq!(corpus.cells.len(), 6);
+        // Perturb an FSPEC cell (an "old" column) the way a behavioral
+        // regression would move it.
+        let victim = corpus
+            .cells
+            .iter()
+            .position(|c| c.policy == "fspec")
+            .expect("fspec column recorded");
+        corpus.cells[victim].fingerprint ^= 1;
+        corpus.cells[victim].counters.dropped_copies += 3;
+        let report = corpus.verify(&run());
+        assert!(!report.passed(), "old-column regression slipped through");
+        let failures: Vec<_> = report.failures().collect();
+        assert_eq!(failures.len(), 1, "exactly the perturbed cell fails");
+        assert_eq!(failures[0].policy, "fspec");
+        assert_eq!(failures[0].coord, corpus.cells[victim].coord);
+        // And the greedy column genuinely verified — it is present, not
+        // skipped (its passing must not be what hides the regression).
+        assert!(report
+            .checks
+            .iter()
+            .any(|c| c.policy == "greedy" && c.passed()));
+    }
+
+    #[test]
+    fn widening_the_matrix_without_rerecording_is_flagged() {
+        // Appending a policy column makes the fresh sweep larger than the
+        // corpus; verification must surface that as extra cells rather
+        // than silently ignoring the unrecorded column.
+        let corpus = GoldenCorpus::record("test", &sweep(), &["coefficient", "fspec"]);
+        let mut wide = small_matrix();
+        wide.policies.push(GREEDY);
+        let fresh = SweepRunner::new(wide).threads(2).run().unwrap();
+        let report = corpus.verify(&fresh);
+        assert!(!report.passed());
+        assert_eq!(report.extra_cells, 2, "one new policy × two seeds");
     }
 
     #[test]

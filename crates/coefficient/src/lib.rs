@@ -3,13 +3,13 @@
 //!
 //! FlexRay offers no acknowledgements, so tolerance against transient
 //! faults must come from *redundant transmission*. The standard approach
-//! (our [`Policy::Fspec`] baseline) retransmits **everything**, best
+//! (our [`FSPEC`] baseline) retransmits **everything**, best
 //! effort: every frame is duplicated on the second channel and an extra
 //! copy of every message is pushed through the dynamic segment. Under
 //! realistic loads that exhausts the bandwidth, queues grow, and both
 //! latency and deadline-miss ratios blow up.
 //!
-//! CoEfficient ([`Policy::CoEfficient`]) instead:
+//! CoEfficient ([`COEFFICIENT`]) instead:
 //!
 //! 1. models static messages as hard periodic tasks, retransmission copies
 //!    as hard aperiodic tasks and dynamic messages as soft aperiodic tasks
@@ -31,8 +31,12 @@
 //! paper's four metrics (running time, bandwidth utilization, transmission
 //! latency, deadline miss ratio).
 //!
+//! Schedulers are [`Policy`] trait objects resolved from a string-keyed
+//! [`registry`], so policy names flow from CLI flags and corpus files all
+//! the way to the scheduler without an enum in between:
+//!
 //! ```
-//! use coefficient::{Policy, RunConfig, Runner, Scenario, StopCondition};
+//! use coefficient::{RunConfig, Runner, Scenario, StopCondition};
 //! use flexray::config::ClusterConfig;
 //!
 //! let report = Runner::new(RunConfig {
@@ -40,7 +44,7 @@
 //!     scenario: Scenario::ber7(),
 //!     static_messages: workloads::bbw::message_set(),
 //!     dynamic_messages: workloads::sae::message_set(workloads::sae::IdRange::StartingAt(20), 1),
-//!     policy: Policy::CoEfficient,
+//!     policy: coefficient::registry::resolve("coefficient").unwrap(),
 //!     stop: StopCondition::ProducedInstances(200),
 //!     seed: 1,
 //!     trace: Default::default(),
@@ -57,6 +61,7 @@ mod assignment;
 pub mod golden;
 mod instance;
 mod policy;
+pub mod registry;
 mod runner;
 mod scenario;
 pub mod sweep;
@@ -67,7 +72,11 @@ pub use assignment::{AllocationError, CopyPlacement, StaticAllocation};
 pub use golden::{GoldenCell, GoldenCorpus, GoldenMetrics, Tolerances, VerifyReport};
 pub use instance::{InstanceStatus, InstanceTracker, MessageClass};
 pub use observe::{TraceConfig, TraceLog, TraceMode};
-pub use policy::{CoefficientOptions, Policy, Scheduler, SchedulerError};
+pub use policy::{CoefficientOptions, Scheduler, SchedulerError};
+pub use registry::{
+    Policy, PolicyBehavior, PolicyRef, UnknownPolicy, COEFFICIENT, FSPEC, GREEDY, HOSA, MATCHUP,
+    SLACK_STEAL,
+};
 pub use runner::{RunConfig, RunCounters, RunReport, Runner, StopCondition};
 pub use scenario::{FaultModel, Scenario};
 pub use sweep::{

@@ -1,8 +1,12 @@
-//! The scheduling policies: CoEfficient, the FSPEC baseline and the
-//! HOSA-like ablation baseline.
+//! The scheduler engine shared by every policy in the
+//! [`crate::registry`] zoo.
 //!
-//! All are implemented by [`Scheduler`], a [`flexray::bus::TrafficSource`]
-//! driven cycle-by-cycle by the bus engine. The differences:
+//! One [`Scheduler`] — a [`flexray::bus::TrafficSource`] driven
+//! cycle-by-cycle by the bus engine — implements every registered
+//! policy: the policy's [`crate::PolicyBehavior`] flag set selects which
+//! mechanisms engage, and its retransmission plan supplies the copy
+//! counts. For the legacy trio the flags reproduce the original schemes
+//! exactly:
 //!
 //! | | FSPEC (baseline) | HOSA-like | CoEfficient |
 //! |---|---|---|---|
@@ -10,6 +14,12 @@
 //! | retransmission | uniform best-effort copies of **every** message, serialized fresh-first through the message's own slots (CHI depth 3) | the B mirror only | differentiated `k_z` copies placed in **stolen static slack** (copies that fit nowhere are dropped and counted — the selective criterion) |
 //! | idle static slots | stay idle (segments scheduled separately) | stay idle | serve backlogged dynamic messages and early copies of released static instances (cooperative scheduling) |
 //! | dynamic messages | channel A, plus best-effort copies | both channels, one extra copy | channel chosen per message, plus differentiated copies |
+//!
+//! The newer zoo members recombine the same mechanisms: `greedy` runs
+//! CoEfficient's machinery under a uniform best-effort plan,
+//! `slack-steal` steals slack health-blind (no shedding, degraded mode
+//! or failover), and `matchup` dedicates degraded-mode slack to a hard
+//! recovery schedule until the health monitor reports nominal again.
 
 use std::collections::{BTreeMap, HashMap};
 
@@ -29,27 +39,13 @@ use workloads::{AperiodicMessage, Criticality};
 
 use crate::assignment::{AllocationError, OccupantKind, StaticAllocation};
 use crate::instance::{InstanceId, InstanceTracker, MessageClass};
+use crate::registry::{PolicyBehavior, PolicyRef};
 use crate::scenario::Scenario;
 
-/// Which scheduling scheme a [`Scheduler`] runs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Policy {
-    /// The paper's contribution: cooperative dual-channel scheduling with
-    /// selective slack stealing and differentiated retransmission.
-    CoEfficient,
-    /// The standard FlexRay-specification behaviour with best-effort
-    /// retransmission of all segments (the paper's baseline).
-    Fspec,
-    /// A HOSA-like scheme (paper §V-B, reference \[7\]): dual-channel redundancy — every
-    /// static message mirrored on channel B, every dynamic message sent
-    /// once more on the other channel — but no slack stealing and no
-    /// cooperative use of idle slots. Implemented as an ablation baseline
-    /// between FSPEC and CoEfficient.
-    Hosa,
-}
-
-/// Feature switches for CoEfficient, used by the ablation experiments.
-/// The defaults enable everything (the full scheme).
+/// Feature switches for the cooperative machinery, used by the ablation
+/// experiments. The defaults enable everything (the full scheme). Only
+/// policies whose [`PolicyBehavior::uses_options`] flag is set honour
+/// them; the fixed baselines always run under the defaults.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CoefficientOptions {
     /// Send one early copy of a released static instance through free
@@ -72,11 +68,6 @@ impl Default for CoefficientOptions {
         }
     }
 }
-
-/// FSPEC's best-effort retransmission cap: the uniform per-message copy
-/// count is searched up to this bound (beyond it, best effort gives up —
-/// the bandwidth simply is not there).
-const FSPEC_MAX_UNIFORM_K: u32 = 4;
 
 /// FSPEC's per-message CHI backlog depth: a communication controller
 /// buffers only this many staged instances; older ones are overwritten by
@@ -131,7 +122,9 @@ struct DynPending {
 /// this), and read results from [`tracker`](Self::tracker).
 #[derive(Debug)]
 pub struct Scheduler {
-    policy: Policy,
+    policy: PolicyRef,
+    /// The policy's mechanism switchboard, cached at construction.
+    behavior: PolicyBehavior,
     options: CoefficientOptions,
     config: ClusterConfig,
     alloc: StaticAllocation,
@@ -231,7 +224,7 @@ impl Scheduler {
     /// # Errors
     /// [`SchedulerError`] on allocation failure or id-space collisions.
     pub fn new(
-        policy: Policy,
+        policy: PolicyRef,
         config: ClusterConfig,
         coding: FrameCoding,
         scenario: &Scenario,
@@ -250,14 +243,15 @@ impl Scheduler {
     }
 
     /// Like [`Scheduler::new`] with explicit feature switches (used by the
-    /// ablation experiments; the options only affect
-    /// [`Policy::CoEfficient`]).
+    /// ablation experiments; the options only affect policies whose
+    /// [`PolicyBehavior::uses_options`] flag is set — for the fixed
+    /// baselines they are pinned to the defaults).
     ///
     /// # Errors
     /// [`SchedulerError`] on allocation failure or id-space collisions.
     #[allow(clippy::too_many_arguments)]
     pub fn new_with_options(
-        policy: Policy,
+        policy: PolicyRef,
         config: ClusterConfig,
         coding: FrameCoding,
         scenario: &Scenario,
@@ -265,6 +259,13 @@ impl Scheduler {
         dynamic_messages: &[AperiodicMessage],
         options: CoefficientOptions,
     ) -> Result<Self, SchedulerError> {
+        let behavior = policy.behavior();
+        // Baselines with a fixed scheme ignore the ablation switches.
+        let options = if behavior.uses_options {
+            options
+        } else {
+            CoefficientOptions::default()
+        };
         // --- id space checks -------------------------------------------------
         let slots = config.static_slot_count() as u16;
         for d in dynamic_messages {
@@ -298,50 +299,8 @@ impl Scheduler {
         let planner = RetransmissionPlanner::new(rel).unit(scenario.unit);
         let goal = scenario.reliability_goal();
 
-        // Per-message copy counts.
-        let counts: Vec<(MessageId, u32)> = match policy {
-            Policy::CoEfficient => {
-                if goal <= 0.0 {
-                    Vec::new()
-                } else {
-                    // An unreachable goal falls back to the cap — the
-                    // scheduler still does its best.
-                    let plan = planner
-                        .plan_for_goal(goal)
-                        .unwrap_or_else(|_| planner.uniform(4));
-                    plan.messages()
-                        .iter()
-                        .zip(plan.retransmission_counts())
-                        .map(|(m, &k)| (m.id, k))
-                        .collect()
-                }
-            }
-            Policy::Fspec => {
-                // Uniform best-effort: the smallest k meeting the goal,
-                // applied to every message (capped).
-                let k = if goal <= 0.0 {
-                    0
-                } else {
-                    (0..=FSPEC_MAX_UNIFORM_K)
-                        .find(|&k| planner.uniform(k).success_probability() >= goal)
-                        .unwrap_or(FSPEC_MAX_UNIFORM_K)
-                };
-                planner
-                    .uniform(k)
-                    .messages()
-                    .iter()
-                    .map(|m| (m.id, k))
-                    .collect()
-            }
-            // HOSA's redundancy is fixed: exactly one extra copy of every
-            // message via the second channel.
-            Policy::Hosa => planner
-                .uniform(1)
-                .messages()
-                .iter()
-                .map(|m| (m.id, 1))
-                .collect(),
-        };
+        // Per-message copy counts come from the policy's plan.
+        let counts: Vec<(MessageId, u32)> = policy.plan_copies(&planner, goal);
         let count_of = |id: u32| -> u32 {
             counts
                 .iter()
@@ -351,26 +310,23 @@ impl Scheduler {
         };
 
         // --- static allocation -----------------------------------------------
-        let alloc = match policy {
-            Policy::CoEfficient => {
-                let static_counts: Vec<(MessageId, u32)> = static_messages
-                    .iter()
-                    .map(|s| (s.id, count_of(s.id)))
-                    .collect();
-                StaticAllocation::build_with_channels(
-                    &config,
-                    &coding,
-                    static_messages,
-                    &static_counts,
-                    false,
-                    options.dual_channel,
-                )?
-            }
-            // Both baselines mirror every primary on channel B and steal
-            // no slack.
-            Policy::Fspec | Policy::Hosa => {
-                StaticAllocation::build(&config, &coding, static_messages, &[], true)?
-            }
+        let alloc = if behavior.mirror_allocation {
+            // Mirror schemes blanket-mirror every primary on channel B and
+            // steal no slack.
+            StaticAllocation::build(&config, &coding, static_messages, &[], true)?
+        } else {
+            let static_counts: Vec<(MessageId, u32)> = static_messages
+                .iter()
+                .map(|s| (s.id, count_of(s.id)))
+                .collect();
+            StaticAllocation::build_with_channels(
+                &config,
+                &coding,
+                static_messages,
+                &static_counts,
+                false,
+                options.dual_channel,
+            )?
         };
 
         // --- message info maps -----------------------------------------------
@@ -385,14 +341,15 @@ impl Scheduler {
         let mut fspec_static_queues = HashMap::new();
         for s in static_messages {
             let wire = coding.message_wire_bits(u64::from(s.size_bits), true);
-            let spilled = match policy {
-                Policy::CoEfficient => alloc
+            let spilled = if behavior.mirror_allocation {
+                0
+            } else {
+                alloc
                     .spill()
                     .iter()
                     .find(|(m, _)| *m == s.id)
                     .map(|&(_, k)| k)
-                    .unwrap_or(0),
-                Policy::Fspec | Policy::Hosa => 0,
+                    .unwrap_or(0)
             };
             statics.insert(
                 s.id,
@@ -408,19 +365,16 @@ impl Scheduler {
 
         let mut dynamics = HashMap::new();
         for (i, d) in dynamic_messages.iter().enumerate() {
-            let home_channel = match policy {
-                // Dual-channel schemes balance first transmissions across
-                // the two channels (unless the ablation disables B).
-                Policy::CoEfficient | Policy::Hosa
-                    if policy == Policy::Hosa || options.dual_channel =>
-                {
-                    if i % 2 == 0 {
-                        ChannelId::A
-                    } else {
-                        ChannelId::B
-                    }
+            // Dual-channel schemes balance first transmissions across the
+            // two channels (unless the ablation disables B).
+            let home_channel = if behavior.balance_dynamic_channels && options.dual_channel {
+                if i % 2 == 0 {
+                    ChannelId::A
+                } else {
+                    ChannelId::B
                 }
-                _ => ChannelId::A,
+            } else {
+                ChannelId::A
             };
             dynamics.insert(
                 d.frame_id,
@@ -435,6 +389,7 @@ impl Scheduler {
 
         Ok(Scheduler {
             policy,
+            behavior,
             options,
             config,
             alloc,
@@ -470,8 +425,14 @@ impl Scheduler {
     }
 
     /// The policy this scheduler runs.
-    pub fn policy(&self) -> Policy {
+    pub fn policy(&self) -> PolicyRef {
         self.policy
+    }
+
+    /// The mechanism switchboard the scheduler runs under (the policy's
+    /// [`PolicyBehavior`], cached at construction).
+    pub fn behavior(&self) -> PolicyBehavior {
+        self.behavior
     }
 
     /// The static allocation (read-only).
@@ -520,8 +481,9 @@ impl Scheduler {
     /// Updates the health states the degraded-mode logic acts on: the
     /// effective bus health plus the per-channel classifications
     /// (`[A, B]`). The [`crate::Runner`] calls this once per cycle from
-    /// its reliability monitors; only [`Policy::CoEfficient`] changes
-    /// behaviour in response.
+    /// its reliability monitors; only policies with health-driven
+    /// behaviour flags (shedding, degraded copies, failover, match-up
+    /// recovery) change behaviour in response.
     pub fn set_health(&mut self, overall: HealthState, per_channel: [HealthState; 2]) {
         self.health = overall;
         self.channel_health = per_channel;
@@ -596,31 +558,27 @@ impl Scheduler {
             .tracker
             .produce(message, MessageClass::Static, now, deadline);
         let _ = (payload, expires);
-        match self.policy {
-            Policy::CoEfficient => {
-                // Planned copies that found no fitting static slack are
-                // dropped: the selective criterion only steals slack whose
-                // length fits the segment (§III-F). The reliability plan
-                // degrades gracefully; the drop count is reported.
-                self.dropped_copies += u64::from(copies);
+        if self.behavior.own_slot_serialization {
+            // All transmissions (primary + best-effort copies) are
+            // serialized through the message's own slot pattern; the
+            // CHI buffers only FSPEC_QUEUE_DEPTH instances, so a
+            // congested queue overwrites its oldest staging.
+            let q = self
+                .fspec_static_queues
+                .get_mut(&message)
+                .expect("queue exists for every static message");
+            if q.len() >= FSPEC_QUEUE_DEPTH {
+                q.pop_front();
             }
-            // HOSA's static redundancy is the channel-B mirror, already in
-            // the allocation; nothing extra to stage.
-            Policy::Hosa => {}
-            Policy::Fspec => {
-                // All transmissions (primary + best-effort copies) are
-                // serialized through the message's own slot pattern; the
-                // CHI buffers only FSPEC_QUEUE_DEPTH instances, so a
-                // congested queue overwrites its oldest staging.
-                let q = self
-                    .fspec_static_queues
-                    .get_mut(&message)
-                    .expect("queue exists for every static message");
-                if q.len() >= FSPEC_QUEUE_DEPTH {
-                    q.pop_front();
-                }
-                q.push_back((instance, self.fspec_tx_needed));
-            }
+            q.push_back((instance, self.fspec_tx_needed));
+        } else {
+            // Planned copies that found no fitting static slack are
+            // dropped: the selective criterion only steals slack whose
+            // length fits the segment (§III-F). The reliability plan
+            // degrades gracefully; the drop count is reported. (For
+            // mirror schemes the spill is zero by construction — their
+            // static redundancy is already in the allocation.)
+            self.dropped_copies += u64::from(copies);
         }
         instance
     }
@@ -642,13 +600,13 @@ impl Scheduler {
         let instance =
             self.tracker
                 .produce(dyn_key(frame_id), MessageClass::Dynamic, now, deadline);
-        // Degraded mode (CoEfficient only): shed soft traffic by
-        // criticality — `Stressed` drops the lowest class, `Storm` keeps
-        // only the highest. The instance stays tracked (a shed arrival is
-        // a miss the metrics must see); nominal service resumes
-        // automatically once the monitor recovers, because admission is
-        // re-evaluated per arrival.
-        if self.policy == Policy::CoEfficient {
+        // Degraded mode (criticality-shedding policies only): shed soft
+        // traffic by criticality — `Stressed` drops the lowest class,
+        // `Storm` keeps only the highest. The instance stays tracked (a
+        // shed arrival is a miss the metrics must see); nominal service
+        // resumes automatically once the monitor recovers, because
+        // admission is re-evaluated per arrival.
+        if self.behavior.criticality_shedding {
             let kept_floor = match self.health {
                 HealthState::Nominal => None,
                 HealthState::Stressed => Some(Criticality::Medium),
@@ -745,7 +703,10 @@ impl Scheduler {
         // re-planned into extra copies of hard messages — undelivered
         // static instances get retransmitted ahead of any dynamic backlog
         // (the online counterpart of the offline Theorem-1 plan).
-        if self.health.is_degraded() && self.options.early_copies {
+        if self.behavior.degraded_hard_copies
+            && self.health.is_degraded()
+            && self.options.early_copies
+        {
             if let Some(payload) = self.degraded_hard_copy(slot_start, capacity) {
                 if self.tracer.is_enabled() {
                     self.tracer.emit(
@@ -759,6 +720,13 @@ impl Scheduler {
                 }
                 return Some(payload);
             }
+        }
+        // Match-up recovery: while the bus is degraded, free slack serves
+        // *only* the hard recovery schedule above — no dynamic steals, no
+        // nominal early copies — until the health monitor reports the
+        // schedule has matched up with the nominal plan again.
+        if self.behavior.matchup_recovery && self.health.is_degraded() {
+            return None;
         }
         // 1. Serve the dynamic backlog (lowest frame id first). A free
         // position offered while backlog is pending is a steal attempt:
@@ -1025,7 +993,7 @@ impl TrafficSource for Scheduler {
     ) -> Option<OutboundPayload> {
         let slot_start = self.config.static_slot_start(cycle, u64::from(slot));
         if let Some(occ) = self.alloc.occupant(channel, slot, cycle_counter) {
-            if self.policy == Policy::Fspec {
+            if self.behavior.own_slot_serialization {
                 // Fresh data first (the CHI always stages the latest
                 // instance): the newest entry still owing its initial A/B
                 // transmission pair wins the occurrence; otherwise the
@@ -1070,7 +1038,7 @@ impl TrafficSource for Scheduler {
                 self.in_flight.push_back(instance);
                 return Some(payload);
             }
-            // CoEfficient: transmit the instance whose generation window
+            // Window path: transmit the instance whose generation window
             // contains this slot — the newest released at or before the
             // slot (the production batch may run ahead of the bus cycle).
             let instance = self.tracker.newest_at_or_before(occ.message, slot_start)?;
@@ -1098,30 +1066,29 @@ impl TrafficSource for Scheduler {
             self.in_flight.push_back(instance);
             return Some(payload);
         }
-        match self.policy {
-            Policy::CoEfficient => {
-                // Failover outranks cooperative filling: a hard frame
-                // stranded on a storming channel takes the free position
-                // before any soft backlog or opportunistic copy.
-                if let Some(payload) = self.failover_mirror(channel, slot_start) {
-                    if self.tracer.is_enabled() {
-                        self.tracer.emit(
-                            slot_start,
-                            EventKind::FailoverMirror {
-                                channel: channel.index() as u8,
-                                slot: u64::from(slot),
-                                frame_id: u64::from(payload.message),
-                            },
-                        );
-                    }
-                    return Some(payload);
-                }
-                self.cooperative_fill(cycle, cycle_counter, slot, channel, slot_start)
-            }
-            // The baselines schedule the segments separately: free static
-            // positions stay idle.
-            Policy::Fspec | Policy::Hosa => None,
+        if !self.behavior.cooperative_segments {
+            // Separate-segments schemes leave free static positions idle.
+            return None;
         }
+        // Failover outranks cooperative filling: a hard frame stranded on
+        // a storming channel takes the free position before any soft
+        // backlog or opportunistic copy.
+        if self.behavior.failover {
+            if let Some(payload) = self.failover_mirror(channel, slot_start) {
+                if self.tracer.is_enabled() {
+                    self.tracer.emit(
+                        slot_start,
+                        EventKind::FailoverMirror {
+                            channel: channel.index() as u8,
+                            slot: u64::from(slot),
+                            frame_id: u64::from(payload.message),
+                        },
+                    );
+                }
+                return Some(payload);
+            }
+        }
+        self.cooperative_fill(cycle, cycle_counter, slot, channel, slot_start)
     }
 
     fn dynamic_frame(
@@ -1181,6 +1148,7 @@ impl TrafficSource for Scheduler {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::registry::{COEFFICIENT, FSPEC, GREEDY, HOSA, MATCHUP, SLACK_STEAL};
     use flexray::bus::BusEngine;
 
     fn config() -> ClusterConfig {
@@ -1225,7 +1193,7 @@ mod tests {
         ]
     }
 
-    fn scheduler(policy: Policy) -> Scheduler {
+    fn scheduler(policy: PolicyRef) -> Scheduler {
         Scheduler::new(
             policy,
             config(),
@@ -1239,7 +1207,7 @@ mod tests {
 
     #[test]
     fn coefficient_places_copies_in_slack() {
-        let s = scheduler(Policy::CoEfficient);
+        let s = scheduler(COEFFICIENT);
         // The reliability goal at BER 1e-7 forces copies for the frequent
         // static messages; they must live in the matrix, not the spill.
         assert!(
@@ -1254,7 +1222,7 @@ mod tests {
 
     #[test]
     fn fspec_mirrors_instead_of_stealing() {
-        let s = scheduler(Policy::Fspec);
+        let s = scheduler(FSPEC);
         assert!(s.allocation().copies().is_empty());
         let p = s.allocation().primary_of(1).unwrap();
         let b = s
@@ -1277,7 +1245,7 @@ mod tests {
             32,
         )];
         let err = Scheduler::new(
-            Policy::CoEfficient,
+            COEFFICIENT,
             config(),
             FrameCoding::default(),
             &Scenario::ber7(),
@@ -1301,7 +1269,7 @@ mod tests {
             100,
         )];
         let mut s = Scheduler::new(
-            Policy::CoEfficient,
+            COEFFICIENT,
             config(),
             FrameCoding::default(),
             &Scenario::ber7(),
@@ -1319,7 +1287,7 @@ mod tests {
 
     #[test]
     fn end_to_end_cycle_delivers_static_instances() {
-        let mut s = scheduler(Policy::CoEfficient);
+        let mut s = scheduler(COEFFICIENT);
         s.produce_static(1, SimTime::ZERO);
         s.produce_static(2, SimTime::ZERO);
         let mut engine = BusEngine::new(config());
@@ -1332,7 +1300,7 @@ mod tests {
 
     #[test]
     fn dynamic_messages_flow_through_the_dynamic_segment() {
-        let mut s = scheduler(Policy::Fspec);
+        let mut s = scheduler(FSPEC);
         s.produce_dynamic(20, SimTime::ZERO);
         s.produce_dynamic(21, SimTime::ZERO);
         let mut engine = BusEngine::new(config());
@@ -1348,7 +1316,7 @@ mod tests {
 
     #[test]
     fn cooperative_fill_serves_dynamic_backlog_from_static_slack() {
-        let mut s = scheduler(Policy::CoEfficient);
+        let mut s = scheduler(COEFFICIENT);
         // Flood the dynamic queue with more work than the dynamic segment
         // can carry in one cycle, then check static slack absorbed some.
         for _ in 0..30 {
@@ -1374,7 +1342,7 @@ mod tests {
 
     #[test]
     fn steal_counters_stay_zero_without_backlog() {
-        let mut s = scheduler(Policy::CoEfficient);
+        let mut s = scheduler(COEFFICIENT);
         s.produce_static(1, SimTime::ZERO);
         let mut engine = BusEngine::new(config());
         engine.run_cycle(0, &mut s);
@@ -1384,7 +1352,7 @@ mod tests {
 
     #[test]
     fn fspec_leaves_static_slack_idle() {
-        let mut s = scheduler(Policy::Fspec);
+        let mut s = scheduler(FSPEC);
         for _ in 0..30 {
             s.produce_dynamic(20, SimTime::ZERO);
         }
@@ -1398,7 +1366,7 @@ mod tests {
     fn early_copy_accelerates_static_release() {
         // Message 2 (rep 4) releases at t=0 but its primary may sit in a
         // later cycle; a free earlier slot should carry an early copy.
-        let mut s = scheduler(Policy::CoEfficient);
+        let mut s = scheduler(COEFFICIENT);
         s.produce_static(2, SimTime::ZERO);
         let mut engine = BusEngine::new(config());
         for c in 0..4 {
@@ -1411,7 +1379,7 @@ mod tests {
 
     #[test]
     fn stale_instances_are_not_retransmitted_after_production() {
-        let mut s = scheduler(Policy::CoEfficient);
+        let mut s = scheduler(COEFFICIENT);
         s.produce_static(1, SimTime::ZERO); // 1 ms period
         let mut engine = BusEngine::new(config());
         engine.run_cycle(0, &mut s); // within the window
@@ -1428,7 +1396,7 @@ mod tests {
 
     #[test]
     fn hosa_mirrors_and_stays_out_of_slack() {
-        let s = scheduler(Policy::Hosa);
+        let s = scheduler(HOSA);
         // Mirrors on B, like FSPEC...
         let p = s.allocation().primary_of(1).unwrap();
         assert_eq!(
@@ -1445,7 +1413,7 @@ mod tests {
 
     #[test]
     fn hosa_delivers_through_the_window_path() {
-        let mut s = scheduler(Policy::Hosa);
+        let mut s = scheduler(HOSA);
         s.produce_static(1, SimTime::ZERO);
         s.produce_dynamic(20, SimTime::ZERO);
         let mut engine = BusEngine::new(config());
@@ -1464,7 +1432,7 @@ mod tests {
         use crate::policy::CoefficientOptions;
         let mk = |options: CoefficientOptions| {
             Scheduler::new_with_options(
-                Policy::CoEfficient,
+                COEFFICIENT,
                 config(),
                 FrameCoding::default(),
                 &Scenario::ber7(),
@@ -1514,7 +1482,7 @@ mod tests {
     fn outcome_order_matches_staging_order() {
         // The in-flight FIFO must stay consistent across a full cycle with
         // mixed static/dynamic traffic on both channels.
-        let mut s = scheduler(Policy::CoEfficient);
+        let mut s = scheduler(COEFFICIENT);
         s.produce_static(1, SimTime::ZERO);
         s.produce_static(2, SimTime::ZERO);
         s.produce_dynamic(20, SimTime::ZERO);
@@ -1522,5 +1490,125 @@ mod tests {
         let mut engine = BusEngine::new(config());
         engine.run_cycle(0, &mut s);
         assert!(s.in_flight.is_empty(), "every staged frame got its outcome");
+    }
+
+    #[test]
+    fn greedy_places_uniform_counts_into_slack() {
+        let s = scheduler(GREEDY);
+        // Greedy runs CoEfficient's machinery (no mirror, copies live in
+        // stolen slack)...
+        assert_eq!(s.behavior(), COEFFICIENT.behavior());
+        assert!(
+            !s.allocation().copies().is_empty(),
+            "greedy must place its copies in slack"
+        );
+        // ...but under an undifferentiated plan: every message gets the
+        // same copy count. Rebuild the planner the scheduler saw and ask
+        // the policies directly.
+        let scenario = Scenario::ber7();
+        let coding = FrameCoding::default();
+        let rel: Vec<reliability::MessageReliability> = statics()
+            .iter()
+            .map(|m| {
+                reliability::MessageReliability::from_ber(
+                    m.id,
+                    coding.message_wire_bits(u64::from(m.size_bits), false) as u32,
+                    m.period,
+                    scenario.ber,
+                )
+            })
+            .chain(dynamics().iter().map(|d| {
+                reliability::MessageReliability::from_ber(
+                    100 + u32::from(d.frame_id),
+                    coding.message_wire_bits(u64::from(d.size_bits), true) as u32,
+                    d.min_interarrival,
+                    scenario.ber,
+                )
+            }))
+            .collect();
+        let planner = RetransmissionPlanner::new(rel).unit(scenario.unit);
+        let goal = scenario.reliability_goal();
+        let plan = GREEDY.plan_copies(&planner, goal);
+        let k = plan.first().expect("non-empty plan").1;
+        assert!(
+            k > 0 && plan.iter().all(|&(_, kk)| kk == k),
+            "greedy's plan is blanket-uniform: {plan:?}"
+        );
+        // CoEfficient's differentiated Theorem-1 plan meets the same goal
+        // with fewer copies overall — greedy's blanket uniform k
+        // over-provisions, which is its best-effort character.
+        let co_plan = COEFFICIENT.plan_copies(&planner, goal);
+        assert_ne!(plan, co_plan, "the plans must actually differ");
+        let total = |p: &[(MessageId, u32)]| p.iter().map(|&(_, k)| u64::from(k)).sum::<u64>();
+        assert!(
+            total(&co_plan) < total(&plan),
+            "differentiated plan must be leaner than blanket uniform: {co_plan:?} vs {plan:?}"
+        );
+    }
+
+    #[test]
+    fn slack_steal_is_health_blind() {
+        let mut s = scheduler(SLACK_STEAL);
+        s.set_health(HealthState::Storm, [HealthState::Storm; 2]);
+        for _ in 0..30 {
+            s.produce_dynamic(20, SimTime::ZERO);
+        }
+        let mut engine = BusEngine::new(config());
+        engine.run_cycle(0, &mut s);
+        assert_eq!(s.soft_shed(), 0, "no criticality shedding");
+        assert_eq!(s.degraded_extra_copies(), 0, "no degraded re-plan");
+        assert_eq!(s.failover_mirrors(), 0, "no failover");
+        assert!(
+            s.cooperative_static_serves() > 0,
+            "slack stealing continues regardless of bus health"
+        );
+    }
+
+    #[test]
+    fn matchup_dedicates_degraded_slack_to_hard_recovery() {
+        let mut s = scheduler(MATCHUP);
+        // Backlog admitted while nominal...
+        for _ in 0..30 {
+            s.produce_dynamic(20, SimTime::ZERO);
+        }
+        s.produce_static(1, SimTime::ZERO);
+        // ...then a storm hits: free slack serves only the hard recovery
+        // schedule, never the soft backlog.
+        s.set_health(HealthState::Storm, [HealthState::Storm; 2]);
+        let mut engine = BusEngine::new(config());
+        engine.run_cycle(0, &mut s);
+        assert_eq!(s.steal_attempts(), 0, "no steals during match-up recovery");
+        assert_eq!(s.cooperative_static_serves(), 0);
+        // Nominal service resumes once the monitor recovers.
+        s.set_health(HealthState::Nominal, [HealthState::Nominal; 2]);
+        engine.run_cycle(1, &mut s);
+        assert!(
+            s.cooperative_static_serves() > 0,
+            "cooperative service must resume after the storm"
+        );
+    }
+
+    #[test]
+    fn fixed_baselines_ignore_the_ablation_switches() {
+        // FSPEC's scheme is not parameterized: passing ablation options
+        // must not strip its channel-B mirror.
+        let s = Scheduler::new_with_options(
+            FSPEC,
+            config(),
+            FrameCoding::default(),
+            &Scenario::ber7(),
+            &statics(),
+            &dynamics(),
+            CoefficientOptions {
+                dual_channel: false,
+                early_copies: false,
+                cooperative_dynamic: false,
+            },
+        )
+        .unwrap();
+        assert!(
+            s.allocation().occupancy(ChannelId::B) > 0.0,
+            "FSPEC keeps its mirror regardless of options"
+        );
     }
 }

@@ -24,7 +24,8 @@ use reliability::Ber;
 use workloads::AperiodicMessage;
 
 use crate::instance::MessageClass;
-use crate::policy::{CoefficientOptions, Policy, Scheduler, SchedulerError};
+use crate::policy::{CoefficientOptions, Scheduler, SchedulerError};
+use crate::registry::PolicyRef;
 use crate::scenario::{FaultModel, Scenario};
 
 /// When a run ends.
@@ -56,8 +57,8 @@ pub struct RunConfig {
     pub static_messages: Vec<Signal>,
     /// Dynamic (event-triggered) workload.
     pub dynamic_messages: Vec<AperiodicMessage>,
-    /// Scheduling policy under test.
-    pub policy: Policy,
+    /// Scheduling policy under test (resolved from [`crate::registry`]).
+    pub policy: PolicyRef,
     /// Stop condition.
     pub stop: StopCondition,
     /// Master seed (drives fault injection and arrival phases).
@@ -175,7 +176,7 @@ impl RunCounters {
 #[derive(Debug, Clone)]
 pub struct RunReport {
     /// Which policy produced this report.
-    pub policy: Policy,
+    pub policy: PolicyRef,
     /// Scenario label.
     pub scenario: &'static str,
     /// Simulated time from start to completion (drain) or horizon.
@@ -247,11 +248,7 @@ impl RunReport {
     /// counters behind every derived metric.
     pub fn fingerprint(&self) -> u64 {
         let mut d = event_sim::rng::Digest::new();
-        d.push(match self.policy {
-            Policy::CoEfficient => 0,
-            Policy::Fspec => 1,
-            Policy::Hosa => 2,
-        });
+        d.push(self.policy.fingerprint_tag());
         d.push_bytes(self.scenario.as_bytes());
         d.push(self.running_time.as_nanos());
         d.push_f64(self.utilization_a);
@@ -694,8 +691,9 @@ impl Runner {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::registry::{COEFFICIENT, FSPEC, HOSA};
 
-    fn base_config(policy: Policy, stop: StopCondition) -> RunConfig {
+    fn base_config(policy: PolicyRef, stop: StopCondition) -> RunConfig {
         RunConfig {
             cluster: ClusterConfig::paper_dynamic(50),
             scenario: Scenario::ber7(),
@@ -714,7 +712,7 @@ mod tests {
     #[test]
     fn coefficient_run_delivers_and_drains() {
         let report = Runner::new(base_config(
-            Policy::CoEfficient,
+            COEFFICIENT,
             StopCondition::ProducedInstances(300),
         ))
         .unwrap()
@@ -728,12 +726,9 @@ mod tests {
 
     #[test]
     fn fspec_run_completes_too() {
-        let report = Runner::new(base_config(
-            Policy::Fspec,
-            StopCondition::ProducedInstances(300),
-        ))
-        .unwrap()
-        .run();
+        let report = Runner::new(base_config(FSPEC, StopCondition::ProducedInstances(300)))
+            .unwrap()
+            .run();
         assert!(!report.truncated);
         assert_eq!(report.produced, 300);
         assert!(report.delivered > 0);
@@ -742,17 +737,14 @@ mod tests {
     #[test]
     fn coefficient_beats_fspec_on_running_time() {
         let co = Runner::new(base_config(
-            Policy::CoEfficient,
+            COEFFICIENT,
             StopCondition::ProducedInstances(500),
         ))
         .unwrap()
         .run();
-        let fs = Runner::new(base_config(
-            Policy::Fspec,
-            StopCondition::ProducedInstances(500),
-        ))
-        .unwrap()
-        .run();
+        let fs = Runner::new(base_config(FSPEC, StopCondition::ProducedInstances(500)))
+            .unwrap()
+            .run();
         assert!(
             co.running_time < fs.running_time,
             "CoEfficient {:?} !< FSPEC {:?}",
@@ -764,12 +756,10 @@ mod tests {
     #[test]
     fn coefficient_utilizes_more_bandwidth() {
         let horizon = StopCondition::Horizon(SimDuration::from_millis(500));
-        let co = Runner::new(base_config(Policy::CoEfficient, horizon))
+        let co = Runner::new(base_config(COEFFICIENT, horizon))
             .unwrap()
             .run();
-        let fs = Runner::new(base_config(Policy::Fspec, horizon))
-            .unwrap()
-            .run();
+        let fs = Runner::new(base_config(FSPEC, horizon)).unwrap().run();
         assert!(
             co.utilization > fs.utilization,
             "CoEfficient {} !> FSPEC {}",
@@ -796,8 +786,8 @@ mod tests {
             cfg.cluster = ClusterConfig::paper_dynamic(25);
             Runner::new(cfg).unwrap().run()
         };
-        let co = mk(Policy::CoEfficient);
-        let fs = mk(Policy::Fspec);
+        let co = mk(COEFFICIENT);
+        let fs = mk(FSPEC);
         assert!(
             co.delivered > fs.delivered,
             "CoEfficient delivered {} !> FSPEC {}",
@@ -815,7 +805,7 @@ mod tests {
     #[test]
     fn horizon_stop_is_exact() {
         let report = Runner::new(base_config(
-            Policy::CoEfficient,
+            COEFFICIENT,
             StopCondition::Horizon(SimDuration::from_millis(100)),
         ))
         .unwrap()
@@ -827,7 +817,7 @@ mod tests {
     fn deterministic_under_seed() {
         let mk = || {
             Runner::new(base_config(
-                Policy::CoEfficient,
+                COEFFICIENT,
                 StopCondition::ProducedInstances(200),
             ))
             .unwrap()
@@ -843,7 +833,7 @@ mod tests {
 
     #[test]
     fn fault_free_scenario_delivers_everything() {
-        let mut cfg = base_config(Policy::CoEfficient, StopCondition::ProducedInstances(200));
+        let mut cfg = base_config(COEFFICIENT, StopCondition::ProducedInstances(200));
         cfg.scenario = Scenario::fault_free();
         let report = Runner::new(cfg).unwrap().run();
         assert_eq!(report.corrupted, 0);
@@ -853,12 +843,10 @@ mod tests {
     #[test]
     fn hosa_sits_between_the_extremes() {
         let horizon = StopCondition::Horizon(SimDuration::from_millis(500));
-        let co = Runner::new(base_config(Policy::CoEfficient, horizon))
+        let co = Runner::new(base_config(COEFFICIENT, horizon))
             .unwrap()
             .run();
-        let ho = Runner::new(base_config(Policy::Hosa, horizon))
-            .unwrap()
-            .run();
+        let ho = Runner::new(base_config(HOSA, horizon)).unwrap().run();
         assert!(ho.delivered > 0);
         assert!(ho.cooperative_static_serves == 0);
         // HOSA's blanket mirror gives it decent delivery but it cannot
@@ -869,7 +857,7 @@ mod tests {
     #[test]
     fn static_only_workload_runs() {
         let mut cfg = base_config(
-            Policy::CoEfficient,
+            COEFFICIENT,
             StopCondition::Horizon(SimDuration::from_millis(100)),
         );
         cfg.dynamic_messages.clear();
@@ -881,7 +869,7 @@ mod tests {
     #[test]
     fn dynamic_only_workload_runs() {
         let mut cfg = base_config(
-            Policy::CoEfficient,
+            COEFFICIENT,
             StopCondition::Horizon(SimDuration::from_millis(200)),
         );
         cfg.static_messages.clear();
@@ -893,7 +881,7 @@ mod tests {
     #[test]
     fn bursty_scenario_still_meets_goals() {
         let mut cfg = base_config(
-            Policy::CoEfficient,
+            COEFFICIENT,
             StopCondition::Horizon(SimDuration::from_millis(300)),
         );
         cfg.scenario = Scenario::ber7().bursty();
@@ -906,7 +894,7 @@ mod tests {
     #[test]
     fn run_counters_are_consistent_with_legacy_fields() {
         let report = Runner::new(base_config(
-            Policy::CoEfficient,
+            COEFFICIENT,
             StopCondition::Horizon(SimDuration::from_millis(200)),
         ))
         .unwrap()
@@ -931,7 +919,7 @@ mod tests {
     #[test]
     fn counters_feed_the_fingerprint() {
         let report = Runner::new(base_config(
-            Policy::CoEfficient,
+            COEFFICIENT,
             StopCondition::Horizon(SimDuration::from_millis(100)),
         ))
         .unwrap()
@@ -949,7 +937,7 @@ mod tests {
     #[test]
     fn miss_ratio_combines_classes() {
         let report = Runner::new(base_config(
-            Policy::CoEfficient,
+            COEFFICIENT,
             StopCondition::Horizon(SimDuration::from_millis(200)),
         ))
         .unwrap()

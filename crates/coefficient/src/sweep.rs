@@ -20,7 +20,7 @@
 //!
 //! ```
 //! use coefficient::sweep::{SeedStrategy, SweepMatrix, SweepRunner};
-//! use coefficient::{Policy, Scenario, StopCondition};
+//! use coefficient::{Scenario, StopCondition, COEFFICIENT, FSPEC};
 //! use event_sim::SimDuration;
 //! use flexray::config::ClusterConfig;
 //!
@@ -31,7 +31,7 @@
 //!         workloads::sae::IdRange::StartingAt(20),
 //!         1,
 //!     ),
-//!     policies: vec![Policy::CoEfficient, Policy::Fspec],
+//!     policies: vec![COEFFICIENT, FSPEC],
 //!     scenarios: vec![Scenario::ber7()],
 //!     seeds: vec![1, 2],
 //!     stop: StopCondition::Horizon(SimDuration::from_millis(20)),
@@ -52,7 +52,8 @@ use flexray::signal::Signal;
 use metrics::{Aggregate, AggregateSummary};
 use workloads::AperiodicMessage;
 
-use crate::policy::{CoefficientOptions, Policy, SchedulerError};
+use crate::policy::{CoefficientOptions, SchedulerError};
+use crate::registry::PolicyRef;
 use crate::runner::{RunConfig, RunReport, Runner, StopCondition};
 use crate::scenario::Scenario;
 
@@ -81,7 +82,7 @@ pub struct SweepMatrix {
     /// Dynamic (event-triggered) workload.
     pub dynamic_messages: Vec<AperiodicMessage>,
     /// Policies under test (axis 1).
-    pub policies: Vec<Policy>,
+    pub policies: Vec<PolicyRef>,
     /// Fault/reliability scenarios (axis 2).
     pub scenarios: Vec<Scenario>,
     /// Master seeds (axis 3).
@@ -170,7 +171,7 @@ pub struct CellOutcome {
     /// Where in the matrix this cell sits.
     pub coord: CellCoord,
     /// Policy the cell ran (resolved from the coordinate).
-    pub policy: Policy,
+    pub policy: PolicyRef,
     /// Scenario label (resolved from the coordinate).
     pub scenario: &'static str,
     /// The derived master seed the cell ran under.
@@ -186,7 +187,7 @@ pub struct CellOutcome {
 #[derive(Debug, Clone)]
 pub struct GroupSummary {
     /// Policy of the group.
-    pub policy: Policy,
+    pub policy: PolicyRef,
     /// Scenario label of the group.
     pub scenario: &'static str,
     /// Number of cells (seeds) aggregated.
@@ -426,7 +427,7 @@ impl SweepRunner {
 }
 
 fn summarize_group<'a>(
-    policy: Policy,
+    policy: PolicyRef,
     scenario: &'static str,
     members: impl Iterator<Item = &'a CellOutcome>,
 ) -> GroupSummary {
@@ -467,6 +468,7 @@ fn summarize_group<'a>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::registry::{COEFFICIENT, FSPEC};
     use event_sim::SimDuration;
 
     fn small_matrix(seed_strategy: SeedStrategy) -> SweepMatrix {
@@ -477,7 +479,7 @@ mod tests {
                 workloads::sae::IdRange::StartingAt(20),
                 1,
             ),
-            policies: vec![Policy::CoEfficient, Policy::Fspec],
+            policies: vec![COEFFICIENT, FSPEC],
             scenarios: vec![Scenario::ber7(), Scenario::fault_free()],
             seeds: vec![11, 22],
             stop: StopCondition::Horizon(SimDuration::from_millis(25)),

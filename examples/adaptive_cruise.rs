@@ -6,7 +6,7 @@
 //! cargo run --example adaptive_cruise
 //! ```
 
-use coefficient::{Policy, RunConfig, Runner, Scenario, StopCondition};
+use coefficient::{RunConfig, Runner, Scenario, StopCondition, COEFFICIENT, FSPEC};
 use event_sim::SimDuration;
 use flexray::config::ClusterConfig;
 use flexray::ChannelId;
@@ -23,7 +23,7 @@ fn main() {
             "--- scenario {} (goal ρ = 1 − {:.0e}/h) ---",
             scenario.name, scenario.gamma
         );
-        for policy in [Policy::CoEfficient, Policy::Fspec] {
+        for policy in [COEFFICIENT, FSPEC] {
             let runner = Runner::new(RunConfig {
                 cluster: cluster.clone(),
                 scenario: scenario.clone(),

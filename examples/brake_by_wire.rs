@@ -9,7 +9,7 @@
 //! cargo run --example brake_by_wire
 //! ```
 
-use coefficient::{Policy, RunConfig, Runner, Scenario, StopCondition};
+use coefficient::{RunConfig, Runner, Scenario, StopCondition, COEFFICIENT, FSPEC};
 use event_sim::SimDuration;
 use flexray::codec::FrameCoding;
 use flexray::config::ClusterConfig;
@@ -61,7 +61,7 @@ fn main() {
 
     // --- 3. Run the full simulation under both policies --------------------
     println!("\nEnd-to-end over 1 s of bus time (1 ms cycle, 50 minislots):");
-    for policy in [Policy::CoEfficient, Policy::Fspec] {
+    for policy in [COEFFICIENT, FSPEC] {
         let report = Runner::new(RunConfig {
             cluster: ClusterConfig::paper_dynamic(50),
             scenario: scenario.clone(),

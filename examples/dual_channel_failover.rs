@@ -9,7 +9,7 @@
 //! cargo run --example dual_channel_failover
 //! ```
 
-use coefficient::{Policy, Scenario, Scheduler};
+use coefficient::{PolicyRef, Scenario, Scheduler, COEFFICIENT, HOSA};
 use event_sim::{SimDuration, SimTime};
 use flexray::bus::BusEngine;
 use flexray::codec::FrameCoding;
@@ -33,7 +33,7 @@ fn main() {
 
     println!("Channel A dies after 500 frames; channel B stays up.\n");
     println!("policy        delivered/produced   delivered after outage");
-    for policy in [Policy::CoEfficient, Policy::Hosa] {
+    for policy in [COEFFICIENT, HOSA] {
         let mut scheduler = Scheduler::new(
             policy,
             cluster.clone(),
@@ -87,9 +87,10 @@ fn main() {
 
 /// Rough cycle index at which 500 frames have passed on channel A (6
 /// messages every 2 cycles on A ≈ 3 frames/cycle, plus copies).
-fn estimate_outage_cycle(policy: Policy) -> u64 {
-    match policy {
-        Policy::CoEfficient => 120,
-        _ => 150,
+fn estimate_outage_cycle(policy: PolicyRef) -> u64 {
+    if policy == COEFFICIENT {
+        120
+    } else {
+        150
     }
 }

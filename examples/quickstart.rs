@@ -5,7 +5,7 @@
 //! cargo run --example quickstart
 //! ```
 
-use coefficient::{Policy, RunConfig, Runner, Scenario, StopCondition};
+use coefficient::{RunConfig, Runner, Scenario, StopCondition, COEFFICIENT, FSPEC};
 use event_sim::SimDuration;
 use flexray::config::ClusterConfig;
 use flexray::signal::Signal;
@@ -56,7 +56,7 @@ fn main() {
     ];
 
     println!("policy        delivered  static-lat  dynamic-lat  utilization  miss-ratio");
-    for policy in [Policy::CoEfficient, Policy::Fspec] {
+    for policy in [COEFFICIENT, FSPEC] {
         let report = Runner::new(RunConfig {
             cluster: cluster.clone(),
             scenario: Scenario::ber7(),

@@ -11,7 +11,9 @@
 //! cargo run --example trace_timeline [OUT.json]
 //! ```
 
-use coefficient::{Policy, RunConfig, RunCounters, Runner, Scenario, StopCondition, TraceConfig};
+use coefficient::{
+    RunConfig, RunCounters, Runner, Scenario, StopCondition, TraceConfig, COEFFICIENT,
+};
 use event_sim::SimDuration;
 use flexray::config::ClusterConfig;
 
@@ -21,7 +23,7 @@ fn main() {
         scenario: Scenario::ber7().storm(),
         static_messages: workloads::bbw::message_set(),
         dynamic_messages: workloads::sae::message_set(workloads::sae::IdRange::For80Slots, 9),
-        policy: Policy::CoEfficient,
+        policy: COEFFICIENT,
         stop: StopCondition::Horizon(SimDuration::from_millis(100)),
         seed: 424242,
         trace: Default::default(),

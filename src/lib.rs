@@ -5,8 +5,8 @@
 //! crates so examples can use a single import root.
 //!
 //! ```
-//! use coefficient_suite::coefficient::{Policy, Scheduler};
-//! let _ = (std::any::type_name::<Scheduler>(), Policy::CoEfficient);
+//! use coefficient_suite::coefficient::{Policy, Scheduler, COEFFICIENT};
+//! let _ = (std::any::type_name::<Scheduler>(), COEFFICIENT.key());
 //! ```
 
 pub use coefficient;

@@ -10,13 +10,14 @@
 //!   tests.
 
 use coefficient::{
-    CellCoord, Policy, RunCounters, Scenario, SeedStrategy, StopCondition, SweepMatrix, SweepRunner,
+    CellCoord, PolicyRef, RunCounters, Scenario, SeedStrategy, StopCondition, SweepMatrix,
+    SweepRunner, COEFFICIENT, FSPEC,
 };
 use event_sim::SimDuration;
 use flexray::config::ClusterConfig;
 use proptest::prelude::*;
 
-fn single_cell_matrix(policy: Policy, seed: u64, horizon_ms: u64) -> SweepMatrix {
+fn single_cell_matrix(policy: PolicyRef, seed: u64, horizon_ms: u64) -> SweepMatrix {
     SweepMatrix {
         cluster: ClusterConfig::paper_mixed(50),
         static_messages: workloads::bbw::message_set(),
@@ -46,9 +47,9 @@ proptest! {
     fn counters_are_identical_across_replay(
         seed in 0u64..=u64::MAX,
         horizon_ms in 8u64..24,
-        policy_idx in 0usize..3,
+        policy_idx in 0usize..coefficient::registry::all().len(),
     ) {
-        let policy = [Policy::CoEfficient, Policy::Fspec, Policy::Hosa][policy_idx];
+        let policy = coefficient::registry::all()[policy_idx];
         let runner = SweepRunner::new(single_cell_matrix(policy, seed, horizon_ms));
         let first = runner.replay(ORIGIN).expect("cell is schedulable");
         let second = runner.replay(ORIGIN).expect("cell is schedulable");
@@ -67,7 +68,7 @@ proptest! {
 fn per_channel_fault_counters_sum_to_the_run_totals() {
     let matrix = SweepMatrix {
         scenarios: vec![Scenario::ber7(), Scenario::ber7().storm()],
-        ..single_cell_matrix(Policy::CoEfficient, 11, 60)
+        ..single_cell_matrix(COEFFICIENT, 11, 60)
     };
     let runner = SweepRunner::new(matrix);
     for scenario in 0..2 {
@@ -110,7 +111,7 @@ fn scripted_storm_sheds_soft_traffic_but_never_a_hard_deadline() {
     let matrix = SweepMatrix {
         static_messages: statics,
         scenarios: vec![Scenario::ber7().storm()],
-        ..single_cell_matrix(Policy::CoEfficient, 1, 300)
+        ..single_cell_matrix(COEFFICIENT, 1, 300)
     };
     let cell = SweepRunner::new(matrix)
         .replay(ORIGIN)
@@ -137,10 +138,10 @@ fn scripted_storm_sheds_soft_traffic_but_never_a_hard_deadline() {
 #[test]
 fn counters_agree_across_thread_counts() {
     let matrix = SweepMatrix {
-        policies: vec![Policy::CoEfficient, Policy::Fspec],
+        policies: vec![COEFFICIENT, FSPEC],
         scenarios: vec![Scenario::ber7(), Scenario::ber9(), Scenario::ber7().storm()],
         seeds: vec![5, 6],
-        ..single_cell_matrix(Policy::CoEfficient, 5, 30)
+        ..single_cell_matrix(COEFFICIENT, 5, 30)
     };
     let serial = SweepRunner::new(matrix.clone()).threads(1).run().unwrap();
     let parallel = SweepRunner::new(matrix).threads(8).run().unwrap();
@@ -155,7 +156,7 @@ fn a_loaded_coefficient_run_exercises_every_counter_family() {
     // The corpus is only a regression net for behavior it observes:
     // prove the recorded configuration actually moves steals, early
     // copies, retransmissions and fault injection.
-    let report = SweepRunner::new(single_cell_matrix(Policy::CoEfficient, 3, 100))
+    let report = SweepRunner::new(single_cell_matrix(COEFFICIENT, 3, 100))
         .run()
         .unwrap();
     let c: RunCounters = report.cells[0].report.counters;

@@ -1,12 +1,12 @@
 //! Cross-crate integration: the full pipeline from workloads through the
 //! CoEfficient/FSPEC schedulers and the fault-injecting bus engine.
 
-use coefficient::{Policy, RunConfig, Runner, Scenario, StopCondition};
+use coefficient::{PolicyRef, RunConfig, Runner, Scenario, StopCondition, COEFFICIENT, FSPEC};
 use event_sim::SimDuration;
 use flexray::config::ClusterConfig;
 use workloads::sae::IdRange;
 
-fn config(policy: Policy, stop: StopCondition, seed: u64) -> RunConfig {
+fn config(policy: PolicyRef, stop: StopCondition, seed: u64) -> RunConfig {
     let mut statics = workloads::bbw::message_set();
     statics.extend(workloads::acc::message_set());
     RunConfig {
@@ -24,12 +24,8 @@ fn config(policy: Policy, stop: StopCondition, seed: u64) -> RunConfig {
 #[test]
 fn coefficient_dominates_fspec_on_every_headline_metric() {
     let horizon = StopCondition::Horizon(SimDuration::from_secs(1));
-    let co = Runner::new(config(Policy::CoEfficient, horizon, 3))
-        .unwrap()
-        .run();
-    let fs = Runner::new(config(Policy::Fspec, horizon, 3))
-        .unwrap()
-        .run();
+    let co = Runner::new(config(COEFFICIENT, horizon, 3)).unwrap().run();
+    let fs = Runner::new(config(FSPEC, horizon, 3)).unwrap().run();
 
     assert!(
         co.delivered >= fs.delivered,
@@ -57,7 +53,7 @@ fn coefficient_dominates_fspec_on_every_headline_metric() {
 #[test]
 fn runs_are_deterministic_under_a_seed() {
     let stop = StopCondition::Horizon(SimDuration::from_millis(300));
-    for policy in [Policy::CoEfficient, Policy::Fspec] {
+    for policy in [COEFFICIENT, FSPEC] {
         let a = Runner::new(config(policy, stop, 11)).unwrap().run();
         let b = Runner::new(config(policy, stop, 11)).unwrap().run();
         assert_eq!(a.delivered, b.delivered);
@@ -73,12 +69,8 @@ fn runs_are_deterministic_under_a_seed() {
 #[test]
 fn different_seeds_change_fault_patterns_not_structure() {
     let stop = StopCondition::Horizon(SimDuration::from_millis(300));
-    let a = Runner::new(config(Policy::CoEfficient, stop, 1))
-        .unwrap()
-        .run();
-    let b = Runner::new(config(Policy::CoEfficient, stop, 2))
-        .unwrap()
-        .run();
+    let a = Runner::new(config(COEFFICIENT, stop, 1)).unwrap().run();
+    let b = Runner::new(config(COEFFICIENT, stop, 2)).unwrap().run();
     // Same workload structure: produced counts may differ only through the
     // random SAE arrival phases, which are bounded by one extra instance
     // per message.
@@ -99,13 +91,13 @@ fn fault_free_run_delivers_everything_without_corruption() {
     // geometry. CoEfficient rescues extra instances through stolen slack;
     // full delivery is only demanded on a cycle ≥ period geometry.
     let mut delivered = [0u64; 2];
-    for (i, policy) in [Policy::CoEfficient, Policy::Fspec].into_iter().enumerate() {
+    for (i, policy) in [COEFFICIENT, FSPEC].into_iter().enumerate() {
         let mut cfg = config(policy, StopCondition::ProducedInstances(500), 5);
         cfg.scenario = Scenario::fault_free();
         let report = Runner::new(cfg).unwrap().run();
         assert_eq!(report.corrupted, 0);
         assert!(!report.truncated);
-        let min_tenths = if policy == Policy::CoEfficient { 6 } else { 3 };
+        let min_tenths = if policy == COEFFICIENT { 6 } else { 3 };
         assert!(
             report.delivered * 10 >= report.produced * min_tenths,
             "{policy:?} delivered {}/{}",
@@ -121,11 +113,7 @@ fn fault_free_run_delivers_everything_without_corruption() {
 
     // On a geometry where every period is at least one cycle, CoEfficient
     // delivers every single instance.
-    let mut cfg = config(
-        Policy::CoEfficient,
-        StopCondition::ProducedInstances(300),
-        5,
-    );
+    let mut cfg = config(COEFFICIENT, StopCondition::ProducedInstances(300), 5);
     cfg.scenario = Scenario::fault_free();
     cfg.static_messages = workloads::acc::message_set(); // periods 16–32 ms
     let report = Runner::new(cfg).unwrap().run();
@@ -135,7 +123,7 @@ fn fault_free_run_delivers_everything_without_corruption() {
 #[test]
 fn delivered_instances_stop_reaches_target() {
     let report = Runner::new(config(
-        Policy::CoEfficient,
+        COEFFICIENT,
         StopCondition::DeliveredInstances(400),
         9,
     ))
@@ -148,7 +136,7 @@ fn delivered_instances_stop_reaches_target() {
 #[test]
 fn utilization_stays_in_bounds_and_wire_below_allocated() {
     let report = Runner::new(config(
-        Policy::CoEfficient,
+        COEFFICIENT,
         StopCondition::Horizon(SimDuration::from_millis(500)),
         7,
     ))
@@ -170,9 +158,9 @@ fn utilization_stays_in_bounds_and_wire_below_allocated() {
 #[test]
 fn stricter_reliability_goal_costs_bandwidth() {
     let stop = StopCondition::Horizon(SimDuration::from_millis(500));
-    let mut cfg7 = config(Policy::CoEfficient, stop, 13);
+    let mut cfg7 = config(COEFFICIENT, stop, 13);
     cfg7.scenario = Scenario::ber7();
-    let mut cfg9 = config(Policy::CoEfficient, stop, 13);
+    let mut cfg9 = config(COEFFICIENT, stop, 13);
     cfg9.scenario = Scenario::ber9();
     let r7 = Runner::new(cfg7).unwrap().run();
     let r9 = Runner::new(cfg9).unwrap().run();
@@ -188,7 +176,7 @@ fn stricter_reliability_goal_costs_bandwidth() {
 #[test]
 fn coefficient_actually_uses_the_cooperative_machinery() {
     let report = Runner::new(config(
-        Policy::CoEfficient,
+        COEFFICIENT,
         StopCondition::Horizon(SimDuration::from_millis(500)),
         17,
     ))
@@ -200,7 +188,7 @@ fn coefficient_actually_uses_the_cooperative_machinery() {
         "no retransmission copies sent"
     );
     let fs = Runner::new(config(
-        Policy::Fspec,
+        FSPEC,
         StopCondition::Horizon(SimDuration::from_millis(500)),
         17,
     ))

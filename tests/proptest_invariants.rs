@@ -272,7 +272,7 @@ proptest! {
         horizon_ms in 25u64..60,
     ) {
         use coefficient::{
-            CoefficientOptions, Policy, RunConfig, Runner, Scenario, StopCondition,
+            CoefficientOptions, RunConfig, Runner, Scenario, StopCondition, COEFFICIENT,
         };
         use flexray::config::ClusterConfig;
         use flexray::signal::Signal;
@@ -294,7 +294,7 @@ proptest! {
                 scenario: Scenario::fault_free(),
                 static_messages,
                 dynamic_messages: workloads::sae::message_set(IdRange::For80Slots, dyn_seed),
-                policy: Policy::CoEfficient,
+                policy: COEFFICIENT,
                 stop: StopCondition::Horizon(SimDuration::from_millis(horizon_ms)),
                 seed: run_seed,
                 trace: Default::default(),

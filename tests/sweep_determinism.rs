@@ -8,7 +8,8 @@
 //!   across policies (so policy comparisons remain like-for-like).
 
 use coefficient::{
-    CellCoord, Policy, Scenario, SeedStrategy, StopCondition, SweepMatrix, SweepReport, SweepRunner,
+    CellCoord, Scenario, SeedStrategy, StopCondition, SweepMatrix, SweepReport, SweepRunner,
+    COEFFICIENT, FSPEC,
 };
 use event_sim::SimDuration;
 use flexray::config::ClusterConfig;
@@ -18,7 +19,7 @@ fn matrix(strategy: SeedStrategy) -> SweepMatrix {
         cluster: ClusterConfig::paper_mixed(50),
         static_messages: workloads::bbw::message_set(),
         dynamic_messages: workloads::sae::message_set(workloads::sae::IdRange::For80Slots, 9),
-        policies: vec![Policy::CoEfficient, Policy::Fspec],
+        policies: vec![COEFFICIENT, FSPEC],
         scenarios: vec![Scenario::ber7(), Scenario::ber9()],
         seeds: vec![101, 202, 303],
         stop: StopCondition::Horizon(SimDuration::from_millis(40)),

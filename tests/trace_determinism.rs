@@ -8,8 +8,8 @@
 //!   thread count, yields an identical `TraceLog`.
 
 use coefficient::{
-    run_parallel, CellCoord, Policy, Scenario, SeedStrategy, StopCondition, SweepMatrix,
-    SweepRunner, TraceConfig, TraceMode,
+    run_parallel, CellCoord, Scenario, SeedStrategy, StopCondition, SweepMatrix, SweepRunner,
+    TraceConfig, TraceMode, COEFFICIENT, FSPEC,
 };
 use event_sim::SimDuration;
 use flexray::config::ClusterConfig;
@@ -19,7 +19,7 @@ fn matrix() -> SweepMatrix {
         cluster: ClusterConfig::paper_mixed(50),
         static_messages: workloads::bbw::message_set(),
         dynamic_messages: workloads::sae::message_set(workloads::sae::IdRange::For80Slots, 9),
-        policies: vec![Policy::CoEfficient, Policy::Fspec],
+        policies: vec![COEFFICIENT, FSPEC],
         scenarios: vec![Scenario::ber7(), Scenario::ber7().storm()],
         seeds: vec![101, 202, 303],
         stop: StopCondition::Horizon(SimDuration::from_millis(40)),
