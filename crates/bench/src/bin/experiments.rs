@@ -13,6 +13,8 @@
 //! experiments golden record [--out PATH] [--name NAME]
 //! experiments golden verify [--corpus PATH]
 //! experiments determinism [--thread-counts 1,2,8] [sweep flags]
+//! experiments cycles [--smoke] [--iters N] [--out PATH]
+//!                    [--baseline PATH] [--tolerance F]
 //! ```
 //!
 //! `verify` re-runs the paper's headline claims and exits non-zero if any
@@ -38,6 +40,13 @@
 //! diff. `determinism` runs the same sweep at several worker-thread
 //! counts and exits non-zero if the fingerprints disagree.
 //!
+//! `cycles` runs the pinned per-policy throughput matrix (18 cells per
+//! registered policy) and prints cycles/sec, ns/cycle and peak scratch
+//! bytes per policy; `--out` writes the `coefficient-bench-cycles/1`
+//! document (CI uploads it as `BENCH_cycles.json`) and `--baseline`
+//! compares cycles/sec against a recorded baseline, exiting non-zero on a
+//! regression beyond `--tolerance` (default 0.15).
+//!
 //! Without arguments, runs every figure. `--json` additionally dumps the
 //! raw rows as JSON to stdout (for plotting).
 
@@ -47,6 +56,10 @@ use bench_harness::experiments::{
 };
 use std::path::Path;
 
+use bench_harness::cycles::{
+    compare_to_baseline, cycles_from_json, cycles_spec, cycles_to_json, measure_cycles,
+    CYCLES_TOLERANCE,
+};
 use bench_harness::golden::{
     golden_spec, load_corpus, record_corpus, save_corpus, verify_corpus, DEFAULT_CORPUS_PATH,
 };
@@ -69,6 +82,7 @@ fn main() {
         Some("golden") => run_golden(&args[1..]),
         Some("determinism") => run_determinism(&args[1..]),
         Some("storm-smoke") => run_storm_smoke(&args[1..]),
+        Some("cycles") => run_cycles(&args[1..]),
         _ => run_figures(&args),
     }
 }
@@ -410,6 +424,94 @@ fn run_golden(args: &[String]) {
             eprintln!("usage: experiments golden record|verify [--out|--corpus PATH]");
             std::process::exit(2);
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// cycles (perf trajectory)
+// ---------------------------------------------------------------------------
+
+fn run_cycles(args: &[String]) {
+    let mut spec = cycles_spec(args.iter().any(|a| a == "--smoke"));
+    if let Some(iters) = parse_number(args, "--iters") {
+        spec.iters = iters;
+    }
+    let report = measure_cycles(&spec).unwrap_or_else(|e| {
+        eprintln!("cycles matrix is unschedulable: {e:?}");
+        std::process::exit(1);
+    });
+    println!(
+        "bench cycles ({} mode): {} scenarios x {} seeds, best of {} iters, \
+         calibration {:.2} ms",
+        report.mode,
+        report.scenarios.len(),
+        report.seeds,
+        report.iters,
+        report.calibration.as_secs_f64() * 1e3,
+    );
+    for p in &report.policies {
+        println!(
+            "  {:<12} {:>3} cells  {:>9} cycles  {:>8.1} ms  {:>12.0} cycles/s  {:>8.1} ns/cycle  {:>7} scratch B",
+            p.policy,
+            p.cells,
+            p.sim_cycles,
+            p.wall.as_secs_f64() * 1e3,
+            p.cycles_per_sec(),
+            p.ns_per_cycle(),
+            p.peak_scratch_bytes,
+        );
+    }
+    if let Some(out) = flag_value(args, "--out") {
+        let text = cycles_to_json(&report).pretty() + "\n";
+        std::fs::write(out, text).unwrap_or_else(|e| {
+            eprintln!("cannot write {out}: {e}");
+            std::process::exit(1);
+        });
+        println!("bench cycles: wrote {out}");
+    }
+    if let Some(path) = flag_value(args, "--baseline") {
+        let tolerance: f64 = parse_number(args, "--tolerance").unwrap_or(CYCLES_TOLERANCE);
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cannot read baseline {path}: {e}");
+            eprintln!("(record one with: experiments cycles --smoke --out {path})");
+            std::process::exit(2);
+        });
+        let baseline = Json::parse(&text)
+            .map_err(|e| e.to_string())
+            .and_then(|doc| cycles_from_json(&doc))
+            .unwrap_or_else(|e| {
+                eprintln!("invalid baseline {path}: {e}");
+                std::process::exit(2);
+            });
+        let comparisons = compare_to_baseline(&report, &baseline, tolerance).unwrap_or_else(|e| {
+            eprintln!("cannot compare against {path}: {e}");
+            std::process::exit(2);
+        });
+        let mut regressed = false;
+        for c in &comparisons {
+            let verdict = if c.regressed { "FAIL" } else { "PASS" };
+            println!(
+                "  [{verdict}] {:<12} {:>12.0} cycles/s vs baseline {:>12.0} \
+                 ({:+.1}% host-normalized)",
+                c.policy,
+                c.current_cps,
+                c.baseline_cps,
+                (c.ratio - 1.0) * 100.0,
+            );
+            regressed |= c.regressed;
+        }
+        if regressed {
+            eprintln!(
+                "bench cycles: REGRESSION beyond {:.0}% against {path}; if intentional, \
+                 re-record with: experiments cycles --smoke --out {path}",
+                tolerance * 100.0,
+            );
+            std::process::exit(1);
+        }
+        println!(
+            "bench cycles: all policies within {:.0}% of {path}",
+            tolerance * 100.0,
+        );
     }
 }
 

@@ -77,6 +77,12 @@ impl InstanceTracker {
         Self::default()
     }
 
+    /// Pre-reserves room for `instances` further productions so the
+    /// steady-state production path never reallocates the instance store.
+    pub fn reserve(&mut self, instances: usize) {
+        self.instances.reserve(instances);
+    }
+
     /// Registers a newly produced instance and makes it the message's
     /// current one.
     pub fn produce(
@@ -97,7 +103,12 @@ impl InstanceTracker {
             corrupted: 0,
             early_copies: 0,
         });
-        let h = self.history.entry(message).or_default();
+        // Full-depth capacity up front: the ring never reallocates as it
+        // fills towards its bound.
+        let h = self
+            .history
+            .entry(message)
+            .or_insert_with(|| std::collections::VecDeque::with_capacity(HISTORY_DEPTH + 1));
         h.push_back(id);
         if h.len() > HISTORY_DEPTH {
             h.pop_front();

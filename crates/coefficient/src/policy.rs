@@ -37,7 +37,7 @@ use reliability::monitor::HealthState;
 use reliability::{MessageReliability, RetransmissionPlanner};
 use workloads::{AperiodicMessage, Criticality};
 
-use crate::assignment::{AllocationError, OccupantKind, StaticAllocation};
+use crate::assignment::{AllocationError, OccupantKind, SlotPosition, StaticAllocation};
 use crate::instance::{InstanceId, InstanceTracker, MessageClass};
 use crate::registry::{PolicyBehavior, PolicyRef};
 use crate::scenario::Scenario;
@@ -91,12 +91,20 @@ struct StaticInfo {
     /// CoEfficient: copies per instance that found no static slack and go
     /// through the dynamic segment. FSPEC: its uniform best-effort count.
     dynamic_copies: u32,
+    /// The message's primary slot pattern, precomputed at construction so
+    /// the early-copy scan does not pay the allocation's linear primary
+    /// lookup once per candidate per free slot.
+    primary: Option<SlotPosition>,
 }
 
 #[derive(Debug, Clone)]
 struct DynInfo {
     spec: AperiodicMessage,
     payload_bytes: u16,
+    /// Wire bits of this payload under *static-slot* coding (no DTS) —
+    /// what the slack-steal fit check compares against the slot capacity.
+    /// Precomputed so the steal scan is a plain integer compare per entry.
+    static_wire_bits: u64,
     /// Extra transmissions per instance (beyond the first).
     copies: u32,
     /// Preferred channel of the first transmission.
@@ -108,6 +116,9 @@ struct DynPending {
     frame_id: u16,
     instance: InstanceId,
     payload_bytes: u16,
+    /// Static-slot wire bits of the payload (see
+    /// [`DynInfo::static_wire_bits`]), carried into the queue entry.
+    static_wire_bits: u64,
     /// Entries older than this are purged: retransmitting data a full
     /// generation past its deadline serves nobody, and unreachable frame
     /// ids (dynamic ids the slot counter can never reach within the
@@ -358,9 +369,13 @@ impl Scheduler {
                     payload_bytes: payload_bytes_for(u64::from(s.size_bits)) as u16,
                     wire_bits: wire,
                     dynamic_copies: spilled,
+                    primary: alloc.primary_of(s.id),
                 },
             );
-            fspec_static_queues.insert(s.id, std::collections::VecDeque::new());
+            fspec_static_queues.insert(
+                s.id,
+                std::collections::VecDeque::with_capacity(FSPEC_QUEUE_DEPTH + 1),
+            );
         }
 
         let mut dynamics = HashMap::new();
@@ -376,11 +391,16 @@ impl Scheduler {
             } else {
                 ChannelId::A
             };
+            let payload_bytes = payload_bytes_for(u64::from(d.size_bits)) as u16;
             dynamics.insert(
                 d.frame_id,
                 DynInfo {
                     spec: d.clone(),
-                    payload_bytes: payload_bytes_for(u64::from(d.size_bits)) as u16,
+                    payload_bytes,
+                    // Static-slot coding has no DTS, so the steal fit check
+                    // always uses the default coding's static wire length.
+                    static_wire_bits: FrameCoding::default()
+                        .frame_wire_bits(u64::from(payload_bytes), false),
                     copies: count_of(dyn_key(d.frame_id)),
                     home_channel,
                 },
@@ -396,9 +416,12 @@ impl Scheduler {
             statics,
             dynamics,
             tracker: InstanceTracker::new(),
-            queues: [Vec::new(), Vec::new()],
+            // Pre-sized so the steady-state cycle loop never grows them:
+            // the dynamic backlog is bounded by the purge window and the
+            // in-flight staging depth is one slot deep in practice.
+            queues: [Vec::with_capacity(64), Vec::with_capacity(64)],
             next_seq: 0,
-            in_flight: std::collections::VecDeque::new(),
+            in_flight: std::collections::VecDeque::with_capacity(8),
             dropped_copies: 0,
             fspec_static_queues,
             fspec_tx_needed,
@@ -532,6 +555,34 @@ impl Scheduler {
         self.queues[0].len() + self.queues[1].len()
     }
 
+    /// Pre-reserves tracker capacity for `instances` productions, so the
+    /// steady-state cycle loop never grows the instance store. The
+    /// [`crate::Runner`] sizes this from its stop condition.
+    pub fn reserve_instances(&mut self, instances: usize) {
+        self.tracker.reserve(instances);
+    }
+
+    /// Bytes currently committed to the scheduler's reusable scratch
+    /// buffers (dynamic queues, in-flight staging, FSPEC slot queues) —
+    /// capacity, not length, so it reports the high-water footprint the
+    /// allocation-free cycle loop runs in. The `bench cycles` harness
+    /// records this per policy.
+    pub fn scratch_bytes(&self) -> u64 {
+        use std::mem::size_of;
+        let queues: usize = self
+            .queues
+            .iter()
+            .map(|q| q.capacity() * size_of::<(u64, DynPending)>())
+            .sum();
+        let in_flight = self.in_flight.capacity() * size_of::<InstanceId>();
+        let fspec: usize = self
+            .fspec_static_queues
+            .values()
+            .map(|q| q.capacity() * size_of::<(InstanceId, u32)>())
+            .sum();
+        (queues + in_flight + fspec) as u64
+    }
+
     /// All pending transmission work: the dynamic backlog plus (for FSPEC)
     /// static instances still owing transmissions through their slots.
     /// A run has drained when this reaches zero after production ends.
@@ -596,6 +647,7 @@ impl Scheduler {
         let deadline = now + info.spec.deadline;
         let expires = deadline + info.spec.min_interarrival;
         let (copies, home, payload) = (info.copies, info.home_channel, info.payload_bytes);
+        let static_wire_bits = info.static_wire_bits;
         let criticality = info.spec.criticality;
         let instance =
             self.tracker
@@ -636,6 +688,7 @@ impl Scheduler {
                 frame_id,
                 instance,
                 payload_bytes: payload,
+                static_wire_bits,
                 expires,
             },
         );
@@ -647,6 +700,7 @@ impl Scheduler {
                     frame_id,
                     instance,
                     payload_bytes: payload,
+                    static_wire_bits,
                     expires,
                 },
             );
@@ -734,12 +788,9 @@ impl Scheduler {
         if self.options.cooperative_dynamic && !self.queues[channel.index()].is_empty() {
             self.steal_attempts += 1;
             let q = &mut self.queues[channel.index()];
-            if let Some(pos) = q.iter().position(|(_, e)| {
-                // Static-slot coding has no DTS, so the fit check uses the
-                // static wire length.
-                FrameCoding::default().frame_wire_bits(u64::from(e.payload_bytes), false)
-                    <= capacity
-            }) {
+            // The static-coding fit size is precomputed per message (see
+            // `DynInfo::static_wire_bits`), so this scan is compare-only.
+            if let Some(pos) = q.iter().position(|(_, e)| e.static_wire_bits <= capacity) {
                 let (_, entry) = q.remove(pos);
                 self.cooperative_static_serves += 1;
                 let inst = self.tracker.get(entry.instance);
@@ -788,7 +839,7 @@ impl Scheduler {
             if !self.static_instance_window_open(instance, slot_start) {
                 continue;
             }
-            let primary = self.alloc.primary_of(*id).expect("static has a primary");
+            let primary = info.primary.expect("static has a primary");
             // Has the primary already fired for this instance? The next
             // primary occurrence at/after production must still be ahead
             // of this slot.
@@ -956,6 +1007,13 @@ impl Scheduler {
 
 /// The first instant ≥ `t` at which the `(slot, base, rep)` pattern
 /// occurs.
+///
+/// Closed form, no cycle-stepping: the repetition is a power of two
+/// dividing 64, so the counter condition `(cycle mod 64) mod rep == base`
+/// is exactly `cycle mod rep == base`; the first matching cycle at or
+/// after `cycle_of(t)` follows by modular arithmetic, and only that cycle
+/// can place the slot before `t` (every later match starts a full cycle
+/// later), in which case the next match is `rep` cycles on.
 fn next_occurrence_at_or_after(
     config: &ClusterConfig,
     slot: u16,
@@ -963,15 +1021,15 @@ fn next_occurrence_at_or_after(
     rep: u8,
     t: SimTime,
 ) -> SimTime {
-    let mut cycle = config.cycle_of(t);
-    loop {
-        if config.cycle_counter(cycle) % rep == base {
-            let start = config.static_slot_start(cycle, u64::from(slot));
-            if start >= t {
-                return start;
-            }
-        }
-        cycle += 1;
+    let (base, rep) = (u64::from(base), u64::from(rep));
+    debug_assert!(rep.is_power_of_two() && rep <= 64 && base < rep);
+    let cycle = config.cycle_of(t);
+    let aligned = cycle + (base + rep - cycle % rep) % rep;
+    let start = config.static_slot_start(aligned, u64::from(slot));
+    if start >= t {
+        start
+    } else {
+        config.static_slot_start(aligned + rep, u64::from(slot))
     }
 }
 
@@ -1153,6 +1211,68 @@ mod tests {
 
     fn config() -> ClusterConfig {
         ClusterConfig::paper_dynamic(50)
+    }
+
+    /// The pre-refactor cycle-stepping implementation, kept as the oracle
+    /// for the closed-form `next_occurrence_at_or_after`.
+    fn next_occurrence_by_stepping(
+        config: &ClusterConfig,
+        slot: u16,
+        base: u8,
+        rep: u8,
+        t: SimTime,
+    ) -> SimTime {
+        let mut cycle = config.cycle_of(t);
+        loop {
+            if config.cycle_counter(cycle) % rep == base {
+                let start = config.static_slot_start(cycle, u64::from(slot));
+                if start >= t {
+                    return start;
+                }
+            }
+            cycle += 1;
+        }
+    }
+
+    #[test]
+    fn closed_form_occurrence_matches_cycle_stepping() {
+        let cfg = config();
+        let cycle_ns = cfg.cycle_duration().as_nanos();
+        let last_slot = cfg.static_slot_count() as u16;
+        for rep in [1u8, 2, 4, 8, 16, 32, 64] {
+            for base in (0..rep).step_by(3.max(rep as usize / 4)) {
+                for slot in [1u16, last_slot / 2 + 1, last_slot] {
+                    // Probe instants scattered across several matrix
+                    // periods, including exact slot starts and the
+                    // nanosecond on either side of one.
+                    for k in 0..260u64 {
+                        let t = SimTime::ZERO + SimDuration::from_nanos(k * cycle_ns / 3 + k % 5);
+                        let want = next_occurrence_by_stepping(&cfg, slot, base, rep, t);
+                        let got = next_occurrence_at_or_after(&cfg, slot, base, rep, t);
+                        assert_eq!(got, want, "slot {slot} base {base} rep {rep} t {t:?}");
+                    }
+                    let exact = next_occurrence_by_stepping(
+                        &cfg,
+                        slot,
+                        base,
+                        rep,
+                        SimTime::ZERO + SimDuration::from_nanos(65 * cycle_ns),
+                    );
+                    for delta in [0i64, 1, -1] {
+                        let t = exact + SimDuration::from_nanos(delta.unsigned_abs());
+                        let t = if delta < 0 {
+                            exact - SimDuration::from_nanos(1)
+                        } else {
+                            t
+                        };
+                        assert_eq!(
+                            next_occurrence_at_or_after(&cfg, slot, base, rep, t),
+                            next_occurrence_by_stepping(&cfg, slot, base, rep, t),
+                        );
+                    }
+                }
+            }
+        }
     }
 
     fn statics() -> Vec<Signal> {

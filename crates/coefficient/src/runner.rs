@@ -223,6 +223,11 @@ pub struct RunReport {
     pub channel_faults: [FaultCounters; 2],
     /// `true` if the run hit the safety cycle cap before draining.
     pub truncated: bool,
+    /// High-water bytes of the scheduler's reusable scratch buffers (see
+    /// [`Scheduler::scratch_bytes`]). A measurement of the implementation,
+    /// not of the schedule, so — like `trace` — it is **excluded** from
+    /// [`fingerprint`](Self::fingerprint).
+    pub peak_scratch_bytes: u64,
     /// The captured event stream when [`RunConfig::trace`] was enabled
     /// (`None` otherwise). Deliberately **excluded** from
     /// [`fingerprint`](Self::fingerprint): traces describe a run, they
@@ -393,7 +398,7 @@ impl Runner {
             monitor.set_tracer(tracer.clone(), 2);
         }
         let mut rng = substream(cfg.seed, "runner/dynamic-phases");
-        let dynamic_phases = cfg
+        let dynamic_phases: Vec<SimDuration> = cfg
             .dynamic_messages
             .iter()
             .map(|d| {
@@ -401,6 +406,31 @@ impl Runner {
                 SimDuration::from_nanos(rng.gen_range(0..span))
             })
             .collect();
+        // Size the instance store for the whole run up front so the
+        // steady-state production path never grows it (the counting-
+        // allocator test pins this for the cycle loop proper).
+        let expected_instances = match cfg.stop {
+            StopCondition::Horizon(h) => {
+                let statics: u64 = cfg
+                    .static_messages
+                    .iter()
+                    .map(|s| h.as_nanos() / s.period.as_nanos() + 1)
+                    .sum();
+                let dynamics: u64 = cfg
+                    .dynamic_messages
+                    .iter()
+                    .map(|d| h.as_nanos() / d.min_interarrival.as_nanos() + 1)
+                    .sum();
+                statics + dynamics
+            }
+            StopCondition::ProducedInstances(n) => {
+                n + (cfg.static_messages.len() + cfg.dynamic_messages.len()) as u64
+            }
+            // Open-ended: delivery-gated runs produce until enough arrive;
+            // twice the target is a generous steady-state estimate.
+            StopCondition::DeliveredInstances(n) => n.saturating_mul(2),
+        };
+        scheduler.reserve_instances(usize::try_from(expected_instances).unwrap_or(usize::MAX));
         Ok(Runner {
             cfg,
             scheduler,
@@ -683,6 +713,7 @@ impl Runner {
                 self.engine.fault_counters(ChannelId::B),
             ],
             truncated,
+            peak_scratch_bytes: self.scheduler.scratch_bytes(),
             trace,
         }
     }

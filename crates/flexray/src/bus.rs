@@ -158,6 +158,12 @@ impl ChannelStats {
 pub struct BusEngine {
     config: ClusterConfig,
     coding: FrameCoding,
+    /// Bits transferable per minislot, precomputed from the config once —
+    /// the dynamic segment consults it every cycle on both channels.
+    minislot_bits: u64,
+    /// Coded wire bits of a zero-payload dynamic frame (header + trailer
+    /// overhead), precomputed from the coding parameters.
+    dynamic_overhead_bits: u64,
     faults: [Box<dyn FaultProcess>; 2],
     stats: [ChannelStats; 2],
     /// Optional per-channel reliability monitors, fed each cycle from the
@@ -185,9 +191,14 @@ impl std::fmt::Debug for BusEngine {
 impl BusEngine {
     /// Creates a fault-free engine.
     pub fn new(config: ClusterConfig) -> Self {
+        let coding = FrameCoding::default();
         BusEngine {
+            minislot_bits: (config.minislot_duration().as_nanos() as u128
+                * config.bit_rate_bps() as u128
+                / 1_000_000_000u128) as u64,
+            dynamic_overhead_bits: coding.frame_wire_bits(0, true),
             config,
-            coding: FrameCoding::default(),
+            coding,
             faults: [Box::new(NoFaults::new()), Box::new(NoFaults::new())],
             stats: [ChannelStats::default(), ChannelStats::default()],
             monitors: None,
@@ -201,6 +212,7 @@ impl BusEngine {
     /// Replaces the physical coding parameters.
     pub fn with_coding(mut self, coding: FrameCoding) -> Self {
         self.coding = coding;
+        self.dynamic_overhead_bits = coding.frame_wire_bits(0, true);
         self
     }
 
@@ -409,9 +421,7 @@ impl BusEngine {
     ) {
         let n_ms = self.config.minislot_count();
         let latest_tx = self.config.latest_tx();
-        let ms_bits = (self.config.minislot_duration().as_nanos() as u128
-            * self.config.bit_rate_bps() as u128
-            / 1_000_000_000u128) as u64;
+        let ms_bits = self.minislot_bits;
         let mut ms: u64 = 0;
         let mut slot_counter = self.config.static_slot_count() + 1;
         while ms < n_ms {
@@ -510,7 +520,7 @@ impl BusEngine {
             return 0;
         }
         let budget_bits = (minislots_left - idle) * ms_bits;
-        let overhead = self.coding.frame_wire_bits(0, true);
+        let overhead = self.dynamic_overhead_bits;
         if budget_bits <= overhead {
             return 0;
         }

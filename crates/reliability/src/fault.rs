@@ -18,6 +18,97 @@ use event_sim::rng::substream;
 
 use crate::ber::Ber;
 
+/// Number of distinct frame sizes memoised per fault process.
+///
+/// A FlexRay run sees only a handful of wire sizes (one per payload length
+/// in the message set, plus the dynamic-segment fits), so a small
+/// direct-mapped table covers the steady state; overflow evicts round-robin
+/// rather than allocating.
+const FRAME_PROB_SLOTS: usize = 8;
+
+/// Exact memo of [`Ber::frame_failure_probability`] for one bit error rate.
+///
+/// `ln(1 − BER)` is precomputed once and each distinct `bits` value pays
+/// the `exp_m1` only on first sight, so the per-frame hot path is a table
+/// probe. The cached value is produced by the *same expression* as the
+/// uncached one — `-exp_m1(bits · ln_1p(−BER))` — so results are
+/// bit-identical and golden digests are unaffected.
+#[derive(Debug, Clone)]
+struct FrameProbCache {
+    rate: f64,
+    ln1p_neg_rate: f64,
+    entries: [(u32, f64); FRAME_PROB_SLOTS],
+    len: usize,
+    next_evict: usize,
+}
+
+impl FrameProbCache {
+    fn new(ber: Ber) -> Self {
+        FrameProbCache {
+            rate: ber.rate(),
+            ln1p_neg_rate: f64::ln_1p(-ber.rate()),
+            entries: [(0, 0.0); FRAME_PROB_SLOTS],
+            len: 0,
+            next_evict: 0,
+        }
+    }
+
+    #[inline]
+    fn probability(&mut self, bits: u32) -> f64 {
+        if self.rate == 0.0 || bits == 0 {
+            return 0.0;
+        }
+        for &(b, p) in &self.entries[..self.len] {
+            if b == bits {
+                return p;
+            }
+        }
+        let p = -f64::exp_m1(f64::from(bits) * self.ln1p_neg_rate);
+        if self.len < FRAME_PROB_SLOTS {
+            self.entries[self.len] = (bits, p);
+            self.len += 1;
+        } else {
+            self.entries[self.next_evict] = (bits, p);
+            self.next_evict = (self.next_evict + 1) % FRAME_PROB_SLOTS;
+        }
+        p
+    }
+}
+
+/// Hit pattern returned by a batched per-segment fault draw.
+///
+/// Bit `i` of `mask` is set iff the `i`-th frame of the batch was
+/// corrupted; batches are therefore limited to 64 frames, which comfortably
+/// covers a FlexRay segment (≤ 60 static slots, ≤ 64 minislot frames).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SegmentHits {
+    /// Per-frame corruption bitmask (frame `i` ↔ bit `i`).
+    pub mask: u64,
+    /// Number of frames covered by the batch.
+    pub frames: u32,
+}
+
+impl SegmentHits {
+    /// A batch of `frames` frames, none corrupted.
+    #[must_use]
+    pub fn clear(frames: u32) -> Self {
+        SegmentHits { mask: 0, frames }
+    }
+
+    /// Whether frame `i` of the batch was corrupted.
+    #[must_use]
+    pub fn hit(&self, i: u32) -> bool {
+        debug_assert!(i < self.frames);
+        self.mask >> i & 1 == 1
+    }
+
+    /// Number of corrupted frames in the batch.
+    #[must_use]
+    pub fn count(&self) -> u32 {
+        self.mask.count_ones()
+    }
+}
+
 /// Cumulative fault-injection counters a [`FaultProcess`] maintains.
 ///
 /// `faults_injected` counts frames the process corrupted; recovery
@@ -72,6 +163,26 @@ pub trait FaultProcess: std::fmt::Debug + Send {
     fn in_burst(&self) -> bool {
         false
     }
+
+    /// Draws faults for a batch of `frames` equal-sized frames at once.
+    ///
+    /// The default implementation loops [`corrupts`](Self::corrupts), so it
+    /// is RNG-stream-identical to per-frame consultation by construction.
+    /// Implementations may override it to amortise work across the batch
+    /// (see [`BernoulliFaults`]) but must consume the RNG stream exactly as
+    /// the per-frame loop would: digests of runs that interleave batched
+    /// and per-frame draws are part of the golden contract.
+    ///
+    /// # Panics
+    /// Panics in debug builds if `frames > 64` (the mask width).
+    fn corrupts_run(&mut self, bits: u32, frames: u32) -> SegmentHits {
+        debug_assert!(frames <= 64, "batch wider than the hit mask");
+        let mut mask = 0u64;
+        for i in 0..frames {
+            mask |= u64::from(self.corrupts(bits)) << i;
+        }
+        SegmentHits { mask, frames }
+    }
 }
 
 /// Independent per-frame Bernoulli faults derived from a bit error rate.
@@ -85,6 +196,7 @@ pub trait FaultProcess: std::fmt::Debug + Send {
 #[derive(Debug)]
 pub struct BernoulliFaults {
     ber: Ber,
+    prob: FrameProbCache,
     rng: SmallRng,
     counters: FaultCounters,
 }
@@ -94,6 +206,7 @@ impl BernoulliFaults {
     pub fn new(ber: Ber, seed: u64) -> Self {
         BernoulliFaults {
             ber,
+            prob: FrameProbCache::new(ber),
             rng: substream(seed, "fault/bernoulli"),
             counters: FaultCounters::default(),
         }
@@ -103,11 +216,54 @@ impl BernoulliFaults {
     pub fn ber(&self) -> Ber {
         self.ber
     }
+
+    /// Batched draw via geometric gap sampling: one draw per *fault* plus
+    /// one overshoot draw, instead of one per frame — the low-BER fast
+    /// path (p ≈ 1e-4 means one draw per ~10 000 frames).
+    ///
+    /// Distribution-equivalent to `frames` independent Bernoulli(p) trials
+    /// but **not** RNG-stream-compatible with
+    /// [`corrupts`](FaultProcess::corrupts): it consumes a
+    /// different number of uniforms, so mixing it with per-frame draws on
+    /// the same process changes every later draw. Golden-path code must use
+    /// [`corrupts_run`](FaultProcess::corrupts_run); this sampler is for
+    /// throughput studies and is validated against the per-frame process by
+    /// the distribution property tests.
+    pub fn corrupts_run_geometric(&mut self, bits: u32, frames: u32) -> SegmentHits {
+        debug_assert!(frames <= 64, "batch wider than the hit mask");
+        self.counters.frames_checked += u64::from(frames);
+        let p = self.prob.probability(bits);
+        if p <= 0.0 || frames == 0 {
+            return SegmentHits::clear(frames);
+        }
+        let mut mask = 0u64;
+        if p >= 1.0 {
+            mask = u64::MAX >> (64 - frames);
+        } else {
+            // Gap between hits is Geometric(p): k = ⌊ln U / ln(1−p)⌋ with
+            // U uniform on (0, 1].
+            let ln_q = f64::ln_1p(-p);
+            let mut i = 0u64;
+            loop {
+                let u = 1.0 - self.rng.gen::<f64>();
+                // Saturating cast: an enormous gap simply ends the batch.
+                let gap = (u.ln() / ln_q).floor() as u64;
+                i = i.saturating_add(gap);
+                if i >= u64::from(frames) {
+                    break;
+                }
+                mask |= 1 << i;
+                i += 1;
+            }
+        }
+        self.counters.faults_injected += u64::from(mask.count_ones());
+        SegmentHits { mask, frames }
+    }
 }
 
 impl FaultProcess for BernoulliFaults {
     fn corrupts(&mut self, bits: u32) -> bool {
-        let p = self.ber.frame_failure_probability(bits);
+        let p = self.prob.probability(bits);
         let hit = p > 0.0 && self.rng.gen::<f64>() < p;
         self.counters.frames_checked += 1;
         self.counters.faults_injected += u64::from(hit);
@@ -120,6 +276,25 @@ impl FaultProcess for BernoulliFaults {
 
     fn counters(&self) -> FaultCounters {
         self.counters
+    }
+
+    /// Stream-identical batched draw: one cache probe for the whole batch,
+    /// and a `p == 0` batch short-circuits without touching the RNG —
+    /// exactly as `frames` per-frame calls would (the per-frame path only
+    /// draws when `p > 0`).
+    fn corrupts_run(&mut self, bits: u32, frames: u32) -> SegmentHits {
+        debug_assert!(frames <= 64, "batch wider than the hit mask");
+        self.counters.frames_checked += u64::from(frames);
+        let p = self.prob.probability(bits);
+        if p <= 0.0 {
+            return SegmentHits::clear(frames);
+        }
+        let mut mask = 0u64;
+        for i in 0..frames {
+            mask |= u64::from(self.rng.gen::<f64>() < p) << i;
+        }
+        self.counters.faults_injected += u64::from(mask.count_ones());
+        SegmentHits { mask, frames }
     }
 }
 
@@ -134,6 +309,8 @@ impl FaultProcess for BernoulliFaults {
 pub struct GilbertElliott {
     good_ber: Ber,
     bad_ber: Ber,
+    good_prob: FrameProbCache,
+    bad_prob: FrameProbCache,
     /// P(good → bad) after a frame.
     p_gb: f64,
     /// P(bad → good) after a frame.
@@ -154,6 +331,8 @@ impl GilbertElliott {
         GilbertElliott {
             good_ber,
             bad_ber,
+            good_prob: FrameProbCache::new(good_ber),
+            bad_prob: FrameProbCache::new(bad_ber),
             p_gb,
             p_bg,
             in_bad: false,
@@ -181,12 +360,11 @@ impl GilbertElliott {
 
 impl FaultProcess for GilbertElliott {
     fn corrupts(&mut self, bits: u32) -> bool {
-        let ber = if self.in_bad {
-            self.bad_ber
+        let p = if self.in_bad {
+            self.bad_prob.probability(bits)
         } else {
-            self.good_ber
+            self.good_prob.probability(bits)
         };
-        let p = ber.frame_failure_probability(bits);
         let hit = p > 0.0 && self.rng.gen::<f64>() < p;
         self.counters.frames_checked += 1;
         self.counters.faults_injected += u64::from(hit);
@@ -513,5 +691,117 @@ mod tests {
     #[should_panic(expected = "p_gb out of range")]
     fn ge_rejects_bad_probability() {
         let _ = GilbertElliott::new(Ber::ZERO, Ber::ZERO, 1.5, 0.1, 0);
+    }
+
+    #[test]
+    fn prob_cache_is_bit_identical_to_ber() {
+        for rate in [1e-7, 1e-5, 1e-3, 0.3] {
+            let ber = Ber::new(rate).unwrap();
+            let mut cache = FrameProbCache::new(ber);
+            // More distinct sizes than cache slots, visited twice, so both
+            // the fill path and the round-robin eviction path are compared
+            // against the uncached expression.
+            for _ in 0..2 {
+                for bits in [0u32, 1, 7, 42, 100, 254, 1000, 2040, 4096, 65_535, 123_456] {
+                    let want = ber.frame_failure_probability(bits);
+                    let got = cache.probability(bits);
+                    assert_eq!(
+                        got.to_bits(),
+                        want.to_bits(),
+                        "rate {rate} bits {bits}: cached {got} != direct {want}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batched_bernoulli_draw_matches_per_frame_stream() {
+        let ber = Ber::new(1e-3).unwrap();
+        let mut per_frame = BernoulliFaults::new(ber, 77);
+        let mut batched = BernoulliFaults::new(ber, 77);
+        // Interleave batch widths so boundaries never line up by accident.
+        for (round, &width) in [1u32, 64, 7, 13, 64, 3, 31]
+            .iter()
+            .cycle()
+            .take(200)
+            .enumerate()
+        {
+            let bits = [200u32, 1000, 4000][round % 3];
+            let hits = batched.corrupts_run(bits, width);
+            for i in 0..width {
+                assert_eq!(
+                    per_frame.corrupts(bits),
+                    hits.hit(i),
+                    "round {round} frame {i} diverged"
+                );
+            }
+        }
+        assert_eq!(per_frame.counters(), batched.counters());
+    }
+
+    #[test]
+    fn batched_draw_on_zero_ber_consumes_no_rng() {
+        // A p == 0 batch must not advance the stream (the per-frame path
+        // only draws when p > 0), so a later positive-p draw still matches.
+        let ber = Ber::new(1e-2).unwrap();
+        let mut a = BernoulliFaults::new(ber, 5);
+        let mut b = BernoulliFaults::new(ber, 5);
+        let quiet = b.corrupts_run(0, 64); // bits == 0 → p == 0
+        assert_eq!(quiet, SegmentHits::clear(64));
+        for _ in 0..64 {
+            let _ = a.corrupts(0);
+        }
+        assert_eq!(a.corrupts(500), b.corrupts(500));
+        assert_eq!(a.counters(), b.counters());
+    }
+
+    #[test]
+    fn default_batched_draw_matches_gilbert_elliott_stream() {
+        let g = Ber::new(1e-6).unwrap();
+        let b = Ber::new(1e-3).unwrap();
+        let mut per_frame = GilbertElliott::new(g, b, 0.05, 0.2, 13);
+        let mut batched = GilbertElliott::new(g, b, 0.05, 0.2, 13);
+        for round in 0..300 {
+            let width = 1 + (round % 64) as u32;
+            let hits = batched.corrupts_run(1000, width);
+            for i in 0..width {
+                assert_eq!(per_frame.corrupts(1000), hits.hit(i));
+            }
+            assert_eq!(per_frame.is_in_bad_state(), batched.is_in_bad_state());
+        }
+        assert_eq!(per_frame.counters(), batched.counters());
+    }
+
+    #[test]
+    fn geometric_sampler_counts_frames_and_is_deterministic() {
+        let ber = Ber::new(1e-4).unwrap();
+        let mut a = BernoulliFaults::new(ber, 21);
+        let mut b = BernoulliFaults::new(ber, 21);
+        let mut hits = 0u64;
+        for _ in 0..1000 {
+            let ha = a.corrupts_run_geometric(2000, 64);
+            let hb = b.corrupts_run_geometric(2000, 64);
+            assert_eq!(ha, hb);
+            hits += u64::from(ha.count());
+        }
+        assert_eq!(a.counters().frames_checked, 64_000);
+        assert_eq!(a.counters().faults_injected, hits);
+        // p ≈ 0.18 per frame here, so some faults must have landed.
+        assert!(hits > 0);
+    }
+
+    #[test]
+    fn geometric_sampler_edge_rates() {
+        let mut zero = BernoulliFaults::new(Ber::ZERO, 1);
+        assert_eq!(
+            zero.corrupts_run_geometric(1000, 64),
+            SegmentHits::clear(64)
+        );
+        // BER high enough that p rounds to 1.0 for a long frame.
+        let mut hot = BernoulliFaults::new(Ber::new(0.9).unwrap(), 1);
+        let all = hot.corrupts_run_geometric(100_000, 17);
+        assert_eq!(all.count(), 17);
+        assert!((0..17).all(|i| all.hit(i)));
     }
 }
