@@ -13,6 +13,10 @@
 //! experiments golden record [--out PATH] [--name NAME]
 //! experiments golden verify [--corpus PATH]
 //! experiments determinism [--thread-counts 1,2,8] [sweep flags]
+//! experiments chaos  [--campaign NAME] [--scenario S] [--policy P]...
+//!                    [--require P]... [--seed N] [--horizon-cycles N]
+//!                    [--recovery-budget N] [--hard-miss-budget N]
+//!                    [--threads T] [--out PATH]
 //! experiments cycles [--smoke] [--iters N] [--out PATH]
 //!                    [--baseline PATH] [--tolerance F]
 //! ```
@@ -56,6 +60,7 @@ use bench_harness::experiments::{
 };
 use std::path::Path;
 
+use bench_harness::chaos::{self, ChaosContract};
 use bench_harness::cycles::{
     compare_to_baseline, cycles_from_json, cycles_spec, cycles_to_json, measure_cycles,
     CYCLES_TOLERANCE,
@@ -82,6 +87,7 @@ fn main() {
         Some("golden") => run_golden(&args[1..]),
         Some("determinism") => run_determinism(&args[1..]),
         Some("storm-smoke") => run_storm_smoke(&args[1..]),
+        Some("chaos") => run_chaos(&args[1..]),
         Some("cycles") => run_cycles(&args[1..]),
         _ => run_figures(&args),
     }
@@ -148,8 +154,8 @@ fn parse_spec(args: &[String]) -> SweepSpec {
     let scenarios: Vec<_> = flag_values(args, "--scenario")
         .into_iter()
         .map(|v| {
-            parse_scenario(v).unwrap_or_else(|| {
-                eprintln!("unknown scenario: {v} (expected ber7|ber9|fault-free[-bursty])");
+            parse_scenario(v).unwrap_or_else(|e| {
+                eprintln!("{e}");
                 std::process::exit(2);
             })
         })
@@ -630,6 +636,147 @@ fn run_storm_smoke(args: &[String]) {
     }
     if failed {
         eprintln!("storm-smoke FAILED");
+        std::process::exit(1);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// chaos campaigns
+// ---------------------------------------------------------------------------
+
+/// `experiments chaos`: runs a pinned fault-injection campaign
+/// ([`bench_harness::chaos::resolve_campaign`]) for every requested
+/// policy, checks each run against the recovery contract, prints the
+/// per-policy resilience scorecards, and writes the `coefficient-chaos/1`
+/// document with `--out`. Exits 1 if any `--require`d policy fails its
+/// contract. The document excludes thread counts and wall-clock, so its
+/// bytes are identical at any `--threads` value — CI diffs 1 vs 8.
+fn run_chaos(args: &[String]) {
+    let campaign_name = flag_value(args, "--campaign").unwrap_or(chaos::DEFAULT_CAMPAIGN);
+    let spec = chaos::resolve_campaign(campaign_name).unwrap_or_else(|| {
+        eprintln!(
+            "unknown campaign \"{campaign_name}\" (valid: {})",
+            chaos::campaign_names().join(", ")
+        );
+        std::process::exit(2);
+    });
+    let base = flag_value(args, "--scenario").map_or_else(Scenario::ber7, |v| {
+        parse_scenario(v).unwrap_or_else(|e| {
+            eprintln!("{e}");
+            std::process::exit(2);
+        })
+    });
+    let seed = parse_number(args, "--seed").unwrap_or(chaos::CHAOS_SEED);
+    let horizon_cycles =
+        parse_number(args, "--horizon-cycles").unwrap_or(chaos::DEFAULT_HORIZON_CYCLES);
+    let threads = parse_number(args, "--threads").unwrap_or(1);
+    let mut contract = ChaosContract::default();
+    if let Some(v) = parse_number(args, "--recovery-budget") {
+        contract.recovery_budget_cycles = v;
+    }
+    if let Some(v) = parse_number(args, "--hard-miss-budget") {
+        contract.hard_miss_budget = v;
+    }
+    let parse_policies = |flag: &str| -> Vec<coefficient::PolicyRef> {
+        flag_values(args, flag)
+            .into_iter()
+            .map(|v| {
+                parse_policy(v).unwrap_or_else(|e| {
+                    eprintln!("{e}");
+                    std::process::exit(2);
+                })
+            })
+            .collect()
+    };
+    let mut policies = parse_policies("--policy");
+    if policies.is_empty() {
+        policies = coefficient::registry::ALL.to_vec();
+    }
+    let required = parse_policies("--require");
+    for &req in &required {
+        assert!(
+            policies.iter().any(|&p| std::ptr::eq(p, req)),
+            "--require {} must also be among the policies under test",
+            req.key()
+        );
+    }
+
+    let scenario = chaos::chaos_scenario(base, campaign_name, spec);
+    let cards = chaos::run_campaign(
+        &scenario,
+        &policies,
+        horizon_cycles,
+        seed,
+        threads,
+        contract,
+    )
+    .unwrap_or_else(|e| {
+        eprintln!("chaos campaign failed to schedule: {e}");
+        std::process::exit(1);
+    });
+
+    println!(
+        "chaos: campaign {campaign_name}, scenario {}, seed {seed}, horizon {horizon_cycles} cycles",
+        scenario.name
+    );
+    for card in &cards {
+        let latency = if card.recovery_latencies.is_empty() {
+            "n/a".to_string()
+        } else {
+            let min = card.recovery_latencies.iter().min().expect("non-empty");
+            let max = card.recovery_latencies.iter().max().expect("non-empty");
+            format!("{min}..{max} cycles")
+        };
+        println!(
+            "  {}: availability {:.4}, recovery {latency}, worst outage {} cycles, \
+             {} restores, static misses {}",
+            card.label,
+            card.chaos.availability(),
+            card.worst_survived_outage_cycles
+                .map_or_else(|| "n/a".to_string(), |v| v.to_string()),
+            card.counters.service_restores,
+            card.static_deadlines.1,
+        );
+        for check in &card.checks {
+            println!(
+                "    [{}] {}",
+                if check.pass { "PASS" } else { "FAIL" },
+                check.name
+            );
+        }
+    }
+
+    if let Some(path) = flag_value(args, "--out") {
+        let doc = chaos::chaos_report_json(
+            campaign_name,
+            scenario.name,
+            seed,
+            horizon_cycles,
+            contract,
+            &cards,
+        );
+        std::fs::write(path, format!("{doc}\n")).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        });
+        println!("  wrote {path}");
+    }
+
+    let mut failed = false;
+    for &req in &required {
+        let card = cards
+            .iter()
+            .find(|c| c.policy == req.key())
+            .expect("required policy was run");
+        if !card.passed() {
+            eprintln!(
+                "chaos: required policy {} FAILED its recovery contract",
+                req.key()
+            );
+            failed = true;
+        }
+    }
+    if failed {
         std::process::exit(1);
     }
 }

@@ -722,6 +722,7 @@ pub fn fault_model_ablation() -> Vec<FaultModelRow> {
         gamma: 1e-7,
         unit: SimDuration::from_secs(3600),
         fault_model: coefficient::FaultModel::Bernoulli,
+        campaign: None,
     };
     let scenarios = [
         ("bernoulli", base.clone()),

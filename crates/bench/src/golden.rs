@@ -290,8 +290,8 @@ fn spec_from_json(doc: &Json) -> Result<SweepSpec, CorpusError> {
         .iter()
         .map(|s| {
             s.as_str()
-                .and_then(parse_scenario)
-                .ok_or_else(|| CorpusError::new(format!("unknown scenario {s}")))
+                .ok_or_else(|| CorpusError::new(format!("scenario entry {s} is not a string")))
+                .and_then(|name| parse_scenario(name).map_err(|e| CorpusError::new(e.to_string())))
         })
         .collect::<Result<Vec<_>, _>>()?;
     let shared = want(doc, "shared_seeds")?
@@ -381,6 +381,10 @@ fn counters_from_json(doc: &Json) -> Result<RunCounters, CorpusError> {
         soft_shed: opt_u64(doc, "soft_shed")?,
         degraded_extra_copies: opt_u64(doc, "degraded_extra_copies")?,
         failover_mirrors: opt_u64(doc, "failover_mirrors")?,
+        campaign_events: opt_u64(doc, "campaign_events")?,
+        campaign_blackout_faults: opt_u64(doc, "campaign_blackout_faults")?,
+        campaign_extra_faults: opt_u64(doc, "campaign_extra_faults")?,
+        campaign_dropout_cycles: opt_u64(doc, "campaign_dropout_cycles")?,
     })
 }
 

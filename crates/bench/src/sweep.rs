@@ -103,10 +103,54 @@ pub fn parse_policy(s: &str) -> Result<PolicyRef, UnknownPolicy> {
     coefficient::registry::resolve(s)
 }
 
+/// Every scenario name [`parse_scenario`] accepts, in canonical
+/// spelling: the three bases, each with its `-bursty` and `-storm`
+/// variants. [`UnknownScenario`] lists these, mirroring how
+/// [`UnknownPolicy`] lists the policy registry.
+pub fn scenario_names() -> [&'static str; 9] {
+    [
+        "ber7",
+        "ber7-bursty",
+        "ber7-storm",
+        "ber9",
+        "ber9-bursty",
+        "ber9-storm",
+        "fault-free",
+        "fault-free-bursty",
+        "fault-free-storm",
+    ]
+}
+
+/// A scenario flag value that [`parse_scenario`] could not resolve. The
+/// `Display` message lists every valid name, exactly as
+/// [`UnknownPolicy`] does for policies.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownScenario {
+    /// The name that failed to resolve.
+    pub name: String,
+}
+
+impl std::fmt::Display for UnknownScenario {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unknown scenario \"{}\" (valid: {})",
+            self.name,
+            scenario_names().join(", ")
+        )
+    }
+}
+
+impl std::error::Error for UnknownScenario {}
+
 /// Parses a scenario flag value (`ber7` / `ber9` / `fault-free`, with a
 /// `-bursty` suffix selecting the Gilbert–Elliott variant and a `-storm`
 /// suffix the fault-storm variant).
-pub fn parse_scenario(s: &str) -> Option<Scenario> {
+///
+/// # Errors
+/// Returns [`UnknownScenario`] — whose message lists every valid name —
+/// when nothing matches.
+pub fn parse_scenario(s: &str) -> Result<Scenario, UnknownScenario> {
     let lower = s.to_ascii_lowercase();
     let (base, variant) = if let Some(base) = lower.strip_suffix("-bursty") {
         (base, Some(Scenario::bursty as fn(Scenario) -> Scenario))
@@ -119,9 +163,13 @@ pub fn parse_scenario(s: &str) -> Option<Scenario> {
         "ber7" | "ber-7" => Scenario::ber7(),
         "ber9" | "ber-9" => Scenario::ber9(),
         "fault-free" | "faultfree" => Scenario::fault_free(),
-        _ => return None,
+        _ => {
+            return Err(UnknownScenario {
+                name: s.to_string(),
+            })
+        }
     };
-    Some(match variant {
+    Ok(match variant {
         Some(f) => f(scenario),
         None => scenario,
     })
@@ -322,10 +370,15 @@ mod tests {
         assert_eq!(parse_scenario("ber7").unwrap().name, "BER-7");
         assert_eq!(parse_scenario("BER-9").unwrap().name, "BER-9");
         assert_eq!(parse_scenario("fault-free").unwrap().name, "fault-free");
-        assert!(parse_scenario("ber7-bursty").is_some());
+        assert!(parse_scenario("ber7-bursty").is_ok());
         assert_eq!(parse_scenario("ber7-storm").unwrap().name, "BER-7-storm");
         assert_eq!(parse_scenario("BER-9-storm").unwrap().name, "BER-9-storm");
-        assert!(parse_scenario("nope").is_none());
+        let err = parse_scenario("nope").unwrap_err();
+        assert_eq!(err.name, "nope");
+        let message = err.to_string();
+        for name in scenario_names() {
+            assert!(message.contains(name), "{message} missing {name}");
+        }
     }
 
     #[test]

@@ -15,7 +15,7 @@
 //!   "policy_index": 0, "scenario_index": 0, "seed_index": 0,
 //!   "seed": 123, "fingerprint": "0123456789abcdef",
 //!   "capacity": 65536, "dropped": 0,
-//!   "counter_names": ["steal_attempts", ...],      // 16 names
+//!   "counter_names": ["steal_attempts", ...],      // 20 names
 //!   "events": [ {"at_ns": 0, "type": "cycle_start", "cycle": 0}, ... ]
 //! }
 //! ```
@@ -473,7 +473,8 @@ mod tests {
 
     #[test]
     fn counter_names_match_run_counter_arity() {
-        assert_eq!(counter_names().len(), 16);
+        assert_eq!(counter_names().len(), RunCounters::default().fields().len());
+        assert_eq!(counter_names().len(), 20);
     }
 
     #[test]

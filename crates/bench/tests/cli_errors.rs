@@ -82,6 +82,52 @@ fn golden_verify_against_a_corpus_with_an_unknown_policy_lists_the_registry() {
     assert_lists_registry(&stderr, "NoSuchPolicy");
 }
 
+fn assert_lists_scenarios(stderr: &str, bad_name: &str) {
+    assert!(
+        stderr.contains(&format!("unknown scenario \"{bad_name}\"")),
+        "diagnostic does not name the offender: {stderr}"
+    );
+    for name in bench_harness::sweep::scenario_names() {
+        assert!(
+            stderr.contains(name),
+            "diagnostic does not list {name:?}: {stderr}"
+        );
+    }
+}
+
+#[test]
+fn sweep_with_an_unknown_scenario_lists_the_valid_names() {
+    let out = experiments(&["sweep", "--scenario", "ber11"]);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(2), "stderr: {stderr}");
+    assert_lists_scenarios(&stderr, "ber11");
+}
+
+#[test]
+fn chaos_with_an_unknown_scenario_lists_the_valid_names() {
+    let out = experiments(&["chaos", "--scenario", "sunny-day"]);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(2), "stderr: {stderr}");
+    assert_lists_scenarios(&stderr, "sunny-day");
+}
+
+#[test]
+fn chaos_with_an_unknown_campaign_lists_the_pinned_names() {
+    let out = experiments(&["chaos", "--campaign", "earthquake"]);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(2), "stderr: {stderr}");
+    assert!(
+        stderr.contains("unknown campaign \"earthquake\""),
+        "diagnostic does not name the offender: {stderr}"
+    );
+    for name in bench_harness::chaos::campaign_names() {
+        assert!(
+            stderr.contains(name),
+            "diagnostic does not list {name:?}: {stderr}"
+        );
+    }
+}
+
 #[test]
 fn every_registered_name_is_accepted_by_the_sweep_cli() {
     // The happy path of the same flag: each registry key parses and the

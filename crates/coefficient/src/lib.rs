@@ -77,7 +77,11 @@ pub use registry::{
     Policy, PolicyBehavior, PolicyRef, UnknownPolicy, COEFFICIENT, FSPEC, GREEDY, HOSA, MATCHUP,
     SLACK_STEAL,
 };
-pub use runner::{RunConfig, RunCounters, RunReport, Runner, StopCondition};
+pub use reliability::campaign::{CampaignCounters, CampaignSpec, CampaignTarget};
+pub use runner::{
+    CampaignEventOutcome, ChaosObservation, RunConfig, RunCounters, RunReport, Runner,
+    StopCondition,
+};
 pub use scenario::{FaultModel, Scenario};
 pub use sweep::{
     run_parallel, run_parallel_with_options, CellCoord, CellOutcome, GroupSummary, SeedStrategy,

@@ -18,6 +18,7 @@ use observe::{
     CounterSampler, EventKind, RingBufferSink, TraceConfig, TraceLog, TraceMode, Tracer,
 };
 use rand::Rng;
+use reliability::campaign::{CampaignCounters, CampaignFaults, CampaignSpec, CampaignTarget};
 use reliability::fault::{BernoulliFaults, FaultCounters, FaultProcess, GilbertElliott};
 use reliability::monitor::{HealthState, MonitorConfig, ReliabilityMonitor};
 use reliability::Ber;
@@ -118,6 +119,16 @@ pub struct RunCounters {
     /// Hard frames mirrored to the healthy channel while the owning
     /// channel was in `Storm`.
     pub failover_mirrors: u64,
+    /// Scripted campaign events whose window opened during the run.
+    pub campaign_events: u64,
+    /// Frames corrupted unconditionally by scripted blackouts.
+    pub campaign_blackout_faults: u64,
+    /// Frames corrupted by scripted spike/babble draws on top of the
+    /// stochastic model.
+    pub campaign_extra_faults: u64,
+    /// Cycles the reported fault counters spent frozen by a scripted
+    /// sensor dropout.
+    pub campaign_dropout_cycles: u64,
 }
 
 impl RunCounters {
@@ -154,15 +165,29 @@ impl RunCounters {
         ]
     }
 
+    /// The scripted-campaign counters added with the chaos subsystem, as
+    /// `(name, value)` pairs. All zero whenever
+    /// [`Scenario::campaign`](crate::Scenario) is `None`.
+    pub fn campaign_fields(&self) -> [(&'static str, u64); 4] {
+        [
+            ("campaign_events", self.campaign_events),
+            ("campaign_blackout_faults", self.campaign_blackout_faults),
+            ("campaign_extra_faults", self.campaign_extra_faults),
+            ("campaign_dropout_cycles", self.campaign_dropout_cycles),
+        ]
+    }
+
     /// Every counter as a `(name, value)` pair, in a fixed order — the
     /// golden corpus serializes and diffs counters through this list so
     /// a field added here is automatically recorded and compared.
-    pub fn fields(&self) -> [(&'static str, u64); 16] {
+    pub fn fields(&self) -> [(&'static str, u64); 20] {
         let legacy = self.legacy_fields();
         let resilience = self.resilience_fields();
-        let mut all = [("", 0u64); 16];
+        let campaign = self.campaign_fields();
+        let mut all = [("", 0u64); 20];
         all[..10].copy_from_slice(&legacy);
-        all[10..].copy_from_slice(&resilience);
+        all[10..16].copy_from_slice(&resilience);
+        all[16..].copy_from_slice(&campaign);
         all
     }
 
@@ -233,6 +258,10 @@ pub struct RunReport {
     /// [`fingerprint`](Self::fingerprint): traces describe a run, they
     /// are not part of its measured result.
     pub trace: Option<TraceLog>,
+    /// Recovery observations when the scenario carried a scripted
+    /// campaign (`None` otherwise). Excluded from
+    /// [`fingerprint`](Self::fingerprint) like `trace`.
+    pub chaos: Option<ChaosObservation>,
 }
 
 impl RunReport {
@@ -290,8 +319,149 @@ impl RunReport {
                 d.push(value);
             }
         }
+        // Same deal for the campaign counters (PR: chaos campaigns): a
+        // distinct tag namespace, folded only when the campaign engaged,
+        // so every campaign-free digest is bit-identical to its baseline.
+        for (i, (_, value)) in self.counters.campaign_fields().into_iter().enumerate() {
+            if value != 0 {
+                d.push(0x4348_414F_5300 | i as u64);
+                d.push(value);
+            }
+        }
         d.push(u64::from(self.truncated));
         d.finish()
+    }
+}
+
+/// What happened to one scripted [`reliability::campaign::FaultEvent`]
+/// during a run: when it
+/// struck, when it cleared, and when — if ever — the effective bus health
+/// returned to `Nominal` afterwards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CampaignEventOutcome {
+    /// The event kind's short label (`"blackout"`, `"ber-spike"`, …).
+    pub kind: &'static str,
+    /// Channel(s) the event struck.
+    pub target: CampaignTarget,
+    /// First cycle the event was active.
+    pub start_cycle: u64,
+    /// First cycle after the event cleared (`None` for a permanent fault,
+    /// which by definition has no recovery to await).
+    pub clear_cycle: Option<u64>,
+    /// First cycle at or after `clear_cycle` where the effective health
+    /// was back to `Nominal` (`None` if the run ended first or the event
+    /// is permanent). Recovery latency is `restored_at_cycle −
+    /// clear_cycle`: zero means service was nominal again on the very
+    /// first clean cycle.
+    pub restored_at_cycle: Option<u64>,
+}
+
+/// Per-run recovery observations, collected only when the scenario
+/// carries a [`CampaignSpec`]. Like [`RunReport::trace`] this *describes*
+/// the run rather than measuring the schedule, so it is **excluded** from
+/// [`RunReport::fingerprint`] — the counters it summarizes already feed
+/// the digest through [`RunCounters::campaign_fields`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChaosObservation {
+    /// One outcome per scripted event, in spec order.
+    pub events: Vec<CampaignEventOutcome>,
+    /// Cycles whose effective health was `Nominal`.
+    pub nominal_cycles: u64,
+    /// Cycles whose effective health was degraded (`Stressed`/`Storm`).
+    pub degraded_cycles: u64,
+    /// Effective health when the run ended.
+    pub final_health: HealthState,
+    /// `true` iff every [`RunCounters`] field was monotone non-decreasing
+    /// across the whole run (sampled once per cycle).
+    pub counters_monotone: bool,
+}
+
+impl ChaosObservation {
+    /// Availability: the fraction of cycles with `Nominal` effective
+    /// health.
+    pub fn availability(&self) -> f64 {
+        let total = self.nominal_cycles + self.degraded_cycles;
+        if total == 0 {
+            1.0
+        } else {
+            self.nominal_cycles as f64 / total as f64
+        }
+    }
+}
+
+/// Cycle-by-cycle recovery bookkeeping behind [`ChaosObservation`].
+#[derive(Debug)]
+struct ChaosTracker {
+    spec: CampaignSpec,
+    nominal_cycles: u64,
+    degraded_cycles: u64,
+    /// Index-aligned with `spec.events()`.
+    restored_at: Vec<Option<u64>>,
+    prev_fields: [u64; 20],
+    monotone: bool,
+}
+
+impl ChaosTracker {
+    fn new(spec: CampaignSpec) -> Self {
+        let restored_at = vec![None; spec.events().len()];
+        ChaosTracker {
+            spec,
+            nominal_cycles: 0,
+            degraded_cycles: 0,
+            restored_at,
+            prev_fields: [0; 20],
+            monotone: true,
+        }
+    }
+
+    /// Records the health of the cycle that just completed (`cycle` is its
+    /// index) and the counters sampled after it.
+    fn observe(&mut self, cycle: u64, effective: HealthState, counters: &RunCounters) {
+        if effective == HealthState::Nominal {
+            self.nominal_cycles += 1;
+        } else {
+            self.degraded_cycles += 1;
+        }
+        let fields = counters.fields().map(|(_, v)| v);
+        if fields
+            .iter()
+            .zip(self.prev_fields.iter())
+            .any(|(now, before)| now < before)
+        {
+            self.monotone = false;
+        }
+        self.prev_fields = fields;
+        for (event, restored) in self.spec.events().iter().zip(self.restored_at.iter_mut()) {
+            if restored.is_none()
+                && effective == HealthState::Nominal
+                && event.end_cycle().is_some_and(|end| cycle >= end)
+            {
+                *restored = Some(cycle);
+            }
+        }
+    }
+
+    fn observation(&self, final_health: HealthState) -> ChaosObservation {
+        let events = self
+            .spec
+            .events()
+            .iter()
+            .zip(self.restored_at.iter())
+            .map(|(event, restored)| CampaignEventOutcome {
+                kind: event.kind.label(),
+                target: event.target,
+                start_cycle: event.start_cycle,
+                clear_cycle: event.end_cycle(),
+                restored_at_cycle: *restored,
+            })
+            .collect();
+        ChaosObservation {
+            events,
+            nominal_cycles: self.nominal_cycles,
+            degraded_cycles: self.degraded_cycles,
+            final_health,
+            counters_monotone: self.monotone,
+        }
     }
 }
 
@@ -319,6 +489,9 @@ pub struct Runner {
     sink: Option<Arc<Mutex<RingBufferSink>>>,
     tracer: Tracer,
     sampler: CounterSampler,
+    /// Recovery bookkeeping, present iff the scenario carries a campaign
+    /// — campaign-free runs pay nothing on the cycle path.
+    chaos: Option<ChaosTracker>,
 }
 
 impl Runner {
@@ -365,8 +538,8 @@ impl Runner {
         if tracer.is_enabled() {
             scheduler.set_tracer(tracer.clone());
         }
-        let fault = |seed: u64| -> Box<dyn FaultProcess> {
-            match cfg.scenario.fault_model {
+        let fault = |channel_index: usize, seed: u64| -> Box<dyn FaultProcess> {
+            let base: Box<dyn FaultProcess> = match cfg.scenario.fault_model {
                 FaultModel::Bernoulli => Box::new(BernoulliFaults::new(cfg.scenario.ber, seed)),
                 FaultModel::GilbertElliott {
                     bad_factor,
@@ -377,6 +550,13 @@ impl Runner {
                         .expect("scaled BER in range");
                     Box::new(GilbertElliott::new(cfg.scenario.ber, bad, p_gb, p_bg, seed))
                 }
+            };
+            // The decorator draws from its own `fault/campaign` substream
+            // of the same per-channel seed, so the base stream is exactly
+            // the stream a campaign-free run would consume.
+            match &cfg.scenario.campaign {
+                Some(spec) => Box::new(CampaignFaults::new(base, spec, channel_index, seed)),
+                None => base,
             }
         };
         // Thresholds sit a safe factor above the frame-failure rate the
@@ -388,7 +568,7 @@ impl Runner {
         );
         let mut engine = BusEngine::new(cfg.cluster.clone())
             .with_coding(coding)
-            .with_faults(fault(cfg.seed ^ 0xA), fault(cfg.seed ^ 0xB))
+            .with_faults(fault(0, cfg.seed ^ 0xA), fault(1, cfg.seed ^ 0xB))
             .with_health_monitoring(monitor_cfg);
         if tracer.is_enabled() {
             engine.set_tracer(tracer.clone());
@@ -431,6 +611,7 @@ impl Runner {
             StopCondition::DeliveredInstances(n) => n.saturating_mul(2),
         };
         scheduler.reserve_instances(usize::try_from(expected_instances).unwrap_or(usize::MAX));
+        let chaos = cfg.scenario.campaign.clone().map(ChaosTracker::new);
         Ok(Runner {
             cfg,
             scheduler,
@@ -444,6 +625,7 @@ impl Runner {
             sink,
             tracer,
             sampler,
+            chaos,
         })
     }
 
@@ -556,6 +738,13 @@ impl Runner {
             self.engine.run_cycle(cycle, &mut self.scheduler);
             cycle += 1;
             self.observe_health();
+            if self.chaos.is_some() {
+                let counters = self.collect_counters();
+                let effective = self.effective_health;
+                if let Some(tracker) = self.chaos.as_mut() {
+                    tracker.observe(cycle - 1, effective, &counters);
+                }
+            }
             let elapsed = self.engine.elapsed();
             if self.sampler.should_sample(cycle) {
                 let counters = self.collect_counters();
@@ -655,6 +844,10 @@ impl Runner {
             .iter()
             .filter(|i| i.corrupted > 0 && i.is_delivered())
             .count() as u64;
+        let campaign = [ChannelId::A, ChannelId::B]
+            .into_iter()
+            .filter_map(|ch| self.engine.campaign_counters(ch))
+            .fold(CampaignCounters::default(), CampaignCounters::merged);
         RunCounters {
             steal_attempts: sched.steal_attempts,
             steal_granted: sched.steal_granted,
@@ -672,6 +865,10 @@ impl Runner {
             soft_shed: sched.degraded_sheds,
             degraded_extra_copies: self.scheduler.degraded_extra_copies(),
             failover_mirrors: self.scheduler.failover_mirrors(),
+            campaign_events: campaign.events_started,
+            campaign_blackout_faults: campaign.blackout_faults,
+            campaign_extra_faults: campaign.extra_faults,
+            campaign_dropout_cycles: campaign.dropout_cycles,
         }
     }
 
@@ -715,6 +912,10 @@ impl Runner {
             truncated,
             peak_scratch_bytes: self.scheduler.scratch_bytes(),
             trace,
+            chaos: self
+                .chaos
+                .as_ref()
+                .map(|t| t.observation(self.effective_health)),
         }
     }
 }
@@ -963,6 +1164,83 @@ mod tests {
             perturbed.fingerprint(),
             "a counter change must move the fingerprint"
         );
+    }
+
+    /// A base config plus a 50-cycle channel-A blackout opening at cycle
+    /// 40, with a horizon long enough to watch the recovery.
+    fn blackout_config(policy: PolicyRef) -> RunConfig {
+        let campaign = CampaignSpec::new().blackout(CampaignTarget::A, 40, 50);
+        let horizon = ClusterConfig::paper_dynamic(50).cycle_duration() * 220;
+        let mut cfg = base_config(policy, StopCondition::Horizon(horizon));
+        cfg.scenario = Scenario::ber7().with_campaign("BER-7-blackout", campaign);
+        cfg
+    }
+
+    #[test]
+    fn campaign_free_run_reports_no_chaos() {
+        let report = Runner::new(base_config(
+            COEFFICIENT,
+            StopCondition::Horizon(SimDuration::from_millis(100)),
+        ))
+        .unwrap()
+        .run();
+        assert!(report.chaos.is_none());
+        assert_eq!(report.counters.campaign_fields().map(|(_, v)| v), [0; 4]);
+    }
+
+    #[test]
+    fn blackout_campaign_disturbs_and_recovers() {
+        let report = Runner::new(blackout_config(COEFFICIENT)).unwrap().run();
+        let c = report.counters;
+        assert_eq!(c.campaign_events, 1);
+        assert!(c.campaign_blackout_faults > 0, "{c:?}");
+        assert_eq!(
+            c.faults_injected, report.corrupted,
+            "the blackout's corruptions must be bus-observed like any other"
+        );
+        let chaos = report.chaos.expect("campaign scenario collects chaos");
+        assert_eq!(chaos.events.len(), 1);
+        let event = chaos.events[0];
+        assert_eq!(event.kind, "blackout");
+        assert_eq!(event.clear_cycle, Some(90));
+        let restored = event
+            .restored_at_cycle
+            .expect("service must restore after the blackout clears");
+        assert!(restored >= 90);
+        assert_eq!(chaos.final_health, HealthState::Nominal);
+        assert!(chaos.counters_monotone);
+        assert!(
+            chaos.degraded_cycles > 0,
+            "the blackout must degrade health"
+        );
+        assert!(
+            c.service_restores >= 1,
+            "recovery must fire a service restore: {c:?}"
+        );
+    }
+
+    #[test]
+    fn campaign_counters_feed_the_fingerprint_but_chaos_does_not() {
+        let report = Runner::new(blackout_config(COEFFICIENT)).unwrap().run();
+        let base = report.fingerprint();
+        let mut counter_bump = report.clone();
+        counter_bump.counters.campaign_extra_faults += 1;
+        assert_ne!(base, counter_bump.fingerprint());
+        let mut chaos_stripped = report.clone();
+        chaos_stripped.chaos = None;
+        assert_eq!(
+            base,
+            chaos_stripped.fingerprint(),
+            "chaos observations describe the run; they are not measurements"
+        );
+    }
+
+    #[test]
+    fn campaign_runs_are_deterministic() {
+        let a = Runner::new(blackout_config(COEFFICIENT)).unwrap().run();
+        let b = Runner::new(blackout_config(COEFFICIENT)).unwrap().run();
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        assert_eq!(a.chaos, b.chaos);
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Evaluation scenarios.
 
 use event_sim::SimDuration;
+use reliability::campaign::CampaignSpec;
 use reliability::Ber;
 
 /// How transient faults arrive on the channel.
@@ -44,6 +45,10 @@ pub struct Scenario {
     pub unit: SimDuration,
     /// The arrival process of transient faults.
     pub fault_model: FaultModel,
+    /// Scripted fault-injection campaign layered over the stochastic
+    /// model (`None` — the default everywhere — leaves the fault
+    /// processes exactly as before, so golden digests are unaffected).
+    pub campaign: Option<CampaignSpec>,
 }
 
 impl Scenario {
@@ -57,6 +62,7 @@ impl Scenario {
             gamma: 1e-7,
             unit: SimDuration::from_secs(3600),
             fault_model: FaultModel::Bernoulli,
+            campaign: None,
         }
     }
 
@@ -69,6 +75,7 @@ impl Scenario {
             gamma: 1e-9,
             unit: SimDuration::from_secs(3600),
             fault_model: FaultModel::Bernoulli,
+            campaign: None,
         }
     }
 
@@ -133,7 +140,26 @@ impl Scenario {
             gamma: 1.0,
             unit: SimDuration::from_secs(1),
             fault_model: FaultModel::Bernoulli,
+            campaign: None,
         }
+    }
+
+    /// Layers a scripted fault campaign over this scenario's stochastic
+    /// model and renames it to `name`.
+    ///
+    /// Like [`Scenario::bursty`]/[`Scenario::storm`], the rename is
+    /// mandatory: sweep output labels groups by name and per-cell seed
+    /// derivation keys on it, so a campaign cell must never alias its
+    /// base scenario. Callers pick a distinct static label (e.g.
+    /// `"BER-7-blackout"`).
+    pub fn with_campaign(mut self, name: &'static str, campaign: CampaignSpec) -> Scenario {
+        assert!(
+            name != self.name,
+            "campaign scenarios must be renamed to avoid seed aliasing"
+        );
+        self.name = name;
+        self.campaign = Some(campaign);
+        self
     }
 
     /// The reliability goal ρ = 1 − γ.

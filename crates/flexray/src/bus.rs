@@ -276,6 +276,16 @@ impl BusEngine {
         self.faults[channel.index()].counters()
     }
 
+    /// Campaign-layer counters of `channel`'s fault process, when it is a
+    /// scripted [`reliability::campaign::CampaignFaults`] decorator
+    /// (`None` for plain stochastic processes).
+    pub fn campaign_counters(
+        &self,
+        channel: ChannelId,
+    ) -> Option<reliability::campaign::CampaignCounters> {
+        self.faults[channel.index()].campaign_counters()
+    }
+
     /// The health classification of `channel` from its reliability
     /// monitor. Always [`HealthState::Nominal`] when monitoring was not
     /// enabled via [`with_health_monitoring`](Self::with_health_monitoring).
@@ -324,6 +334,12 @@ impl BusEngine {
             );
         }
         let cycle_counter = self.config.cycle_counter(cycle);
+        // Announce the cycle to both fault processes first: scripted
+        // campaigns key their disturbance windows off this clock. A no-op
+        // for stochastic processes (no RNG draws, no counter writes).
+        for fault in &mut self.faults {
+            fault.on_cycle_start(cycle);
+        }
         for channel in ChannelId::BOTH {
             self.run_static_segment(cycle, cycle_counter, channel, source);
             self.run_dynamic_segment(cycle, channel, source);
@@ -903,6 +919,35 @@ mod tests {
             assert_eq!(engine.channel_health(ch), HealthState::Nominal);
             assert!(engine.channel_monitor(ch).is_none());
         }
+    }
+
+    #[test]
+    fn scripted_campaign_runs_on_the_engine_cycle_clock() {
+        use reliability::campaign::{CampaignFaults, CampaignSpec, CampaignTarget};
+        // Blackout on channel A for cycles 2..4; channel B untouched even
+        // though both decorators share the same spec (target filtering).
+        let spec = CampaignSpec::new().blackout(CampaignTarget::A, 2, 2);
+        let mut engine = BusEngine::new(config()).with_faults(
+            Box::new(CampaignFaults::new(Box::new(NoFaults::new()), &spec, 0, 1)),
+            Box::new(CampaignFaults::new(Box::new(NoFaults::new()), &spec, 1, 1)),
+        );
+        let mut src = saturating_script(6);
+        for cycle in 0..6 {
+            engine.run_cycle(cycle, &mut src);
+        }
+        // 4 occupied static slots per cycle per channel, 2 blackout cycles.
+        assert_eq!(engine.stats(ChannelId::A).corrupted, 8);
+        assert_eq!(engine.stats(ChannelId::B).corrupted, 0);
+        let a = engine.campaign_counters(ChannelId::A).expect("decorated");
+        assert_eq!(a.blackout_faults, 8);
+        assert_eq!(a.events_started, 1);
+        let b = engine.campaign_counters(ChannelId::B).expect("decorated");
+        assert_eq!(b.blackout_faults, 0);
+        assert_eq!(b.events_started, 0, "the event never targets B");
+        // Plain stochastic processes report no campaign layer.
+        assert!(BusEngine::new(config())
+            .campaign_counters(ChannelId::A)
+            .is_none());
     }
 
     #[test]

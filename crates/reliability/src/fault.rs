@@ -17,6 +17,7 @@ use rand::Rng;
 use event_sim::rng::substream;
 
 use crate::ber::Ber;
+use crate::campaign::CampaignCounters;
 
 /// Number of distinct frame sizes memoised per fault process.
 ///
@@ -157,11 +158,31 @@ pub trait FaultProcess: std::fmt::Debug + Send {
     /// Whether the process is currently inside a correlated fault burst.
     ///
     /// Memoryless models keep the default `false`; bursty models
-    /// ([`GilbertElliott`]'s bad state, a struck [`ChannelOutage`])
-    /// override it. Purely observational — the bus tracer uses it to tag
-    /// fault-hit events — and must not mutate state.
+    /// ([`GilbertElliott`]'s bad state, an active
+    /// [`crate::campaign::CampaignFaults`] disturbance) override it.
+    /// Purely observational — the bus tracer uses it to tag fault-hit
+    /// events — and must not mutate state.
     fn in_burst(&self) -> bool {
         false
+    }
+
+    /// Announces the start of communication cycle `cycle`.
+    ///
+    /// The bus engine calls this once per channel before running the
+    /// cycle's segments, giving scripted processes
+    /// ([`crate::campaign::CampaignFaults`]) a deterministic cycle clock.
+    /// The default is a no-op — stochastic processes are clockless, and
+    /// the hook must never draw from the RNG or touch counters, so
+    /// enabling it engine-wide cannot move golden digests.
+    fn on_cycle_start(&mut self, cycle: u64) {
+        let _ = cycle;
+    }
+
+    /// Campaign-layer counters, when this process is (or wraps) a
+    /// scripted [`crate::campaign::CampaignFaults`] decorator; `None` for
+    /// plain stochastic processes.
+    fn campaign_counters(&self) -> Option<CampaignCounters> {
+        None
     }
 
     /// Draws faults for a batch of `frames` equal-sized frames at once.
@@ -425,68 +446,6 @@ impl FaultProcess for NoFaults {
     }
 }
 
-/// A *permanent* fault: the channel behaves like `base` until the
-/// `outage_after`-th frame, then corrupts everything — a severed wire or a
-/// dead driver (the paper's "physical damages generally cause the
-/// permanent faults", §I). Used to demonstrate dual-channel failover.
-#[derive(Debug)]
-pub struct ChannelOutage<P> {
-    base: P,
-    outage_after: u64,
-    frames_seen: u64,
-    injected: u64,
-}
-
-impl<P: FaultProcess> ChannelOutage<P> {
-    /// Wraps `base`; frames with index ≥ `outage_after` are corrupted
-    /// unconditionally.
-    pub fn new(base: P, outage_after: u64) -> Self {
-        ChannelOutage {
-            base,
-            outage_after,
-            frames_seen: 0,
-            injected: 0,
-        }
-    }
-
-    /// `true` once the permanent fault has struck.
-    pub fn is_down(&self) -> bool {
-        self.frames_seen >= self.outage_after
-    }
-}
-
-impl<P: FaultProcess> FaultProcess for ChannelOutage<P> {
-    fn corrupts(&mut self, bits: u32) -> bool {
-        let down = self.is_down();
-        self.frames_seen += 1;
-        let hit = if down { true } else { self.base.corrupts(bits) };
-        self.injected += u64::from(hit);
-        hit
-    }
-
-    fn frame_failure_probability(&self, bits: u32) -> f64 {
-        if self.is_down() {
-            1.0
-        } else {
-            self.base.frame_failure_probability(bits)
-        }
-    }
-
-    fn counters(&self) -> FaultCounters {
-        // Count frames and injections at this layer (the base is only
-        // consulted while the channel is up, so its own counters under-
-        // report once the outage strikes).
-        FaultCounters {
-            frames_checked: self.frames_seen,
-            faults_injected: self.injected,
-        }
-    }
-
-    fn in_burst(&self) -> bool {
-        self.is_down() || self.base.in_burst()
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -549,11 +508,6 @@ mod tests {
             matched &= ge.in_burst() == ge.is_in_bad_state();
         }
         assert!(matched, "in_burst mirrors the bad state");
-
-        let mut outage = ChannelOutage::new(NoFaults::new(), 1);
-        assert!(!outage.in_burst());
-        let _ = outage.corrupts(100);
-        assert!(outage.in_burst(), "a struck outage reports a burst");
     }
 
     #[test]
@@ -633,19 +587,6 @@ mod tests {
         assert_eq!(ge.counters().frames_checked, 200);
         assert_eq!(ge.counters().faults_injected, hits);
 
-        let mut outage = ChannelOutage::new(NoFaults::new(), 2);
-        let _ = outage.corrupts(1);
-        let _ = outage.corrupts(1);
-        let _ = outage.corrupts(1);
-        let _ = outage.corrupts(1);
-        assert_eq!(
-            outage.counters(),
-            FaultCounters {
-                frames_checked: 4,
-                faults_injected: 2,
-            }
-        );
-
         let mut quiet = NoFaults::new();
         assert!(!quiet.corrupts(64));
         assert_eq!(quiet.counters().frames_checked, 1);
@@ -653,38 +594,6 @@ mod tests {
         let merged = f.counters().merged(ge.counters());
         assert_eq!(merged.frames_checked, 300);
         assert_eq!(merged.faults_injected, observed + hits);
-    }
-
-    #[test]
-    fn channel_outage_kills_after_threshold() {
-        let mut ch = ChannelOutage::new(NoFaults::new(), 3);
-        assert!(!ch.is_down());
-        assert!(!ch.corrupts(100)); // frame 0
-        assert!(!ch.corrupts(100)); // frame 1
-        assert!(!ch.corrupts(100)); // frame 2
-        assert!(ch.is_down());
-        assert!(ch.corrupts(100)); // frame 3: dead
-        assert!(ch.corrupts(1));
-        assert_eq!(ch.frame_failure_probability(100), 1.0);
-    }
-
-    #[test]
-    fn channel_outage_passes_base_faults_through_before_dying() {
-        let ber = Ber::new(0.9).unwrap();
-        let mut ch = ChannelOutage::new(BernoulliFaults::new(ber, 1), 1000);
-        // Base process corrupts long frames nearly always.
-        assert!(ch.corrupts(10_000));
-        assert!(!ch.is_down());
-        assert!(
-            (ch.frame_failure_probability(100) - ber.frame_failure_probability(100)).abs() < 1e-12
-        );
-    }
-
-    #[test]
-    fn outage_at_zero_is_dead_from_the_start() {
-        let mut ch = ChannelOutage::new(NoFaults::new(), 0);
-        assert!(ch.is_down());
-        assert!(ch.corrupts(1));
     }
 
     #[test]

@@ -17,6 +17,10 @@
 //! * [`fault`] — stochastic fault processes used by the bus simulator:
 //!   independent per-frame Bernoulli faults and a bursty Gilbert–Elliott
 //!   extension;
+//! * [`campaign`] — *scripted* fault-injection campaigns: typed
+//!   disturbance timelines (blackouts, BER spikes, babbling bursts,
+//!   sensor dropout) decorating any stochastic process, for deterministic
+//!   recovery experiments;
 //! * [`monitor`] — the *online* counterpart of the offline plan: an
 //!   EWMA-over-fault-windows [`ReliabilityMonitor`](monitor::ReliabilityMonitor)
 //!   that classifies a channel as `Nominal`/`Stressed`/`Storm` with
@@ -44,6 +48,7 @@
 #![warn(missing_debug_implementations)]
 
 mod ber;
+pub mod campaign;
 pub mod fault;
 mod message;
 pub mod monitor;

@@ -1,0 +1,162 @@
+//! Hysteresis contracts of the [`ReliabilityMonitor`], property-tested.
+//!
+//! The monitor's reason for existing is that degraded-mode scheduling
+//! must not flap: a channel sitting *near* a threshold must settle, and
+//! leaving `Storm` must cost the configured clean streak. Two properties
+//! pin that down over the whole parameter space rather than a few
+//! hand-picked traces:
+//!
+//! * **No threshold oscillation** — under any *constant* per-window fault
+//!   rate (including rates exactly at an enter/exit threshold), the
+//!   health-state sequence is monotone non-decreasing and makes at most
+//!   two transitions ever (`Nominal → Stressed → Storm`). The EWMA
+//!   converges monotonically from below, so the dual-threshold scheme can
+//!   never produce a `Nominal ↔ Stressed` ping-pong on a steady channel.
+//! * **Recovery is earned** — once in `Storm`, at least
+//!   `hysteresis_windows` perfectly clean windows must pass before the
+//!   state steps down, the step lands on `Stressed` (never straight to
+//!   `Nominal`), and full recovery costs at least twice the streak.
+
+use proptest::prelude::*;
+use reliability::fault::FaultCounters;
+use reliability::monitor::{HealthState, MonitorConfig, ReliabilityMonitor};
+
+/// Feeds one window of exactly `frames` frames with `faults` faults and
+/// returns the state after it. Cumulative counters are what `observe`
+/// expects, so the caller threads `last` through.
+fn window(
+    m: &mut ReliabilityMonitor,
+    last: &mut FaultCounters,
+    frames: u64,
+    faults: u64,
+) -> HealthState {
+    last.frames_checked += frames;
+    last.faults_injected += faults;
+    m.observe(*last)
+}
+
+proptest! {
+    /// A constant fault rate — however close to (or exactly on) a
+    /// threshold — cannot cause unbounded `Nominal ↔ Stressed`
+    /// oscillation: the state sequence is monotone non-decreasing and
+    /// there are at most two transitions over hundreds of windows.
+    #[test]
+    fn constant_rate_never_oscillates(
+        faults_per_window in 0u64..=24,
+        alpha_millis in 1u64..=1000,
+        hysteresis in 1u32..=6,
+        windows in 1usize..=300,
+    ) {
+        let cfg = MonitorConfig {
+            alpha: alpha_millis as f64 / 1000.0,
+            hysteresis_windows: hysteresis,
+            ..MonitorConfig::default()
+        };
+        let w = cfg.min_window_frames;
+        let mut m = ReliabilityMonitor::new(cfg);
+        let mut last = FaultCounters::default();
+        let mut prev = m.state();
+        for _ in 0..windows {
+            let state = window(&mut m, &mut last, w, faults_per_window.min(w));
+            prop_assert!(
+                state >= prev,
+                "state regressed under a constant rate: {prev:?} -> {state:?}"
+            );
+            prev = state;
+        }
+        prop_assert!(
+            m.counters().transitions <= 2,
+            "{} transitions under a constant rate",
+            m.counters().transitions
+        );
+    }
+
+    /// Near-threshold sanity at the exact boundary rates of the default
+    /// config: the same no-oscillation bound holds when the steady rate
+    /// equals an enter or exit threshold bit-for-bit.
+    #[test]
+    fn boundary_rates_settle(threshold_index in 0usize..4, windows in 10usize..=200) {
+        let cfg = MonitorConfig::default();
+        let thresholds = [
+            cfg.stressed_exit,
+            cfg.stressed_enter,
+            cfg.storm_exit,
+            cfg.storm_enter,
+        ];
+        let w = 1000u64; // fine-grained so the rate lands on the threshold
+        let faults = (thresholds[threshold_index] * w as f64).round() as u64;
+        let mut m = ReliabilityMonitor::new(cfg);
+        let mut last = FaultCounters::default();
+        let mut prev = m.state();
+        for _ in 0..windows {
+            let state = window(&mut m, &mut last, w, faults);
+            prop_assert!(state >= prev);
+            prev = state;
+        }
+        prop_assert!(m.counters().transitions <= 2);
+    }
+
+    /// Leaving `Storm` requires the configured clean streak: no downgrade
+    /// before `hysteresis_windows` clean windows, the first step lands on
+    /// `Stressed`, and `Nominal` costs at least `2 × hysteresis_windows`
+    /// clean windows in total (one streak per level).
+    #[test]
+    fn storm_recovery_requires_the_clean_streak(
+        hysteresis in 1u32..=6,
+        storm_windows in 1u64..=8,
+        burst_faults in 4u64..=24,
+    ) {
+        let cfg = MonitorConfig {
+            hysteresis_windows: hysteresis,
+            ..MonitorConfig::default()
+        };
+        let w = cfg.min_window_frames;
+        let mut m = ReliabilityMonitor::new(cfg);
+        let mut last = FaultCounters::default();
+        // Drive into Storm with heavy windows: burst_faults/24 ≥ 16%
+        // frame loss, above storm_enter = 10%, so the EWMA (converging
+        // from below with α = 0.5) crosses within a few windows.
+        let mut driven = 0;
+        while m.state() != HealthState::Storm {
+            window(&mut m, &mut last, w, burst_faults.min(w));
+            driven += 1;
+            prop_assert!(driven <= 8 + storm_windows, "storm never entered");
+        }
+        // A few more burst windows so recovery starts from varied EWMAs.
+        for _ in 0..storm_windows {
+            window(&mut m, &mut last, w, burst_faults.min(w));
+        }
+        prop_assert!(m.state() == HealthState::Storm);
+
+        let mut clean = 0u64;
+        let mut prev = HealthState::Storm;
+        let mut left_storm_after = None;
+        let mut nominal_after = None;
+        for _ in 0..200 {
+            let state = window(&mut m, &mut last, w, 0);
+            clean += 1;
+            if prev == HealthState::Storm && state != HealthState::Storm {
+                prop_assert!(
+                    state == HealthState::Stressed,
+                    "Storm must step down through Stressed, got {state:?}"
+                );
+                left_storm_after = Some(clean);
+            }
+            if state == HealthState::Nominal && nominal_after.is_none() {
+                nominal_after = Some(clean);
+            }
+            prev = state;
+        }
+        let left = left_storm_after.expect("200 clean windows must end the storm");
+        let nominal = nominal_after.expect("200 clean windows must restore Nominal");
+        prop_assert!(
+            left >= u64::from(hysteresis),
+            "left Storm after {left} clean windows, streak is {hysteresis}"
+        );
+        prop_assert!(
+            nominal >= 2 * u64::from(hysteresis),
+            "Nominal after {nominal} clean windows, needs two streaks of {hysteresis}"
+        );
+        prop_assert_eq!(m.counters().recoveries, 1);
+    }
+}

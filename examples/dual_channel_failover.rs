@@ -2,20 +2,22 @@
 //! the redundancy design keeps safety messages flowing on channel B.
 //!
 //! Drives the scheduler against the bus engine directly (rather than
-//! through `Runner`) to install an asymmetric fault: channel A dies after
-//! 500 frames, channel B stays healthy.
+//! through `Runner`) to install an asymmetric scripted fault: a
+//! permanent-blackout campaign kills channel A at cycle 120, channel B
+//! stays healthy.
 //!
 //! ```text
 //! cargo run --example dual_channel_failover
 //! ```
 
-use coefficient::{PolicyRef, Scenario, Scheduler, COEFFICIENT, HOSA};
+use coefficient::{Scenario, Scheduler, COEFFICIENT, HOSA};
 use event_sim::{SimDuration, SimTime};
 use flexray::bus::BusEngine;
 use flexray::codec::FrameCoding;
 use flexray::config::ClusterConfig;
 use flexray::signal::Signal;
-use reliability::fault::{ChannelOutage, NoFaults};
+use reliability::campaign::{CampaignFaults, CampaignSpec, CampaignTarget};
+use reliability::fault::NoFaults;
 
 fn main() {
     let cluster = ClusterConfig::paper_dynamic(50);
@@ -31,7 +33,8 @@ fn main() {
         })
         .collect();
 
-    println!("Channel A dies after 500 frames; channel B stays up.\n");
+    let outage_cycle = 120u64;
+    println!("Channel A dies permanently at cycle {outage_cycle}; channel B stays up.\n");
     println!("policy        delivered/produced   delivered after outage");
     for policy in [COEFFICIENT, HOSA] {
         let mut scheduler = Scheduler::new(
@@ -43,13 +46,18 @@ fn main() {
             &[],
         )
         .expect("valid configuration");
+        let campaign = CampaignSpec::new().permanent_blackout(CampaignTarget::A, outage_cycle);
         let mut engine = BusEngine::new(cluster.clone()).with_faults(
-            Box::new(ChannelOutage::new(NoFaults::new(), 500)),
+            Box::new(CampaignFaults::new(
+                Box::new(NoFaults::new()),
+                &campaign,
+                0,
+                1,
+            )),
             Box::new(NoFaults::new()),
         );
 
         let horizon_cycles = 400u64; // 400 ms
-        let outage_cycle = estimate_outage_cycle(policy);
         let mut delivered_before = 0;
         for cycle in 0..horizon_cycles {
             let now = cluster.cycle_start(cycle);
@@ -83,14 +91,4 @@ fn main() {
     }
     println!("\nBoth dual-channel schemes keep delivering through channel B;");
     println!("CoEfficient additionally re-uses A's share of the slack it lost.");
-}
-
-/// Rough cycle index at which 500 frames have passed on channel A (6
-/// messages every 2 cycles on A ≈ 3 frames/cycle, plus copies).
-fn estimate_outage_cycle(policy: PolicyRef) -> u64 {
-    if policy == COEFFICIENT {
-        120
-    } else {
-        150
-    }
 }
