@@ -19,6 +19,11 @@
 //!                    [--threads T] [--out PATH]
 //! experiments cycles [--smoke] [--iters N] [--out PATH]
 //!                    [--baseline PATH] [--tolerance F]
+//! experiments fleet  [--vehicles N] [--policy P]... [--env E] [--seed N]
+//!                    [--threads T] [--shard-size N] [--horizon-ms H]
+//!                    [--minislots M] [--out PATH] [--bench-out PATH]
+//!                    [--stats-file PATH] [--stats-socket PATH]
+//!                    [--stats-every-ms N] [--smoke]
 //! ```
 //!
 //! `verify` re-runs the paper's headline claims and exits non-zero if any
@@ -65,6 +70,7 @@ use bench_harness::cycles::{
     compare_to_baseline, cycles_from_json, cycles_spec, cycles_to_json, measure_cycles,
     CYCLES_TOLERANCE,
 };
+use bench_harness::fleet as fleet_bench;
 use bench_harness::golden::{
     golden_spec, load_corpus, record_corpus, save_corpus, verify_corpus, DEFAULT_CORPUS_PATH,
 };
@@ -76,6 +82,7 @@ use bench_harness::table::print_table;
 use bench_harness::trace::{counter_names, trace_json, validate_trace};
 use coefficient::{CellCoord, Scenario, SeedStrategy, StopCondition, SweepRunner, TraceConfig};
 use event_sim::SimDuration;
+use fleet::FleetSpec;
 use flexray::config::ClusterConfig;
 
 fn main() {
@@ -89,6 +96,7 @@ fn main() {
         Some("storm-smoke") => run_storm_smoke(&args[1..]),
         Some("chaos") => run_chaos(&args[1..]),
         Some("cycles") => run_cycles(&args[1..]),
+        Some("fleet") => run_fleet(&args[1..]),
         _ => run_figures(&args),
     }
 }
@@ -518,6 +526,133 @@ fn run_cycles(args: &[String]) {
             "bench cycles: all policies within {:.0}% of {path}",
             tolerance * 100.0,
         );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// fleet
+// ---------------------------------------------------------------------------
+
+fn run_fleet(args: &[String]) {
+    let mut spec = if args.iter().any(|a| a == "--smoke") {
+        fleet_bench::smoke_spec()
+    } else {
+        FleetSpec::default()
+    };
+    if let Some(v) = flag_value(args, "--env") {
+        spec.env = fleet::env::resolve(v).unwrap_or_else(|e| {
+            eprintln!("{e}");
+            std::process::exit(2);
+        });
+    }
+    if let Some(v) = parse_number(args, "--vehicles") {
+        spec.vehicles = v;
+    }
+    if spec.vehicles == 0 {
+        eprintln!(
+            "fleet needs --vehicles >= 1 (environment models: {})",
+            fleet::env_names().join(", ")
+        );
+        std::process::exit(2);
+    }
+    if let Some(v) = parse_number(args, "--seed") {
+        spec.seed = v;
+    }
+    if let Some(v) = parse_number(args, "--shard-size") {
+        if v == 0 {
+            eprintln!(
+                "fleet needs --shard-size >= 1 (environment models: {})",
+                fleet::env_names().join(", ")
+            );
+            std::process::exit(2);
+        }
+        spec.shard_size = v;
+    }
+    if let Some(v) = parse_number(args, "--horizon-ms") {
+        spec.horizon = fleet_bench::horizon_from_ms(v);
+    }
+    if let Some(v) = parse_number(args, "--minislots") {
+        spec.minislots = v;
+    }
+    let policies: Vec<coefficient::PolicyRef> = flag_values(args, "--policy")
+        .into_iter()
+        .map(|v| {
+            parse_policy(v).unwrap_or_else(|e| {
+                eprintln!("{e}");
+                std::process::exit(2);
+            })
+        })
+        .collect();
+    if !policies.is_empty() {
+        spec.policies = policies;
+    }
+    let threads = parse_number(args, "--threads").unwrap_or(1);
+
+    let stats = fleet::StatsConfig {
+        file: flag_value(args, "--stats-file").map(Into::into),
+        socket: flag_value(args, "--stats-socket").map(Into::into),
+        every: parse_number(args, "--stats-every-ms").map(std::time::Duration::from_millis),
+    };
+
+    println!(
+        "fleet: {} vehicles, env {}, seed {}, {} polic{}, {} shards x {}, {} threads",
+        spec.vehicles,
+        spec.env.name,
+        spec.seed,
+        spec.policies.len(),
+        if spec.policies.len() == 1 { "y" } else { "ies" },
+        spec.shard_count(),
+        spec.shard_size,
+        threads,
+    );
+
+    let calibration = fleet_bench::fleet_calibration();
+    let run = fleet::stats::run_with_stats(&spec, threads, &stats);
+
+    println!(
+        "fleet: done in {:.1}s ({:.0} vehicles/s), digest {:016x}, \
+         aggregation state {} KiB",
+        run.wall_clock.as_secs_f64(),
+        spec.vehicles as f64 / run.wall_clock.as_secs_f64().max(1e-9),
+        run.aggregate.digest(),
+        run.aggregation_bytes / 1024,
+    );
+    for (p, &policy) in spec.policies.iter().enumerate() {
+        let agg = run.aggregate.policy(p);
+        let q = |h: &metrics::LogHistogram, q: f64| {
+            h.quantile_upper_bound(q)
+                .map_or_else(|| "n/a".to_string(), |v| v.to_string())
+        };
+        println!(
+            "  {}: {} vehicles ({} unschedulable), miss ratio {:.3e}, \
+             miss ppb p50/p99/p99.99/p99.999 = {}/{}/{}/{}, recovery p99.999 {} ns",
+            policy.label(),
+            agg.vehicles,
+            agg.unschedulable,
+            agg.miss_ratio(),
+            q(&agg.miss_ppb, 0.5),
+            q(&agg.miss_ppb, 0.99),
+            q(&agg.miss_ppb, 0.9999),
+            q(&agg.miss_ppb, 0.99999),
+            q(&agg.recovery_ns, 0.99999),
+        );
+    }
+
+    if let Some(path) = flag_value(args, "--out") {
+        let doc = fleet_bench::fleet_report_json(&spec, &run.aggregate);
+        std::fs::write(path, format!("{doc}\n")).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        });
+        println!("  wrote {path}");
+    }
+    if let Some(path) = flag_value(args, "--bench-out") {
+        let doc = fleet_bench::fleet_bench_json(&spec, &run, calibration);
+        std::fs::write(path, format!("{doc}\n")).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        });
+        println!("  wrote {path}");
     }
 }
 

@@ -35,7 +35,7 @@ pub const CYCLES_TOLERANCE: f64 = 0.15;
 /// One pass of the calibration workload: a fixed number of SplitMix64
 /// finalizer rounds, CPU-bound and allocation-free, sized to take a few
 /// milliseconds on current hardware.
-fn calibration_pass() -> Duration {
+pub(crate) fn calibration_pass() -> Duration {
     const ITERS: u64 = 8_000_000;
     let started = Instant::now();
     let mut x = 0x9E37_79B9_7F4A_7C15u64;

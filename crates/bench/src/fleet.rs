@@ -1,0 +1,200 @@
+//! Bench-side fleet layer: the smoke configuration, the
+//! `coefficient-fleet/1` report and the `BENCH_fleet.json` throughput
+//! document behind `experiments fleet`.
+//!
+//! The report JSON deliberately carries **no wall-clock, thread-count or
+//! shard-size fields**: like the chaos scorecard, it must be
+//! byte-identical across `--threads 1/2/8` and any `--shard-size`, so the
+//! CI smoke job can `cmp` the files. Timing lives in the separate
+//! benchmark document ([`fleet_bench_json`]), host-normalized with the
+//! same paired-calibration scheme as `BENCH_cycles.json`.
+
+use std::time::Duration;
+
+use coefficient::{COEFFICIENT, GREEDY};
+use event_sim::SimDuration;
+use fleet::{FleetAggregate, FleetRun, FleetSpec, PolicyAggregate, PPB};
+use metrics::LogHistogram;
+
+use crate::cycles::calibration_pass;
+use crate::json::Json;
+
+/// The CI smoke configuration: 10 000 mixed-environment vehicles under
+/// CoEfficient and Greedy, 10 ms horizons.
+pub fn smoke_spec() -> FleetSpec {
+    FleetSpec {
+        vehicles: 10_000,
+        policies: vec![COEFFICIENT, GREEDY],
+        ..FleetSpec::default()
+    }
+}
+
+/// The fleet quantiles every report carries, as `(key, q)` pairs —
+/// through p99.999, the acceptance criterion's tail.
+pub const FLEET_QUANTILES: [(&str, f64); 4] = [
+    ("p50", 0.50),
+    ("p99", 0.99),
+    ("p99.99", 0.9999),
+    ("p99.999", 0.99999),
+];
+
+fn quantiles_json(h: &LogHistogram) -> Json {
+    Json::object(FLEET_QUANTILES.map(|(key, q)| {
+        (
+            key,
+            h.quantile_upper_bound(q).map_or(Json::Null, Json::from),
+        )
+    }))
+}
+
+fn policy_json(spec: &FleetSpec, agg: &FleetAggregate, p: usize) -> Json {
+    let pol: &PolicyAggregate = agg.policy(p);
+    let labels = FleetAggregate::condition_labels();
+    Json::object([
+        ("policy", Json::str(spec.policies[p].label())),
+        ("vehicles", Json::from(pol.vehicles)),
+        ("unschedulable", Json::from(pol.unschedulable)),
+        ("truncated", Json::from(pol.truncated)),
+        (
+            "by_condition",
+            Json::object(
+                labels
+                    .iter()
+                    .zip(&pol.by_condition)
+                    .map(|(&label, &count)| (label, Json::from(count))),
+            ),
+        ),
+        ("produced", Json::from(pol.produced)),
+        ("delivered", Json::from(pol.delivered)),
+        ("frames", Json::from(pol.frames)),
+        ("corrupted", Json::from(pol.corrupted)),
+        ("deadlines_met", Json::from(pol.deadlines_met)),
+        ("deadlines_missed", Json::from(pol.deadlines_missed)),
+        ("miss_ratio", Json::from(pol.miss_ratio())),
+        ("deadline_miss_ppb", quantiles_json(&pol.miss_ppb)),
+        ("recovery_latency_ns", quantiles_json(&pol.recovery_ns)),
+        ("mean_latency_ns", quantiles_json(&pol.latency_ns)),
+    ])
+}
+
+/// The stable JSON schema of a fleet result (`schema:
+/// "coefficient-fleet/1"`): spec echo, shard-invariant digest, and a
+/// per-policy breakdown with p50/p99/p99.99/p99.999 deadline-miss (parts
+/// per billion) and recovery-latency quantiles. Thread-count invariant by
+/// construction (no timing fields).
+pub fn fleet_report_json(spec: &FleetSpec, agg: &FleetAggregate) -> Json {
+    Json::object([
+        ("schema", Json::str("coefficient-fleet/1")),
+        ("env", Json::str(spec.env.name)),
+        ("seed", Json::from(spec.seed)),
+        ("vehicles", Json::from(spec.vehicles)),
+        (
+            "horizon_ms",
+            Json::from(spec.horizon.as_nanos() / 1_000_000),
+        ),
+        ("minislots", Json::from(spec.minislots)),
+        ("miss_ppb_scale", Json::from(PPB)),
+        ("digest", Json::String(format!("{:016x}", agg.digest()))),
+        (
+            "policies",
+            Json::array((0..spec.policies.len()).map(|p| policy_json(spec, agg, p))),
+        ),
+    ])
+}
+
+/// The `BENCH_fleet.json` document (`schema: "coefficient-bench-fleet/1"`):
+/// fleet throughput in vehicles/sec, host-normalized like
+/// `BENCH_cycles.json` — the wall clock is paired with a calibration pass
+/// ([`crate::cycles`]) timed on the same host moments before, so
+/// `vehicles_per_cal` compares across machines.
+pub fn fleet_bench_json(spec: &FleetSpec, run: &FleetRun, calibration: Duration) -> Json {
+    let wall = run.wall_clock.as_secs_f64();
+    let cal = calibration.as_secs_f64().max(1e-12);
+    let vehicles = spec.vehicles as f64;
+    Json::object([
+        ("schema", Json::str("coefficient-bench-fleet/1")),
+        ("env", Json::str(spec.env.name)),
+        ("vehicles", Json::from(spec.vehicles)),
+        ("policies", Json::from(spec.policies.len())),
+        ("threads", Json::from(run.threads)),
+        ("shard_size", Json::from(spec.shard_size)),
+        ("wall_ms", Json::Float(wall * 1e3)),
+        ("vehicles_per_sec", Json::Float(vehicles / wall.max(1e-12))),
+        ("calibration_ns", Json::from(calibration.as_nanos() as u64)),
+        ("wall_per_cal", Json::Float(wall / cal)),
+        (
+            "vehicles_per_cal",
+            Json::Float(vehicles / (wall / cal).max(1e-12)),
+        ),
+        ("aggregation_bytes", Json::from(run.aggregation_bytes)),
+    ])
+}
+
+/// Times one calibration pass for [`fleet_bench_json`] (re-exported so
+/// the binary measures it adjacent to the run, like the cycles bench).
+pub fn fleet_calibration() -> Duration {
+    calibration_pass()
+}
+
+/// Parses `--horizon-ms` style input into the spec's duration.
+pub fn horizon_from_ms(ms: u64) -> SimDuration {
+    SimDuration::from_millis(ms)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fleet::exec;
+
+    fn tiny_spec() -> FleetSpec {
+        FleetSpec {
+            vehicles: 16,
+            shard_size: 8,
+            horizon: SimDuration::from_millis(5),
+            ..smoke_spec()
+        }
+    }
+
+    #[test]
+    fn report_json_has_the_documented_shape() {
+        let spec = tiny_spec();
+        let run = exec::run(&spec, 2);
+        let json = fleet_report_json(&spec, &run.aggregate).to_string();
+        assert!(json.starts_with(r#"{"schema":"coefficient-fleet/1""#));
+        assert!(json.contains(r#""env":"mixed""#));
+        assert!(json.contains(r#""digest":""#));
+        assert!(json.contains(r#""p99.999":"#), "{json}");
+        assert!(json.contains(r#""deadline_miss_ppb":"#));
+        assert!(json.contains(r#""recovery_latency_ns":"#));
+        assert!(json.contains(r#""policy":"CoEfficient""#));
+        assert!(json.contains(r#""policy":"Greedy""#));
+        // Thread-invariance: no timing or sharding fields in the report.
+        assert!(!json.contains("wall"), "{json}");
+        assert!(!json.contains("threads"), "{json}");
+        assert!(!json.contains("shard"), "{json}");
+    }
+
+    #[test]
+    fn report_json_is_byte_identical_across_thread_counts() {
+        let spec = tiny_spec();
+        let a = exec::run(&spec, 1);
+        let b = exec::run(&spec, 4);
+        assert_eq!(
+            fleet_report_json(&spec, &a.aggregate).to_string(),
+            fleet_report_json(&spec, &b.aggregate).to_string()
+        );
+    }
+
+    #[test]
+    fn bench_json_is_host_normalized() {
+        let spec = tiny_spec();
+        let run = exec::run(&spec, 1);
+        let json = fleet_bench_json(&spec, &run, Duration::from_millis(10)).to_string();
+        assert!(json.starts_with(r#"{"schema":"coefficient-bench-fleet/1""#));
+        assert!(json.contains(r#""vehicles_per_sec":"#));
+        assert!(json.contains(r#""wall_per_cal":"#));
+        assert!(json.contains(r#""vehicles_per_cal":"#));
+        let parsed = Json::parse(&json).unwrap();
+        assert!(parsed.get("vehicles_per_sec").unwrap().as_f64().unwrap() > 0.0);
+    }
+}

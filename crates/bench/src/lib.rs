@@ -13,6 +13,7 @@
 pub mod chaos;
 pub mod cycles;
 pub mod experiments;
+pub mod fleet;
 pub mod golden;
 pub mod json;
 pub mod sweep;

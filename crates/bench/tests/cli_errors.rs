@@ -128,6 +128,67 @@ fn chaos_with_an_unknown_campaign_lists_the_pinned_names() {
     }
 }
 
+fn assert_lists_env_models(stderr: &str) {
+    for name in fleet::env_names() {
+        assert!(
+            stderr.contains(name),
+            "diagnostic does not list {name:?}: {stderr}"
+        );
+    }
+}
+
+#[test]
+fn fleet_with_an_unknown_env_lists_the_valid_models() {
+    let out = experiments(&["fleet", "--env", "parking-lot"]);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(2), "stderr: {stderr}");
+    assert!(
+        stderr.contains("unknown environment model \"parking-lot\""),
+        "diagnostic does not name the offender: {stderr}"
+    );
+    assert_lists_env_models(&stderr);
+}
+
+#[test]
+fn fleet_with_zero_vehicles_lists_the_valid_models() {
+    let out = experiments(&["fleet", "--vehicles", "0"]);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(2), "stderr: {stderr}");
+    assert!(
+        stderr.contains("--vehicles >= 1"),
+        "diagnostic does not explain the bound: {stderr}"
+    );
+    assert_lists_env_models(&stderr);
+}
+
+#[test]
+fn fleet_with_an_unknown_policy_lists_the_registered_names() {
+    let out = experiments(&["fleet", "--policy", "bogus"]);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(2), "stderr: {stderr}");
+    assert_lists_registry(&stderr, "bogus");
+}
+
+#[test]
+fn every_env_model_is_accepted_by_the_fleet_cli() {
+    // Happy path of `--env`: every registered model parses and a tiny
+    // fleet completes — keeps the error tests honest against registry
+    // typos, like the sweep-side twin below.
+    for name in fleet::env_names() {
+        let out = experiments(&[
+            "fleet",
+            "--env",
+            name,
+            "--vehicles",
+            "4",
+            "--horizon-ms",
+            "5",
+        ]);
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert_eq!(out.status.code(), Some(0), "{name:?} rejected: {stderr}");
+    }
+}
+
 #[test]
 fn every_registered_name_is_accepted_by_the_sweep_cli() {
     // The happy path of the same flag: each registry key parses and the

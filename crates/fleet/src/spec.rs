@@ -1,0 +1,158 @@
+//! The fleet specification: what a fleet run simulates.
+
+use coefficient::{PolicyRef, RunConfig, StopCondition, TraceConfig, COEFFICIENT};
+use event_sim::rng::derive;
+use event_sim::SimDuration;
+use flexray::config::ClusterConfig;
+use workloads::sae::IdRange;
+use workloads::synthetic::SyntheticSpec;
+
+use crate::env::{EnvModel, VehicleDraw, MIXED};
+
+/// Default master seed (shared with the bench harness's experiments).
+pub const DEFAULT_SEED: u64 = 20140630;
+
+/// A fleet Monte Carlo specification: how many vehicles, which policies,
+/// which environment distribution, and the per-vehicle run geometry.
+///
+/// Each vehicle `v` gets its own seed via the workspace's standard
+/// derivation, keyed on the environment name —
+/// `derive(seed, env.name, v)` — and from that seed every per-vehicle
+/// quantity (scenario draw, workload, fault injection) follows
+/// deterministically. The same vehicle seed is shared across policies so
+/// per-policy results are paired comparisons over identical vehicles.
+#[derive(Debug, Clone)]
+pub struct FleetSpec {
+    /// Number of vehicles to simulate.
+    pub vehicles: u64,
+    /// Policies every vehicle is run under (paired by vehicle seed).
+    pub policies: Vec<PolicyRef>,
+    /// Environment distribution vehicles sample from.
+    pub env: &'static EnvModel,
+    /// Master seed of the fleet.
+    pub seed: u64,
+    /// Simulated horizon of each vehicle run.
+    pub horizon: SimDuration,
+    /// Minislot count of the per-vehicle `paper_mixed` cluster.
+    pub minislots: u64,
+    /// Vehicles per work shard (the executor's unit of hand-off). Purely
+    /// an execution concern: the aggregate is invariant to it.
+    pub shard_size: u64,
+}
+
+impl Default for FleetSpec {
+    /// 10 000 vehicles of the [`MIXED`] environment under CoEfficient,
+    /// 10 ms horizons — the smoke-scale configuration.
+    fn default() -> Self {
+        FleetSpec {
+            vehicles: 10_000,
+            policies: vec![COEFFICIENT],
+            env: &MIXED,
+            seed: DEFAULT_SEED,
+            horizon: SimDuration::from_millis(10),
+            minislots: 50,
+            shard_size: 1024,
+        }
+    }
+}
+
+impl FleetSpec {
+    /// The derived seed of vehicle `v` — every per-vehicle random
+    /// quantity flows from this one value.
+    pub fn vehicle_seed(&self, v: u64) -> u64 {
+        derive(self.seed, self.env.name, v)
+    }
+
+    /// Samples vehicle `v`'s environment draw.
+    pub fn vehicle_draw(&self, v: u64) -> VehicleDraw {
+        self.env.sample(self.vehicle_seed(v))
+    }
+
+    /// Builds the full [`RunConfig`] of vehicle `v` under `policy`:
+    /// sampled scenario, per-vehicle static message set (synthetic, sized
+    /// by the draw) and dynamic message set (SAE-derived), both seeded by
+    /// the vehicle seed.
+    pub fn vehicle_config(&self, v: u64, policy: PolicyRef) -> RunConfig {
+        let seed = self.vehicle_seed(v);
+        let draw = self.env.sample(seed);
+        RunConfig {
+            cluster: ClusterConfig::paper_mixed(self.minislots),
+            scenario: draw.scenario,
+            static_messages: workloads::synthetic::message_set(
+                &SyntheticSpec {
+                    count: draw.static_messages,
+                    ..SyntheticSpec::default()
+                },
+                seed,
+            ),
+            dynamic_messages: workloads::sae::message_set(IdRange::For80Slots, seed),
+            policy,
+            stop: StopCondition::Horizon(self.horizon),
+            seed,
+            trace: TraceConfig::default(),
+        }
+    }
+
+    /// Number of shards the vehicle range splits into.
+    pub fn shard_count(&self) -> u64 {
+        if self.vehicles == 0 {
+            0
+        } else {
+            self.vehicles.div_ceil(self.shard_size.max(1))
+        }
+    }
+
+    /// The vehicle range of shard `i` (see [`shard_count`](Self::shard_count)).
+    pub fn shard_range(&self, i: u64) -> std::ops::Range<u64> {
+        let size = self.shard_size.max(1);
+        let start = i * size;
+        start..(start + size).min(self.vehicles)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vehicle_seeds_are_distinct_and_stable() {
+        let spec = FleetSpec::default();
+        assert_eq!(spec.vehicle_seed(7), spec.vehicle_seed(7));
+        assert_ne!(spec.vehicle_seed(7), spec.vehicle_seed(8));
+        // Keyed on the environment name, like per-cell sweep seeds key on
+        // the scenario name.
+        let tunnel = FleetSpec {
+            env: &crate::env::TUNNEL,
+            ..FleetSpec::default()
+        };
+        assert_ne!(spec.vehicle_seed(7), tunnel.vehicle_seed(7));
+    }
+
+    #[test]
+    fn shards_tile_the_vehicle_range() {
+        let spec = FleetSpec {
+            vehicles: 2500,
+            shard_size: 1024,
+            ..FleetSpec::default()
+        };
+        assert_eq!(spec.shard_count(), 3);
+        let mut covered = 0;
+        for i in 0..spec.shard_count() {
+            let r = spec.shard_range(i);
+            assert_eq!(r.start, covered);
+            covered = r.end;
+        }
+        assert_eq!(covered, spec.vehicles);
+    }
+
+    #[test]
+    fn vehicle_config_reflects_the_draw() {
+        let spec = FleetSpec::default();
+        let cfg = spec.vehicle_config(3, COEFFICIENT);
+        let draw = spec.vehicle_draw(3);
+        assert_eq!(cfg.scenario, draw.scenario);
+        assert_eq!(cfg.static_messages.len(), draw.static_messages as usize);
+        assert_eq!(cfg.seed, spec.vehicle_seed(3));
+        assert!(!cfg.dynamic_messages.is_empty());
+    }
+}

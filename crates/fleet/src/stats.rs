@@ -1,0 +1,255 @@
+//! Live stats endpoint for long fleet runs.
+//!
+//! A million-vehicle run can take minutes to hours; this module streams
+//! its progress out while it goes, in the spirit of `scx_stats`: a
+//! monitoring client either reads a periodically-rewritten snapshot file
+//! (`--stats-file`, atomically replaced via tmp + rename) or connects to
+//! a Unix domain socket (`--stats-socket`) and receives the latest
+//! snapshot as one JSON document per connection.
+//!
+//! Snapshots are *observations* of the run, never part of its result:
+//! they carry wall-clock fields and partial aggregates, while the final
+//! `coefficient-fleet/1` report stays byte-identical across thread
+//! counts.
+
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
+
+use crate::agg::{FleetAggregate, PPB};
+use crate::exec::{run_with_progress, FleetRun, Progress};
+use crate::spec::FleetSpec;
+
+/// Where and how often to publish live snapshots.
+#[derive(Debug, Clone, Default)]
+pub struct StatsConfig {
+    /// Rewrite this file with the latest snapshot every `every` interval.
+    pub file: Option<PathBuf>,
+    /// Serve the latest snapshot to each connection on this Unix socket.
+    pub socket: Option<PathBuf>,
+    /// Publication interval (`None` → 1 s).
+    pub every: Option<Duration>,
+}
+
+impl StatsConfig {
+    /// `true` when no endpoint is configured (the executor skips the
+    /// stats thread entirely).
+    pub fn is_disabled(&self) -> bool {
+        self.file.is_none() && self.socket.is_none()
+    }
+}
+
+fn quantile_fields(label: &str, agg: &FleetAggregate, p: usize) -> String {
+    let pol = agg.policy(p);
+    let q = |h: &metrics::LogHistogram, q: f64| h.quantile_upper_bound(q).unwrap_or(0);
+    format!(
+        "\"{label}\":{{\"vehicles\":{},\"unschedulable\":{},\"deadlines_missed\":{},\
+         \"miss_p50_ppb\":{},\"miss_p99_ppb\":{},\"recovery_p99_ns\":{}}}",
+        pol.vehicles,
+        pol.unschedulable,
+        pol.deadlines_missed,
+        q(&pol.miss_ppb, 0.50),
+        q(&pol.miss_ppb, 0.99),
+        q(&pol.recovery_ns, 0.99),
+    )
+}
+
+/// Renders one live snapshot (`schema: "coefficient-fleet-stats/1"`).
+///
+/// Hand-rolled JSON: the snapshot must be buildable from inside the
+/// fleet crate (the workspace's JSON helper lives above it in `bench`),
+/// and every value is a number or a registry label, so no escaping is
+/// needed.
+pub fn snapshot_json(spec: &FleetSpec, progress: &Progress, elapsed: Duration) -> String {
+    let completed = progress.completed.load(Ordering::Relaxed);
+    let secs = elapsed.as_secs_f64();
+    let rate = if secs > 0.0 {
+        completed as f64 / secs
+    } else {
+        0.0
+    };
+    let partial = progress.partial.lock().expect("aggregate lock poisoned");
+    let per_policy: Vec<String> = partial
+        .policies()
+        .iter()
+        .enumerate()
+        .map(|(p, policy)| quantile_fields(policy.key(), &partial, p))
+        .collect();
+    format!(
+        "{{\"schema\":\"coefficient-fleet-stats/1\",\"env\":\"{}\",\"seed\":{},\
+         \"vehicles\":{},\"completed\":{},\"unschedulable_runs\":{},\
+         \"shards_done\":{},\"shards\":{},\"elapsed_ms\":{},\
+         \"vehicles_per_sec\":{:.1},\"miss_ppb_scale\":{},\"partial\":{{{}}}}}\n",
+        spec.env.name,
+        spec.seed,
+        progress.total,
+        completed,
+        progress.unschedulable.load(Ordering::Relaxed),
+        progress.shards_done.load(Ordering::Relaxed),
+        progress.total_shards,
+        elapsed.as_millis(),
+        rate,
+        PPB,
+        per_policy.join(",")
+    )
+}
+
+fn publish_file(path: &Path, snapshot: &str) -> std::io::Result<()> {
+    // tmp + rename so a reader never observes a torn snapshot.
+    let tmp = path.with_extension("tmp");
+    std::fs::write(&tmp, snapshot)?;
+    std::fs::rename(&tmp, path)
+}
+
+fn serve_pending(listener: &std::os::unix::net::UnixListener, snapshot: &str) {
+    // Drain whatever clients connected since the last tick; each gets
+    // the current snapshot and an immediate close.
+    while let Ok((mut conn, _)) = listener.accept() {
+        let _ = conn.write_all(snapshot.as_bytes());
+    }
+}
+
+fn stats_loop(spec: &FleetSpec, progress: &Progress, cfg: &StatsConfig, done: &AtomicBool) {
+    let every = cfg.every.unwrap_or(Duration::from_secs(1));
+    let listener = cfg.socket.as_ref().and_then(|path| {
+        let _ = std::fs::remove_file(path);
+        let l = std::os::unix::net::UnixListener::bind(path).ok()?;
+        l.set_nonblocking(true).ok()?;
+        Some(l)
+    });
+    let start = Instant::now();
+    let mut last_publish: Option<Instant> = None; // None → publish immediately
+    loop {
+        let finished = done.load(Ordering::Acquire);
+        if finished || last_publish.is_none_or(|t| t.elapsed() >= every) {
+            let snapshot = snapshot_json(spec, progress, start.elapsed());
+            if let Some(path) = &cfg.file {
+                let _ = publish_file(path, &snapshot);
+            }
+            if let Some(l) = &listener {
+                serve_pending(l, &snapshot);
+            }
+            last_publish = Some(Instant::now());
+        }
+        if finished {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    if listener.is_some() {
+        if let Some(path) = &cfg.socket {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}
+
+/// Runs `spec` on `threads` workers with a live stats endpoint attached.
+///
+/// Identical simulation and final aggregate to
+/// [`run`](crate::exec::run) — the stats thread only observes
+/// [`Progress`] — plus a final snapshot published when the run ends.
+pub fn run_with_stats(spec: &FleetSpec, threads: usize, cfg: &StatsConfig) -> FleetRun {
+    let progress = Progress::new(spec);
+    if cfg.is_disabled() {
+        return run_with_progress(spec, threads, &progress);
+    }
+    let done = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        let stats = scope.spawn(|| stats_loop(spec, &progress, cfg, &done));
+        let run = run_with_progress(spec, threads, &progress);
+        done.store(true, Ordering::Release);
+        stats.join().expect("stats thread panicked");
+        run
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Read as _;
+
+    fn tiny_spec() -> FleetSpec {
+        FleetSpec {
+            vehicles: 8,
+            shard_size: 4,
+            horizon: event_sim::SimDuration::from_millis(5),
+            ..FleetSpec::default()
+        }
+    }
+
+    #[test]
+    fn snapshot_has_the_documented_shape() {
+        let spec = tiny_spec();
+        let progress = Progress::new(&spec);
+        run_with_progress(&spec, 1, &progress);
+        let snap = snapshot_json(&spec, &progress, Duration::from_millis(1234));
+        assert!(snap.starts_with("{\"schema\":\"coefficient-fleet-stats/1\""));
+        assert!(snap.contains("\"vehicles\":8"));
+        assert!(snap.contains("\"completed\":8"));
+        assert!(snap.contains("\"elapsed_ms\":1234"));
+        assert!(snap.contains("\"coefficient\":{"));
+    }
+
+    #[test]
+    fn stats_file_is_published_and_final() {
+        let dir = std::env::temp_dir().join(format!("fleet-stats-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("stats.json");
+        let spec = tiny_spec();
+        let cfg = StatsConfig {
+            file: Some(path.clone()),
+            socket: None,
+            every: Some(Duration::from_millis(10)),
+        };
+        let run = run_with_stats(&spec, 2, &cfg);
+        let contents = std::fs::read_to_string(&path).expect("final snapshot written");
+        assert!(contents.contains("\"completed\":8"), "{contents}");
+        assert_eq!(run.aggregate.vehicles_accounted(), spec.vehicles);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn socket_serves_the_latest_snapshot() {
+        let dir = std::env::temp_dir().join(format!("fleet-sock-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let sock = dir.join("stats.sock");
+        let spec = FleetSpec {
+            vehicles: 40,
+            shard_size: 4,
+            horizon: event_sim::SimDuration::from_millis(5),
+            ..FleetSpec::default()
+        };
+        let cfg = StatsConfig {
+            file: None,
+            socket: Some(sock.clone()),
+            every: Some(Duration::from_millis(5)),
+        };
+        let done = AtomicBool::new(false);
+        let progress = Progress::new(&spec);
+        let got = std::thread::scope(|scope| {
+            let stats = scope.spawn(|| stats_loop(&spec, &progress, &cfg, &done));
+            // Poll the socket while the "run" (here: a short sleep loop)
+            // is in flight; the listener may need a tick to come up.
+            let mut got = String::new();
+            for _ in 0..200 {
+                if let Ok(mut conn) = std::os::unix::net::UnixStream::connect(&sock) {
+                    conn.read_to_string(&mut got).unwrap();
+                    if !got.is_empty() {
+                        break;
+                    }
+                }
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            done.store(true, Ordering::Release);
+            stats.join().unwrap();
+            got
+        });
+        assert!(
+            got.contains("coefficient-fleet-stats/1"),
+            "socket snapshot: {got:?}"
+        );
+        assert!(!sock.exists(), "socket removed on shutdown");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

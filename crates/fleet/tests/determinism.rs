@@ -1,0 +1,119 @@
+//! Shard-determinism contract: the fleet aggregate — and therefore its
+//! digest — must be a pure function of the [`FleetSpec`], invariant to
+//! worker-thread count and shard size, and (property-tested) to any
+//! partition of the vehicle range.
+
+use coefficient::{Runner, COEFFICIENT, GREEDY};
+use event_sim::SimDuration;
+use fleet::{exec, FleetAggregate, FleetSpec};
+use proptest::prelude::*;
+
+fn pinned_spec() -> FleetSpec {
+    FleetSpec {
+        vehicles: 48,
+        policies: vec![COEFFICIENT, GREEDY],
+        horizon: SimDuration::from_millis(5),
+        shard_size: 16,
+        ..FleetSpec::default()
+    }
+}
+
+#[test]
+fn digest_is_identical_across_1_2_8_threads() {
+    let spec = pinned_spec();
+    let d1 = exec::run(&spec, 1).aggregate.digest();
+    let d2 = exec::run(&spec, 2).aggregate.digest();
+    let d8 = exec::run(&spec, 8).aggregate.digest();
+    assert_eq!(d1, d2);
+    assert_eq!(d1, d8);
+}
+
+#[test]
+fn digest_is_identical_across_shard_sizes() {
+    let base = pinned_spec();
+    let small_shards = FleetSpec {
+        shard_size: 5,
+        ..base.clone()
+    };
+    let one_big_shard = FleetSpec {
+        shard_size: 1000,
+        ..base.clone()
+    };
+    let d_base = exec::run(&base, 2).aggregate.digest();
+    let d_small = exec::run(&small_shards, 2).aggregate.digest();
+    let d_big = exec::run(&one_big_shard, 2).aggregate.digest();
+    assert_eq!(d_base, d_small, "shard size must not leak into the digest");
+    assert_eq!(d_base, d_big);
+}
+
+#[test]
+fn aggregates_not_just_digests_are_equal() {
+    let spec = pinned_spec();
+    let serial = exec::run(&spec, 1).aggregate;
+    let parallel = exec::run(&spec, 8).aggregate;
+    assert_eq!(serial, parallel);
+    let agg = serial.policy(0);
+    assert_eq!(agg.vehicles + agg.unschedulable, spec.vehicles);
+    assert!(agg.produced > 0, "the fleet did real work");
+}
+
+/// Records vehicles `range` of `spec` (first policy only) into `agg`.
+fn record_range(spec: &FleetSpec, agg: &mut FleetAggregate, range: std::ops::Range<u64>) {
+    for v in range {
+        match Runner::new(spec.vehicle_config(v, spec.policies[0])) {
+            Ok(runner) => {
+                let report = runner.run();
+                agg.record(0, v, spec.vehicle_draw(v).condition, &report);
+            }
+            Err(_) => agg.record_unschedulable(0, v),
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Any partition of the vehicle range into contiguous shards, merged
+    /// in any rotation, yields the same aggregate as one pass over the
+    /// whole range.
+    #[test]
+    fn arbitrary_shard_partitions_merge_identically(
+        cuts in proptest::collection::vec(1u64..12, 0..4),
+        rotate in 0usize..4,
+    ) {
+        let spec = FleetSpec {
+            vehicles: 12,
+            horizon: SimDuration::from_millis(5),
+            ..FleetSpec::default()
+        };
+        let policies = [spec.policies[0]];
+
+        let mut whole = FleetAggregate::new(&policies);
+        record_range(&spec, &mut whole, 0..spec.vehicles);
+
+        // Sorted, deduped cut points split 0..vehicles into shards.
+        let mut cuts = cuts;
+        cuts.sort_unstable();
+        cuts.dedup();
+        let mut bounds = vec![0u64];
+        bounds.extend(cuts);
+        bounds.push(spec.vehicles);
+        let mut shards: Vec<FleetAggregate> = Vec::new();
+        for pair in bounds.windows(2) {
+            let mut shard = FleetAggregate::new(&policies);
+            record_range(&spec, &mut shard, pair[0]..pair[1]);
+            shards.push(shard);
+        }
+
+        // Merge in a rotated (non-canonical) order.
+        let rotate = rotate % shards.len().max(1);
+        shards.rotate_left(rotate);
+        let mut merged = FleetAggregate::new(&policies);
+        for shard in &shards {
+            merged.merge(shard);
+        }
+
+        prop_assert_eq!(&whole, &merged);
+        prop_assert_eq!(whole.digest(), merged.digest());
+    }
+}

@@ -7,6 +7,9 @@
 //!
 //! * [`Summary`] — streaming min/max/mean/variance over durations;
 //! * [`Histogram`] — fixed-width latency histograms for percentile reports;
+//! * [`LogHistogram`] — mergeable log-scale `u64` histograms for
+//!   fleet-scale streaming aggregation (fixed memory, order-independent
+//!   merge);
 //! * [`UtilizationTimeline`] — busy/idle accounting of a bus or channel;
 //! * [`DeadlineTracker`] — met/missed deadline counting per message class;
 //! * [`Aggregate`] — cross-run distribution summaries (mean/stddev/min/max
@@ -32,6 +35,6 @@ mod utilization;
 
 pub use aggregate::{Aggregate, AggregateSummary};
 pub use deadline::{DeadlineOutcome, DeadlineTracker};
-pub use histogram::Histogram;
+pub use histogram::{Histogram, LogHistogram};
 pub use stats::Summary;
 pub use utilization::UtilizationTimeline;
