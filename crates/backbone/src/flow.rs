@@ -1,0 +1,105 @@
+//! Per-flow end-to-end accounting.
+
+use event_sim::SimDuration;
+
+/// All-integer per-flow latency/jitter counters, folded into cell
+/// fingerprints only when non-zero (mirroring the resilience-counter
+/// idiom of `coefficient`'s run fingerprint).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FlowCounters {
+    /// Instances released inside the measured span.
+    pub instances: u64,
+    /// Instances that completed the full five-stage pipeline.
+    pub delivered: u64,
+    /// Instances lost at any stage (sensor job, FlexRay delivery or
+    /// actuator job missing from the observation window).
+    pub lost: u64,
+    /// Delivered instances that waited at least one full hypercycle for
+    /// a reserved gate window.
+    pub missed_windows: u64,
+    /// Minimum observed end-to-end latency in nanoseconds (0 if none).
+    pub latency_min_ns: u64,
+    /// Maximum observed end-to-end latency in nanoseconds.
+    pub latency_max_ns: u64,
+    /// Sum of observed end-to-end latencies in nanoseconds.
+    pub latency_total_ns: u64,
+    /// Observed jitter: max − min latency (0 with fewer than two
+    /// deliveries).
+    pub jitter_ns: u64,
+}
+
+impl FlowCounters {
+    /// Records one delivered instance's end-to-end latency.
+    pub fn record_latency(&mut self, latency: SimDuration) {
+        let ns = latency.as_nanos();
+        if self.delivered == 0 {
+            self.latency_min_ns = ns;
+            self.latency_max_ns = ns;
+        } else {
+            self.latency_min_ns = self.latency_min_ns.min(ns);
+            self.latency_max_ns = self.latency_max_ns.max(ns);
+        }
+        self.delivered += 1;
+        self.latency_total_ns += ns;
+        if self.delivered >= 2 {
+            self.jitter_ns = self.latency_max_ns - self.latency_min_ns;
+        }
+    }
+
+    /// The counters as stable `(name, value)` pairs, in fingerprint fold
+    /// order. Appending new counters at the end keeps old fingerprints
+    /// stable for runs where the new counter is zero.
+    pub fn fields(&self) -> [(&'static str, u64); 8] {
+        [
+            ("instances", self.instances),
+            ("delivered", self.delivered),
+            ("lost", self.lost),
+            ("missed_windows", self.missed_windows),
+            ("latency_min_ns", self.latency_min_ns),
+            ("latency_max_ns", self.latency_max_ns),
+            ("latency_total_ns", self.latency_total_ns),
+            ("jitter_ns", self.jitter_ns),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_extremes_and_jitter() {
+        let mut c = FlowCounters::default();
+        c.record_latency(SimDuration::from_micros(40));
+        assert_eq!(c.jitter_ns, 0, "one sample has no jitter");
+        c.record_latency(SimDuration::from_micros(25));
+        c.record_latency(SimDuration::from_micros(55));
+        assert_eq!(c.delivered, 3);
+        assert_eq!(c.latency_min_ns, 25_000);
+        assert_eq!(c.latency_max_ns, 55_000);
+        assert_eq!(c.latency_total_ns, 120_000);
+        assert_eq!(c.jitter_ns, 30_000);
+    }
+
+    #[test]
+    fn fields_order_is_frozen() {
+        let names: Vec<&str> = FlowCounters::default()
+            .fields()
+            .iter()
+            .map(|(n, _)| *n)
+            .collect();
+        assert_eq!(
+            names,
+            vec![
+                "instances",
+                "delivered",
+                "lost",
+                "missed_windows",
+                "latency_min_ns",
+                "latency_max_ns",
+                "latency_total_ns",
+                "jitter_ns",
+            ]
+        );
+    }
+}

@@ -1,0 +1,194 @@
+//! The `coefficient-backbone/1` report and the pinned-matrix gates.
+//!
+//! `experiments backbone` runs a [`backbone::MatrixSpec`] and emits one
+//! JSON document: per-cell admission, reservation utilization and
+//! per-flow latency/jitter percentiles. Everything in the document is
+//! derived from simulated time — no wall-clock fields — so two runs (at
+//! any worker-thread count) produce byte-identical reports.
+
+use backbone::{CellReport, Topology};
+
+use crate::json::Json;
+
+/// The stable JSON schema of a backbone matrix run
+/// (`schema: "coefficient-backbone/1"`).
+pub fn backbone_report_json(topology: &Topology, reports: &[CellReport]) -> Json {
+    Json::object([
+        ("schema", Json::str("coefficient-backbone/1")),
+        ("topology", Json::str(topology.name.clone())),
+        ("summary", Json::str(topology.summary.clone())),
+        (
+            "hypercycle_ns",
+            Json::from(topology.hypercycle().as_nanos()),
+        ),
+        ("flows", Json::from(topology.flows.len() as u64)),
+        ("cells", Json::array(reports.iter().map(cell_json))),
+    ])
+}
+
+fn cell_json(cell: &CellReport) -> Json {
+    Json::object([
+        ("reservation", Json::str(cell.reservation)),
+        ("scenario", Json::str(cell.scenario.clone())),
+        ("seed", Json::from(cell.seed)),
+        ("hypercycles", Json::from(cell.hypercycles)),
+        ("admitted", Json::from(cell.admitted)),
+        ("jitter_violations", Json::from(cell.jitter_violations)),
+        (
+            "fingerprint",
+            Json::str(format!("{:016x}", cell.fingerprint())),
+        ),
+        (
+            "ports",
+            Json::array(cell.ports.iter().map(|p| {
+                Json::object([
+                    ("windows_total", Json::from(p.windows_total)),
+                    ("windows_reserved", Json::from(p.windows_reserved)),
+                    (
+                        "utilization_permille",
+                        Json::from(
+                            (p.windows_reserved * 1000)
+                                .checked_div(p.windows_total)
+                                .unwrap_or(0),
+                        ),
+                    ),
+                    ("frames", Json::from(p.frames)),
+                    ("missed_windows", Json::from(p.missed_windows)),
+                    ("peak_queue", Json::from(p.peak_queue)),
+                ])
+            })),
+        ),
+        (
+            "flows",
+            Json::array(cell.flows.iter().map(|f| {
+                Json::object([
+                    ("flow", Json::from(u64::from(f.flow))),
+                    ("admitted", Json::Bool(f.admitted)),
+                    ("instances", Json::from(f.counters.instances)),
+                    ("delivered", Json::from(f.counters.delivered)),
+                    ("lost", Json::from(f.counters.lost)),
+                    ("missed_windows", Json::from(f.counters.missed_windows)),
+                    ("latency_p50_ns", Json::from(f.p50_ns)),
+                    ("latency_p99_ns", Json::from(f.p99_ns)),
+                    ("latency_max_ns", Json::from(f.counters.latency_max_ns)),
+                    ("jitter_ns", Json::from(f.counters.jitter_ns)),
+                    ("jitter_bound_ns", Json::from(f.jitter_bound_ns)),
+                ])
+            })),
+        ),
+    ])
+}
+
+/// The pinned-matrix acceptance gates: every admitted flow's observed
+/// jitter stays within its declared bound, and — whenever both policies
+/// ran the same `(scenario, seed)` cell — the hypercycle policy either
+/// admits strictly more flows than the per-cycle baseline or matches its
+/// admission with a strictly lower worst per-flow p99 latency.
+///
+/// # Errors
+/// Returns a human-readable description of the first violated gate.
+pub fn check_matrix(reports: &[CellReport]) -> Result<(), String> {
+    for cell in reports {
+        if cell.jitter_violations > 0 {
+            let worst = cell
+                .flows
+                .iter()
+                .filter(|f| f.admitted && f.counters.jitter_ns > f.jitter_bound_ns)
+                .map(|f| f.flow)
+                .collect::<Vec<_>>();
+            return Err(format!(
+                "{} {} seed {}: {} flow(s) exceeded their declared jitter bound: {:?}",
+                cell.reservation, cell.scenario, cell.seed, cell.jitter_violations, worst
+            ));
+        }
+    }
+    for hyper in reports.iter().filter(|c| c.reservation == "hypercycle") {
+        let Some(base) = reports.iter().find(|c| {
+            c.reservation == "per-cycle"
+                && c.scenario == hyper.scenario
+                && c.seed == hyper.seed
+                && c.topology == hyper.topology
+        }) else {
+            continue;
+        };
+        if hyper.admitted > base.admitted {
+            continue;
+        }
+        let worst_p99 = |cell: &CellReport| {
+            cell.flows
+                .iter()
+                .filter(|f| f.admitted)
+                .map(|f| f.p99_ns)
+                .max()
+                .unwrap_or(0)
+        };
+        if hyper.admitted == base.admitted && worst_p99(hyper) < worst_p99(base) {
+            continue;
+        }
+        return Err(format!(
+            "{} seed {}: hypercycle policy shows no gain over per-cycle \
+             (admitted {} vs {}, worst p99 {} vs {} ns)",
+            hyper.scenario,
+            hyper.seed,
+            hyper.admitted,
+            base.admitted,
+            worst_p99(hyper),
+            worst_p99(base),
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use backbone::{run_matrix, MatrixSpec};
+
+    fn quick_matrix() -> Vec<CellReport> {
+        let spec = MatrixSpec {
+            hypercycles: 2,
+            ..MatrixSpec::pinned(backbone::topology::default_topology())
+        };
+        run_matrix(&spec, 2).unwrap()
+    }
+
+    #[test]
+    fn report_round_trips_and_has_no_wall_clock() {
+        let reports = quick_matrix();
+        let doc = backbone_report_json(backbone::topology::default_topology(), &reports);
+        let text = doc.pretty();
+        let parsed = Json::parse(&text).expect("report parses");
+        assert_eq!(
+            parsed.get("schema").and_then(Json::as_str),
+            Some("coefficient-backbone/1")
+        );
+        assert_eq!(
+            parsed
+                .get("cells")
+                .and_then(Json::as_array)
+                .map(<[Json]>::len),
+            Some(reports.len())
+        );
+        for field in ["wall", "elapsed", "_ms", "secs"] {
+            assert!(
+                !text.contains(field),
+                "report leaked a wall-clock field: {field}"
+            );
+        }
+    }
+
+    #[test]
+    fn pinned_matrix_passes_the_gates() {
+        let reports = quick_matrix();
+        check_matrix(&reports).expect("pinned matrix gates hold");
+        // The headline claim is visible in the report itself.
+        let admitted = |key: &str| {
+            reports
+                .iter()
+                .find(|c| c.reservation == key)
+                .map(|c| c.admitted)
+                .unwrap()
+        };
+        assert!(admitted("hypercycle") > admitted("per-cycle"));
+    }
+}

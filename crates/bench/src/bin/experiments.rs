@@ -19,6 +19,10 @@
 //!                    [--threads T] [--out PATH]
 //! experiments cycles [--smoke] [--iters N] [--out PATH]
 //!                    [--baseline PATH] [--tolerance F]
+//! experiments backbone [--topology T] [--reservation R]... [--threads N]
+//!                      [--hypercycles H] [--flows] [--out PATH]
+//! experiments trace-overhead [--cell POLICY,SCENARIO,SEED] [--iters N]
+//!                    [--capacity N] [--sample-every N] [--tolerance F]
 //! experiments fleet  [--vehicles N] [--policy P]... [--env E] [--seed N]
 //!                    [--threads T] [--shard-size N] [--horizon-ms H]
 //!                    [--minislots M] [--out PATH] [--bench-out PATH]
@@ -56,6 +60,17 @@
 //! compares cycles/sec against a recorded baseline, exiting non-zero on a
 //! regression beyond `--tolerance` (default 0.15).
 //!
+//! `backbone` runs the time-triggered Ethernet gateway matrix: a named
+//! topology (two FlexRay domains bridged by GCL-windowed egress ports)
+//! under every registered reservation policy, writing the
+//! `coefficient-backbone/1` report with `--out`. It exits non-zero if an
+//! admitted flow's observed end-to-end jitter exceeds its declared bound
+//! or if the hypercycle policy shows no gain over the per-cycle baseline
+//! on a shared `(scenario, seed)` cell. `trace-overhead` times a pinned
+//! golden cell untraced vs traced (1 MiB ring, `sample_every(10)`) and
+//! exits non-zero if the traced run costs more than `--tolerance`
+//! (default 5%) over the untraced one.
+//!
 //! Without arguments, runs every figure. `--json` additionally dumps the
 //! raw rows as JSON to stdout (for plotting).
 
@@ -65,6 +80,7 @@ use bench_harness::experiments::{
 };
 use std::path::Path;
 
+use bench_harness::backbone::{backbone_report_json, check_matrix as check_backbone_matrix};
 use bench_harness::chaos::{self, ChaosContract};
 use bench_harness::cycles::{
     compare_to_baseline, cycles_from_json, cycles_spec, cycles_to_json, measure_cycles,
@@ -72,7 +88,8 @@ use bench_harness::cycles::{
 };
 use bench_harness::fleet as fleet_bench;
 use bench_harness::golden::{
-    golden_spec, load_corpus, record_corpus, save_corpus, verify_corpus, DEFAULT_CORPUS_PATH,
+    golden_spec, load_corpus, record_corpus, save_corpus, verify_backbone, verify_corpus,
+    DEFAULT_CORPUS_PATH,
 };
 use bench_harness::json::Json;
 use bench_harness::sweep::{
@@ -97,6 +114,8 @@ fn main() {
         Some("chaos") => run_chaos(&args[1..]),
         Some("cycles") => run_cycles(&args[1..]),
         Some("fleet") => run_fleet(&args[1..]),
+        Some("backbone") => run_backbone(&args[1..]),
+        Some("trace-overhead") => run_trace_overhead(&args[1..]),
         _ => run_figures(&args),
     }
 }
@@ -401,7 +420,7 @@ fn run_golden(args: &[String]) {
             let out = flag_value(args, "--out").unwrap_or(DEFAULT_CORPUS_PATH);
             let name = flag_value(args, "--name").unwrap_or("default");
             let file = record_corpus(name, &golden_spec()).unwrap_or_else(|e| {
-                eprintln!("golden spec is unschedulable: {e:?}");
+                eprintln!("golden record failed: {e}");
                 std::process::exit(1);
             });
             save_corpus(Path::new(out), &file).unwrap_or_else(|e| {
@@ -409,9 +428,10 @@ fn run_golden(args: &[String]) {
                 std::process::exit(1);
             });
             println!(
-                "golden record: wrote {} cells and {} groups to {out}",
+                "golden record: wrote {} cells, {} groups and {} backbone cells to {out}",
                 file.corpus.cells.len(),
                 file.corpus.groups.len(),
+                file.backbone.len(),
             );
         }
         Some("verify") => {
@@ -422,11 +442,24 @@ fn run_golden(args: &[String]) {
                 std::process::exit(2);
             });
             let report = verify_corpus(&file).unwrap_or_else(|e| {
-                eprintln!("recorded spec is unschedulable: {e:?}");
+                eprintln!("golden verify could not replay: {e}");
                 std::process::exit(1);
             });
             print!("{report}");
-            if !report.passed() {
+            let backbone_defects = verify_backbone(&file).unwrap_or_else(|e| {
+                eprintln!("backbone replay failed to run: {e}");
+                std::process::exit(1);
+            });
+            for defect in &backbone_defects {
+                eprintln!("{defect}");
+            }
+            if backbone_defects.is_empty() {
+                println!(
+                    "backbone: {} cell(s) replayed bit-identically",
+                    file.backbone.len()
+                );
+            }
+            if !report.passed() || !backbone_defects.is_empty() {
                 eprintln!(
                     "golden verify FAILED against {path}; if the change is intentional, \
                      re-record with: experiments golden record --out {path}"
@@ -653,6 +686,160 @@ fn run_fleet(args: &[String]) {
             std::process::exit(1);
         });
         println!("  wrote {path}");
+    }
+}
+
+fn run_backbone(args: &[String]) {
+    let topology_name = flag_value(args, "--topology").unwrap_or("paper-duplex");
+    let topology = backbone::resolve_topology(topology_name).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    });
+    let mut spec = backbone::MatrixSpec::pinned(topology);
+    let reservations = flag_values(args, "--reservation");
+    if !reservations.is_empty() {
+        spec.reservations = reservations
+            .iter()
+            .map(|name| {
+                backbone::resolve_reservation(name).unwrap_or_else(|e| {
+                    eprintln!("{e}");
+                    std::process::exit(2);
+                })
+            })
+            .collect();
+    }
+    if let Some(hypercycles) = parse_number(args, "--hypercycles") {
+        spec.hypercycles = hypercycles;
+    }
+    let threads: usize = parse_number(args, "--threads").unwrap_or(1);
+    let reports = backbone::run_matrix(&spec, threads).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(1);
+    });
+    println!(
+        "backbone {}: {} — hypercycle {} µs, {} flows, {} cells",
+        topology.name,
+        topology.summary,
+        topology.hypercycle().as_nanos() / 1_000,
+        topology.flows.len(),
+        reports.len(),
+    );
+    for cell in &reports {
+        let worst_p99 = cell
+            .flows
+            .iter()
+            .filter(|f| f.admitted)
+            .map(|f| f.p99_ns)
+            .max()
+            .unwrap_or(0);
+        let reserved: u64 = cell.ports.iter().map(|p| p.windows_reserved).sum();
+        let total: u64 = cell.ports.iter().map(|p| p.windows_total).sum();
+        println!(
+            "  {:<10} {:<12} seed {}  admitted {:>2}/{}  windows {:>2}/{}  \
+             worst p99 {:>9} ns  missed {}  fingerprint {:016x}",
+            cell.reservation,
+            cell.scenario,
+            cell.seed,
+            cell.admitted,
+            cell.flows.len(),
+            reserved,
+            total,
+            worst_p99,
+            cell.ports.iter().map(|p| p.missed_windows).sum::<u64>(),
+            cell.fingerprint(),
+        );
+        if args.iter().any(|a| a == "--flows") {
+            for flow in cell.flows.iter().filter(|f| f.admitted) {
+                println!(
+                    "    flow {:>3}  {:>3}/{:<3} delivered  p50 {:>9} ns  p99 {:>9} ns  \
+                     jitter {:>9} ns (bound {} ns)",
+                    flow.flow,
+                    flow.counters.delivered,
+                    flow.counters.instances,
+                    flow.p50_ns,
+                    flow.p99_ns,
+                    flow.counters.jitter_ns,
+                    flow.jitter_bound_ns,
+                );
+            }
+        }
+    }
+    if let Some(out) = flag_value(args, "--out") {
+        let doc = backbone_report_json(topology, &reports);
+        std::fs::write(out, doc.pretty() + "\n").unwrap_or_else(|e| {
+            eprintln!("cannot write {out}: {e}");
+            std::process::exit(1);
+        });
+        println!("  wrote {out}");
+    }
+    if let Err(defect) = check_backbone_matrix(&reports) {
+        eprintln!("backbone GATE FAILED: {defect}");
+        std::process::exit(1);
+    }
+    println!("backbone: gates passed (jitter within declared bounds, hypercycle gain present)");
+}
+
+fn run_trace_overhead(args: &[String]) {
+    let spec = golden_spec();
+    let matrix = spec.build_matrix();
+    let coord = if flag_value(args, "--cell").is_some() {
+        parse_cell(args, &matrix, "trace-overhead")
+    } else {
+        CellCoord {
+            policy: 0,
+            scenario: 2,
+            seed: 1,
+        }
+    };
+    let iters: u32 = parse_number(args, "--iters").unwrap_or(7);
+    let capacity: usize = parse_number(args, "--capacity").unwrap_or(1 << 20);
+    let sample_every: u64 = parse_number(args, "--sample-every").unwrap_or(10);
+    let tolerance: f64 = parse_number(args, "--tolerance").unwrap_or(0.05);
+    let run = |cfg: coefficient::RunConfig| {
+        coefficient::Runner::new(cfg)
+            .unwrap_or_else(|e| {
+                eprintln!("overhead cell is unschedulable: {e:?}");
+                std::process::exit(1);
+            })
+            .run()
+    };
+    let untraced_cfg = matrix.config(coord);
+    let mut traced_cfg = matrix.config(coord);
+    traced_cfg.trace = TraceConfig::ring(capacity).sample_every(sample_every);
+    let untraced_fp = run(untraced_cfg.clone()).fingerprint();
+    let traced_fp = run(traced_cfg.clone()).fingerprint();
+    if untraced_fp != traced_fp {
+        eprintln!(
+            "trace-overhead FAILED: traced fingerprint {traced_fp:016x} != \
+             untraced {untraced_fp:016x} — tracing perturbed the run"
+        );
+        std::process::exit(1);
+    }
+    let untraced = bench_harness::timing::bench("trace-overhead/untraced", iters, || {
+        run(untraced_cfg.clone())
+    });
+    let traced =
+        bench_harness::timing::bench("trace-overhead/traced", iters, || run(traced_cfg.clone()));
+    let ratio = traced.min.as_secs_f64() / untraced.min.as_secs_f64();
+    println!(
+        "trace-overhead: cell {},{},{} — untraced best {:.3} ms, traced best {:.3} ms \
+         (ring {capacity}, sample_every {sample_every}): {:+.2}% (gate < {:.0}%)",
+        coord.policy,
+        coord.scenario,
+        coord.seed,
+        untraced.min.as_secs_f64() * 1e3,
+        traced.min.as_secs_f64() * 1e3,
+        (ratio - 1.0) * 100.0,
+        tolerance * 100.0,
+    );
+    if ratio > 1.0 + tolerance {
+        eprintln!(
+            "trace-overhead FAILED: traced run is {:.2}% slower than untraced \
+             (gate {:.0}%)",
+            (ratio - 1.0) * 100.0,
+            tolerance * 100.0,
+        );
+        std::process::exit(1);
     }
 }
 

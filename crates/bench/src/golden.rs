@@ -23,6 +23,9 @@ use coefficient::{
     SeedStrategy, Tolerances, VerifyReport,
 };
 
+use backbone::{resolve_reservation, resolve_topology, run_cell, run_matrix};
+use backbone::{CellSpec as BackboneCellSpec, MatrixSpec as BackboneMatrixSpec};
+
 use crate::experiments::SEED;
 use crate::json::Json;
 use crate::sweep::{parse_policy, parse_scenario, policy_label, SweepSpec};
@@ -63,28 +66,121 @@ pub struct CorpusFile {
     pub spec: SweepSpec,
     /// The recorded cells, groups and tolerances.
     pub corpus: GoldenCorpus,
+    /// The recorded end-to-end backbone cells (empty in corpora from
+    /// before the gateway subsystem existed).
+    pub backbone: Vec<BackboneGoldenCell>,
 }
 
-/// Records a corpus by running `spec` and capturing every cell.
+/// One recorded cell of the pinned backbone matrix. Unlike the sweep
+/// cells — which carry tolerance-banded metrics — a backbone cell is
+/// pure identity: it stores the replayable coordinates plus the report
+/// fingerprint, and `verify` re-runs exactly those coordinates and
+/// demands a bit-identical digest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BackboneGoldenCell {
+    /// Registered topology name.
+    pub topology: String,
+    /// Reservation-policy registry key.
+    pub reservation: String,
+    /// Fault-scenario name.
+    pub scenario: String,
+    /// Master seed of the cell.
+    pub seed: u64,
+    /// Hypercycles in the measured span.
+    pub hypercycles: u64,
+    /// Flows the reservation policy admitted.
+    pub admitted: u64,
+    /// Full [`backbone::CellReport`] fingerprint.
+    pub fingerprint: u64,
+}
+
+/// Records a corpus by running `spec` and capturing every cell, plus
+/// the pinned backbone matrix on the default topology.
 ///
 /// # Errors
-/// Returns [`SchedulerError`] if a cell is unschedulable.
-pub fn record_corpus(name: &str, spec: &SweepSpec) -> Result<CorpusFile, SchedulerError> {
-    let report = spec.run()?;
+/// Returns a rendered message if a sweep cell is unschedulable or a
+/// backbone cell fails to run.
+pub fn record_corpus(name: &str, spec: &SweepSpec) -> Result<CorpusFile, String> {
+    let report = spec
+        .run()
+        .map_err(|e: SchedulerError| format!("golden spec is unschedulable: {e}"))?;
     let labels: Vec<&str> = spec.policies.iter().map(|&p| policy_label(p)).collect();
     Ok(CorpusFile {
         spec: spec.clone(),
         corpus: GoldenCorpus::record(name, &report, &labels),
+        backbone: record_backbone_cells()?,
     })
 }
 
+/// Runs the pinned backbone matrix and snapshots each cell's identity.
+fn record_backbone_cells() -> Result<Vec<BackboneGoldenCell>, String> {
+    let spec = BackboneMatrixSpec::pinned(backbone::topology::default_topology());
+    let reports = run_matrix(&spec, 4).map_err(|e| e.to_string())?;
+    Ok(reports
+        .iter()
+        .map(|r| BackboneGoldenCell {
+            topology: r.topology.clone(),
+            reservation: r.reservation.to_string(),
+            scenario: r.scenario.clone(),
+            seed: r.seed,
+            hypercycles: r.hypercycles,
+            admitted: r.admitted,
+            fingerprint: r.fingerprint(),
+        })
+        .collect())
+}
+
 /// Replays the corpus' own spec and verifies the fresh sweep against it.
+/// Backbone cells are checked separately by [`verify_backbone`].
 ///
 /// # Errors
-/// Returns [`SchedulerError`] if a cell is unschedulable.
-pub fn verify_corpus(file: &CorpusFile) -> Result<VerifyReport, SchedulerError> {
-    let fresh = file.spec.run()?;
+/// Returns a rendered message if a cell is unschedulable.
+pub fn verify_corpus(file: &CorpusFile) -> Result<VerifyReport, String> {
+    let fresh = file
+        .spec
+        .run()
+        .map_err(|e: SchedulerError| format!("recorded spec is unschedulable: {e}"))?;
     Ok(file.corpus.verify(&fresh))
+}
+
+/// Replays every recorded backbone cell from its stored coordinates and
+/// compares fingerprints. Returns one description per diverging cell
+/// (empty means the replay was bit-identical).
+///
+/// # Errors
+/// Returns a rendered message when a recorded coordinate no longer
+/// resolves (unknown topology/reservation/scenario) or a cell fails to
+/// run — distinct from a divergence, which is a gate failure.
+pub fn verify_backbone(file: &CorpusFile) -> Result<Vec<String>, String> {
+    let mut defects = Vec::new();
+    for cell in &file.backbone {
+        let topology = resolve_topology(&cell.topology).map_err(|e| e.to_string())?;
+        let reservation = resolve_reservation(&cell.reservation).map_err(|e| e.to_string())?;
+        let scenario = parse_scenario(&cell.scenario).map_err(|e| e.to_string())?;
+        let report = run_cell(&BackboneCellSpec {
+            topology,
+            reservation,
+            scenario,
+            seed: cell.seed,
+            hypercycles: cell.hypercycles,
+        })
+        .map_err(|e| e.to_string())?;
+        let fresh = report.fingerprint();
+        if fresh != cell.fingerprint || report.admitted != cell.admitted {
+            defects.push(format!(
+                "backbone {} {} {} seed {}: recorded fingerprint {:016x} (admitted {}), \
+                 replay produced {fresh:016x} (admitted {})",
+                cell.topology,
+                cell.reservation,
+                cell.scenario,
+                cell.seed,
+                cell.fingerprint,
+                cell.admitted,
+                report.admitted,
+            ));
+        }
+    }
+    Ok(defects)
 }
 
 // ---------------------------------------------------------------------------
@@ -130,6 +226,25 @@ pub fn corpus_to_json(file: &CorpusFile) -> Json {
         (
             "groups",
             Json::array(corpus.groups.iter().map(group_to_json)),
+        ),
+        (
+            "backbone",
+            Json::array(file.backbone.iter().map(backbone_cell_to_json)),
+        ),
+    ])
+}
+
+fn backbone_cell_to_json(cell: &BackboneGoldenCell) -> Json {
+    Json::object([
+        ("topology", Json::str(cell.topology.clone())),
+        ("reservation", Json::str(cell.reservation.clone())),
+        ("scenario", Json::str(cell.scenario.clone())),
+        ("seed", Json::from(cell.seed)),
+        ("hypercycles", Json::from(cell.hypercycles)),
+        ("admitted", Json::from(cell.admitted)),
+        (
+            "fingerprint",
+            Json::String(format!("{:016x}", cell.fingerprint)),
         ),
     ])
 }
@@ -263,6 +378,18 @@ pub fn corpus_from_json(doc: &Json) -> Result<CorpusFile, CorpusError> {
         .iter()
         .map(group_from_json)
         .collect::<Result<Vec<_>, _>>()?;
+    // The backbone cells joined the schema after the first corpora were
+    // recorded; an absent key means the gateway subsystem did not exist
+    // yet, so an empty list is the faithful value.
+    let backbone = match doc.get("backbone") {
+        None => Vec::new(),
+        Some(v) => v
+            .as_array()
+            .ok_or_else(|| CorpusError::new("\"backbone\" is not an array"))?
+            .iter()
+            .map(backbone_cell_from_json)
+            .collect::<Result<Vec<_>, _>>()?,
+    };
     Ok(CorpusFile {
         spec,
         corpus: GoldenCorpus {
@@ -271,6 +398,28 @@ pub fn corpus_from_json(doc: &Json) -> Result<CorpusFile, CorpusError> {
             cells,
             groups,
         },
+        backbone,
+    })
+}
+
+fn backbone_cell_from_json(doc: &Json) -> Result<BackboneGoldenCell, CorpusError> {
+    let fingerprint = want_str(doc, "fingerprint")?;
+    let fingerprint = u64::from_str_radix(fingerprint, 16)
+        .map_err(|_| CorpusError::new(format!("fingerprint {fingerprint:?} is not hex")))?;
+    // Resolve eagerly so an unknown name in a corpus file lists every
+    // registered topology/reservation, mirroring the policy axis.
+    let topology = want_str(doc, "topology")?;
+    resolve_topology(topology).map_err(|e| CorpusError::new(e.to_string()))?;
+    let reservation = want_str(doc, "reservation")?;
+    resolve_reservation(reservation).map_err(|e| CorpusError::new(e.to_string()))?;
+    Ok(BackboneGoldenCell {
+        topology: topology.to_string(),
+        reservation: reservation.to_string(),
+        scenario: want_str(doc, "scenario")?.to_string(),
+        seed: want_u64(doc, "seed")?,
+        hypercycles: want_u64(doc, "hypercycles")?,
+        admitted: want_u64(doc, "admitted")?,
+        fingerprint,
     })
 }
 
@@ -487,6 +636,7 @@ mod tests {
         let text = corpus_to_json(&recorded).pretty();
         let parsed = corpus_from_json(&Json::parse(&text).unwrap()).unwrap();
         assert_eq!(parsed.corpus, recorded.corpus);
+        assert_eq!(parsed.backbone, recorded.backbone);
         assert_eq!(parsed.spec.minislots, recorded.spec.minislots);
         assert_eq!(parsed.spec.horizon_ms, recorded.spec.horizon_ms);
         assert_eq!(parsed.spec.seeds, recorded.spec.seeds);
@@ -519,6 +669,35 @@ mod tests {
 
         let truncated = good.replace("\"steal_attempts\"", "\"renamed_counter\"");
         assert!(corpus_from_json(&Json::parse(&truncated).unwrap()).is_err());
+    }
+
+    #[test]
+    fn backbone_cells_join_the_corpus_and_replay() {
+        let mut recorded = record_corpus("backbone", &tiny_spec()).unwrap();
+        // The pinned matrix: 2 reservation policies x {BER-7, BER-7-storm}.
+        assert_eq!(recorded.backbone.len(), 4);
+        assert!(verify_backbone(&recorded).unwrap().is_empty());
+        recorded.backbone[0].fingerprint ^= 1;
+        let defects = verify_backbone(&recorded).unwrap();
+        assert_eq!(defects.len(), 1, "{defects:?}");
+        assert!(defects[0].contains("backbone paper-duplex"), "{defects:?}");
+    }
+
+    #[test]
+    fn corpus_without_a_backbone_key_still_parses() {
+        let recorded = record_corpus("legacy", &tiny_spec()).unwrap();
+        let Json::Object(entries) = corpus_to_json(&recorded) else {
+            panic!("corpus document is not an object");
+        };
+        let legacy = Json::Object(
+            entries
+                .into_iter()
+                .filter(|(k, _)| k != "backbone")
+                .collect(),
+        );
+        let parsed = corpus_from_json(&legacy).unwrap();
+        assert!(parsed.backbone.is_empty());
+        assert_eq!(parsed.corpus, recorded.corpus);
     }
 
     #[test]

@@ -10,6 +10,7 @@
 //! Paper-reported values and our measured shapes are recorded side by
 //! side in `EXPERIMENTS.md`.
 
+pub mod backbone;
 pub mod chaos;
 pub mod cycles;
 pub mod experiments;

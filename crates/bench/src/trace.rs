@@ -197,6 +197,34 @@ fn event_json(event: &TraceEvent) -> Json {
             ("budget_ns", Json::from(budget.as_nanos())),
         ]),
         EventKind::CpuStealDenied => Json::object([at, ("type", Json::str("cpu_steal_denied"))]),
+        EventKind::GatewayQueued {
+            port,
+            flow,
+            instance,
+        } => Json::object([
+            at,
+            ("type", Json::str("gateway_queued")),
+            ("port", Json::from(u64::from(*port))),
+            ("flow", Json::from(*flow)),
+            ("instance", Json::from(*instance)),
+        ]),
+        EventKind::EthernetFrame {
+            port,
+            flow,
+            instance,
+            payload_bits,
+            duration,
+            missed_window,
+        } => Json::object([
+            at,
+            ("type", Json::str("ethernet_frame")),
+            ("port", Json::from(u64::from(*port))),
+            ("flow", Json::from(*flow)),
+            ("instance", Json::from(*instance)),
+            ("payload_bits", Json::from(*payload_bits)),
+            ("duration_ns", Json::from(duration.as_nanos())),
+            ("missed_window", Json::from(*missed_window)),
+        ]),
     }
 }
 
@@ -342,6 +370,8 @@ pub fn validate_trace(doc: &Json) -> Result<usize, String> {
             "cpu_slice" => &["end_ns", "kind", "task", "job"],
             "cpu_steal_granted" => &["budget_ns"],
             "cpu_steal_denied" => &[],
+            "gateway_queued" => &["port", "flow", "instance"],
+            "ethernet_frame" => &["port", "flow", "instance", "payload_bits", "duration_ns"],
             other => return Err(format!("event {i}: unknown type {other:?}")),
         };
         for field in u64_fields {
@@ -353,6 +383,9 @@ pub fn validate_trace(doc: &Json) -> Result<usize, String> {
             }
             "fault_hit" => {
                 require_bool(event, "in_burst", i)?;
+            }
+            "ethernet_frame" => {
+                require_bool(event, "missed_window", i)?;
             }
             "counter_sample" => {
                 let values = event

@@ -190,6 +190,65 @@ fn every_env_model_is_accepted_by_the_fleet_cli() {
 }
 
 #[test]
+fn backbone_with_an_unknown_topology_lists_the_registered_names() {
+    let out = experiments(&["backbone", "--topology", "star-of-death"]);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(2), "stderr: {stderr}");
+    assert!(
+        stderr.contains("unknown topology \"star-of-death\""),
+        "diagnostic does not name the offender: {stderr}"
+    );
+    for name in backbone::topology::names() {
+        assert!(
+            stderr.contains(name),
+            "diagnostic does not list {name:?}: {stderr}"
+        );
+    }
+}
+
+#[test]
+fn backbone_with_an_unknown_reservation_lists_the_registered_names() {
+    let out = experiments(&["backbone", "--reservation", "first-come"]);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(2), "stderr: {stderr}");
+    assert!(
+        stderr.contains("unknown reservation \"first-come\""),
+        "diagnostic does not name the offender: {stderr}"
+    );
+    for name in backbone::reservation::names() {
+        assert!(
+            stderr.contains(name),
+            "diagnostic does not list {name:?}: {stderr}"
+        );
+    }
+}
+
+#[test]
+fn every_registered_topology_and_reservation_is_accepted_by_the_backbone_cli() {
+    // Happy path of both backbone registries, same spirit as the
+    // sweep-side twin: every registered name must parse and complete.
+    for topology in backbone::topology::names() {
+        for reservation in backbone::reservation::names() {
+            let out = experiments(&[
+                "backbone",
+                "--topology",
+                topology,
+                "--reservation",
+                reservation,
+                "--hypercycles",
+                "2",
+            ]);
+            let stderr = String::from_utf8_lossy(&out.stderr);
+            assert_eq!(
+                out.status.code(),
+                Some(0),
+                "{topology:?}/{reservation:?} rejected: {stderr}"
+            );
+        }
+    }
+}
+
+#[test]
 fn every_registered_name_is_accepted_by_the_sweep_cli() {
     // The happy path of the same flag: each registry key parses and the
     // single-cell sweep completes. Keeps the error tests honest — a typo

@@ -24,7 +24,7 @@ use reliability::monitor::{HealthState, MonitorConfig, ReliabilityMonitor};
 use reliability::Ber;
 use workloads::AperiodicMessage;
 
-use crate::instance::MessageClass;
+use crate::instance::{InstanceStatus, MessageClass};
 use crate::policy::{CoefficientOptions, Scheduler, SchedulerError};
 use crate::registry::PolicyRef;
 use crate::scenario::{FaultModel, Scenario};
@@ -635,7 +635,19 @@ impl Runner {
     }
 
     /// Runs to completion and reports.
-    pub fn run(mut self) -> RunReport {
+    pub fn run(self) -> RunReport {
+        self.run_with_instances().0
+    }
+
+    /// Runs to completion and reports, additionally returning the life
+    /// record of every message instance (production, deadline, first
+    /// uncorrupted delivery). End-to-end pipelines — e.g. a backbone
+    /// gateway forwarding FlexRay frames onto a TT-Ethernet link — need
+    /// the per-instance delivery instants, which the aggregated
+    /// [`RunReport`] deliberately summarizes away. The schedule itself is
+    /// byte-identical to [`run`](Self::run)'s: the instance records are a
+    /// read-out, not a mode.
+    pub fn run_with_instances(mut self) -> (RunReport, Vec<InstanceStatus>) {
         let cycle_dur = self.cfg.cluster.cycle_duration();
         let production_target = match self.cfg.stop {
             StopCondition::ProducedInstances(n) => Some(n),
@@ -783,7 +795,8 @@ impl Runner {
             }
         }
 
-        self.report(truncated)
+        let instances = self.scheduler.tracker().instances().to_vec();
+        (self.report(truncated), instances)
     }
 
     /// Feeds the bus-wide monitor the merged fault counters, combines it

@@ -448,6 +448,30 @@ impl ClusterConfig {
         t.as_nanos() / self.cycle_duration().as_nanos()
     }
 
+    /// The hypercycle of this cluster against a second periodic schedule:
+    /// the least common multiple of the communication cycle and `base` —
+    /// the shortest span after which both schedules realign. A
+    /// time-triggered Ethernet backbone reserving gate windows per `base`
+    /// period repeats its whole gate-control list once per hypercycle.
+    ///
+    /// # Panics
+    /// Panics if `base` is zero or the LCM overflows `u64` nanoseconds.
+    pub fn hypercycle(&self, base: SimDuration) -> SimDuration {
+        let a = self.cycle_duration().as_nanos();
+        let b = base.as_nanos();
+        assert!(b > 0, "base period must be positive");
+        fn gcd(mut a: u64, mut b: u64) -> u64 {
+            while b != 0 {
+                (a, b) = (b, a % b);
+            }
+            a
+        }
+        let lcm = (a / gcd(a, b))
+            .checked_mul(b)
+            .expect("hypercycle overflows u64 nanoseconds");
+        SimDuration::from_nanos(lcm)
+    }
+
     // ----- capacity -----
 
     /// Bits transmittable per macrotick at the configured rate.

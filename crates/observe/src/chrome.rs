@@ -22,6 +22,8 @@ const TID_SCHEDULER: u32 = 2;
 const TID_HEALTH: u32 = 3;
 const TID_COUNTERS: u32 = 4;
 const TID_CPU: u32 = 5;
+const TID_GATEWAY: u32 = 6;
+const TID_ETHERNET: u32 = 7;
 
 fn channel_tid(channel: u8) -> u32 {
     if channel == 0 {
@@ -131,6 +133,8 @@ pub fn chrome_trace_json(log: &TraceLog, counter_names: &[&str]) -> String {
     w.meta_thread(TID_HEALTH, "Health", 3);
     w.meta_thread(TID_COUNTERS, "Counters", 4);
     w.meta_thread(TID_CPU, "CPU", 5);
+    w.meta_thread(TID_GATEWAY, "Gateway", 6);
+    w.meta_thread(TID_ETHERNET, "Ethernet", 7);
 
     for event in &log.events {
         let at = event.at.as_nanos();
@@ -324,6 +328,37 @@ pub fn chrome_trace_json(log: &TraceLog, counter_names: &[&str]) -> String {
             EventKind::CpuStealDenied => {
                 w.instant("cpu steal denied", TID_CPU, at, "");
             }
+            EventKind::GatewayQueued {
+                port,
+                flow,
+                instance,
+            } => {
+                w.instant(
+                    "gateway queued",
+                    TID_GATEWAY,
+                    at,
+                    &format!("\"port\":{port},\"flow\":{flow},\"instance\":{instance}"),
+                );
+            }
+            EventKind::EthernetFrame {
+                port,
+                flow,
+                instance,
+                payload_bits,
+                duration,
+                missed_window,
+            } => {
+                w.complete(
+                    &format!("flow {flow} · instance {instance}"),
+                    TID_ETHERNET,
+                    at,
+                    duration.as_nanos(),
+                    &format!(
+                        "\"port\":{port},\"flow\":{flow},\"instance\":{instance},\
+                         \"payload_bits\":{payload_bits},\"missed_window\":{missed_window}"
+                    ),
+                );
+            }
         }
     }
 
@@ -428,6 +463,19 @@ mod tests {
                 budget: SimDuration::from_micros(100),
             },
             EventKind::CpuStealDenied,
+            EventKind::GatewayQueued {
+                port: 0,
+                flow: 3,
+                instance: 7,
+            },
+            EventKind::EthernetFrame {
+                port: 1,
+                flow: 3,
+                instance: 7,
+                payload_bits: 512,
+                duration: SimDuration::from_micros(6),
+                missed_window: true,
+            },
         ]);
         let json = chrome_trace_json(&log, &["a", "b"]);
         assert!(json.starts_with("{\"displayTimeUnit\":\"ms\",\"traceEvents\":["));

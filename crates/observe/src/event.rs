@@ -171,6 +171,33 @@ pub enum EventKind {
     },
     /// The CPU slack stealer found no usable slack.
     CpuStealDenied,
+    /// A backbone gateway enqueued a FlexRay-delivered frame for
+    /// store-and-forward onto a TT-Ethernet egress port.
+    GatewayQueued {
+        /// Egress port index on the gateway.
+        port: u8,
+        /// Backbone flow index.
+        flow: u64,
+        /// 0-based instance index within the flow.
+        instance: u64,
+    },
+    /// A frame left the gateway through a reserved TT-Ethernet gate
+    /// window.
+    EthernetFrame {
+        /// Egress port index on the gateway.
+        port: u8,
+        /// Backbone flow index.
+        flow: u64,
+        /// 0-based instance index within the flow.
+        instance: u64,
+        /// Payload length in bits.
+        payload_bits: u64,
+        /// Wire occupancy of the transmission.
+        duration: SimDuration,
+        /// Whether the frame arrived after its reserved window and had to
+        /// wait a full hypercycle for the window's next occurrence.
+        missed_window: bool,
+    },
 }
 
 /// A captured event stream plus ring-buffer accounting.

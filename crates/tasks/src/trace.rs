@@ -262,6 +262,16 @@ impl ExecutionTrace {
         self.horizon
     }
 
+    /// The completion record of job `job` of periodic task `task`, if the
+    /// job finished inside the observation window. End-to-end pipelines
+    /// (sensor task → bus → actuator task) use this to read one job's
+    /// completion instant out of a simulated schedule.
+    pub fn completion_of_job(&self, task: TaskId, job: u64) -> Option<&JobCompletion> {
+        self.completions.iter().find(
+            |c| matches!(c.source, JobSource::Periodic { task: t, job: j } if t == task && j == job),
+        )
+    }
+
     /// Checks the structural invariants.
     ///
     /// # Errors
